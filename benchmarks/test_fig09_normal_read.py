@@ -1,0 +1,23 @@
+"""Benchmark regenerating Figure 9 of the paper.
+
+Figure 9 (RAID-5 normal-state read vs I/O size, 6 targets).
+
+Expected shape: every system reaches the NIC goodput (~11 500 MB/s) at
+64 KiB and above; the user-space systems beat Linux MD at small sizes.
+"""
+
+import pytest
+
+from benchmarks.conftest import metric, systems_at
+
+
+@pytest.mark.benchmark(group="figures")
+def test_fig09_normal_read(figure):
+    rows = figure("fig09")
+    goodput = 11500
+    for system in ("Linux", "SPDK", "dRAID"):
+        assert metric(rows, "128KB", system) > 0.9 * goodput
+        assert metric(rows, "64KB", system) > 0.9 * goodput
+    # small I/O: user-space beats the kernel stack
+    assert metric(rows, "4KB", "dRAID") > 1.5 * metric(rows, "4KB", "Linux")
+    assert metric(rows, "4KB", "SPDK") > 1.5 * metric(rows, "4KB", "Linux")

@@ -1,0 +1,26 @@
+"""Benchmark regenerating Figure 10 of the paper.
+
+Figure 10 (RAID-5 write vs I/O size).
+
+Expected shape: read-modify-write sizes are drive/NIC limited with dRAID
+>= SPDK >> Linux; at the full stripe size (3584 KiB) dRAID and SPDK
+converge because both compute parity on the host (no remote reads).
+"""
+
+import pytest
+
+from benchmarks.conftest import metric, systems_at
+
+
+@pytest.mark.benchmark(group="figures")
+def test_fig10_write_iosize(figure):
+    rows = figure("fig10")
+    # full-stripe write: identical data paths
+    full_draid = metric(rows, "3584KB", "dRAID")
+    full_spdk = metric(rows, "3584KB", "SPDK")
+    assert abs(full_draid - full_spdk) / full_spdk < 0.1
+    assert full_draid > 8000  # approaches goodput x 7/8
+    # partial writes: dRAID never loses, Linux collapses
+    for size in ("16KB", "128KB" if any(r.x == "128KB" for r in rows) else "64KB"):
+        assert metric(rows, size, "dRAID") >= 0.95 * metric(rows, size, "SPDK")
+        assert metric(rows, size, "dRAID") > 3 * metric(rows, size, "Linux")

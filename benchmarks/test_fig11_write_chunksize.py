@@ -1,0 +1,22 @@
+"""Benchmark regenerating Figure 11 of the paper.
+
+Figure 11 (RAID-5 write vs chunk size, 128 KiB I/O).
+
+Expected shape: dRAID runs at full drive bandwidth across large chunk
+sizes; small chunks turn most writes into cheap (near-)full-stripe
+writes, raising everyone; Linux MD stays collapsed.
+"""
+
+import pytest
+
+from benchmarks.conftest import metric, systems_at
+
+
+@pytest.mark.benchmark(group="figures")
+def test_fig11_write_chunksize(figure):
+    rows = figure("fig11")
+    for chunk in ("128KB", "512KB", "1024KB"):
+        if any(r.x == chunk for r in rows):
+            assert metric(rows, chunk, "dRAID") > 4200  # ~8-SSD RMW bound
+            assert metric(rows, chunk, "dRAID") > 3 * metric(rows, chunk, "Linux")
+    assert metric(rows, "32KB", "dRAID") >= 0.95 * metric(rows, "32KB", "SPDK")

@@ -1,0 +1,27 @@
+"""Benchmark regenerating Figure 12 of the paper.
+
+Figure 12 (RAID-5 write vs stripe width).
+
+The paper's headline scaling figure: dRAID scales near-linearly toward
+the NIC goodput (84 Gbps = ~10 500 MB/s at width 18), SPDK plateaus at
+about half the goodput (its RMW sends 2x through the host NIC), and
+Linux MD shows the opposite trend (more width = slower).
+"""
+
+import pytest
+
+from benchmarks.conftest import metric, systems_at
+
+
+@pytest.mark.benchmark(group="figures")
+def test_fig12_write_width(figure):
+    rows = figure("fig12")
+    goodput = 11500
+    # SPDK plateaus at ~half goodput
+    spdk_peak = max(metric(rows, w, "SPDK") for w in (12, 18) if any(r.x == w for r in rows))
+    assert spdk_peak < 0.58 * goodput
+    # dRAID scales ~linearly to ~84 Gbps at width 18
+    assert metric(rows, 18, "dRAID") > 9500
+    assert metric(rows, 18, "dRAID") > 1.6 * metric(rows, 18, "SPDK")
+    # Linux: opposite trend
+    assert metric(rows, 18, "Linux") < metric(rows, 4, "Linux")

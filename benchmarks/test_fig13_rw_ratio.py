@@ -1,0 +1,21 @@
+"""Benchmark regenerating Figure 13 of the paper.
+
+Figure 13 (RAID-5 mixed read/write ratios).
+
+Expected shape: dRAID wins at every mixed ratio; at 100% read all
+systems converge to the NIC goodput.
+"""
+
+import pytest
+
+from benchmarks.conftest import metric, systems_at
+
+
+@pytest.mark.benchmark(group="figures")
+def test_fig13_rw_ratio(figure):
+    rows = figure("fig13")
+    for ratio in ("0%", "25%", "50%", "75%"):
+        assert metric(rows, ratio, "dRAID") >= 0.95 * metric(rows, ratio, "SPDK")
+        assert metric(rows, ratio, "dRAID") > 2 * metric(rows, ratio, "Linux")
+    assert metric(rows, "75%", "dRAID") > 1.15 * metric(rows, "75%", "SPDK")
+    assert metric(rows, "100%", "dRAID") > 0.9 * 11500

@@ -1,0 +1,30 @@
+"""Benchmark regenerating Figure 14 of the paper.
+
+Figure 14 (RAID-5 latency vs bandwidth, 18 targets).
+
+Expected shape: under write-only load dRAID's bandwidth ceiling is about
+twice SPDK's; with a 50/50 mix dRAID approaches the NIC goodput for the
+combined stream.
+"""
+
+import pytest
+
+from benchmarks.conftest import metric, systems_at
+
+
+@pytest.mark.benchmark(group="figures")
+def test_fig14_latency_curve(figure):
+    rows = figure("fig14")
+    def peak(prefix, system):
+        return max(
+            r.metrics["bandwidth_mb_s"]
+            for r in rows if str(r.x).startswith(prefix) and r.system == system
+        )
+
+    assert peak("wo-", "dRAID") > 1.5 * peak("wo-", "SPDK")
+    assert peak("rw-", "dRAID") > 1.3 * peak("rw-", "SPDK")
+    assert peak("rw-", "dRAID") > 9000
+    # at light load (qd1) latencies are similar across systems
+    lat_d = metric(rows, "wo-qd1", "dRAID", "avg_latency_us")
+    lat_s = metric(rows, "wo-qd1", "SPDK", "avg_latency_us")
+    assert lat_d < 1.2 * lat_s

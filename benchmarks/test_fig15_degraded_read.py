@@ -1,0 +1,23 @@
+"""Benchmark regenerating Figure 15 of the paper.
+
+Figure 15 (RAID-5 degraded read vs I/O size).
+
+Expected shape: dRAID keeps ~95% of normal-state read throughput; SPDK
+drops to ~57% (reconstructions pull width-1 chunks through the host
+NIC); Linux MD collapses to under a GB/s.
+"""
+
+import pytest
+
+from benchmarks.conftest import metric, systems_at
+
+
+@pytest.mark.benchmark(group="figures")
+def test_fig15_degraded_read(figure):
+    rows = figure("fig15")
+    goodput = 11500
+    big = "128KB"
+    assert metric(rows, big, "dRAID") > 0.9 * goodput
+    ratio = metric(rows, big, "SPDK") / goodput
+    assert 0.45 < ratio < 0.68  # paper: 57%
+    assert metric(rows, big, "Linux") < 1500  # paper: 834 MB/s

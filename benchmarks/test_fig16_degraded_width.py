@@ -1,0 +1,21 @@
+"""Benchmark regenerating Figure 16 of the paper.
+
+Figure 16 (RAID-5 degraded read vs stripe width).
+
+Expected shape: dRAID approaches normal-state read throughput as width
+grows; SPDK peaks early and degrades; Linux stays poor.
+"""
+
+import pytest
+
+from benchmarks.conftest import metric, systems_at
+
+
+@pytest.mark.benchmark(group="figures")
+def test_fig16_degraded_width(figure):
+    rows = figure("fig16")
+    goodput = 11500
+    assert metric(rows, 18, "dRAID") > 0.9 * goodput
+    assert metric(rows, 18, "dRAID") > 1.6 * metric(rows, 18, "SPDK")
+    for width in (8, 18):
+        assert metric(rows, width, "SPDK") < 0.68 * goodput

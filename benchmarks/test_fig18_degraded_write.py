@@ -1,0 +1,21 @@
+"""Benchmark regenerating Figure 18 of the paper.
+
+Figure 18 (RAID-5 degraded write vs I/O size).
+
+Expected shape: all systems lose only a little versus normal-state
+writes (one failed drive touches ~1/width of I/Os); dRAID still beats
+SPDK and Linux stays collapsed.
+"""
+
+import pytest
+
+from benchmarks.conftest import metric, systems_at
+
+
+@pytest.mark.benchmark(group="figures")
+def test_fig18_degraded_write(figure):
+    rows = figure("fig18")
+    big = "128KB"
+    assert metric(rows, big, "dRAID") >= 0.9 * metric(rows, big, "SPDK")
+    assert metric(rows, big, "dRAID") > 3500  # ~<10% below normal state
+    assert metric(rows, big, "Linux") < 1500

@@ -1,0 +1,26 @@
+"""Benchmark regenerating Figure 19 of the paper.
+
+Figure 19 (LSM KV store / RocksDB stand-in, YCSB).
+
+Expected shape: modest dRAID gains on the write-heavy workloads (A, F)
+in normal state (the single store instance serializes internally, paper:
+~1.27x) and broader gains in degraded state.
+"""
+
+import pytest
+
+from benchmarks.conftest import metric, systems_at
+
+
+@pytest.mark.benchmark(group="apps")
+def test_fig19_lsm_ycsb(figure):
+    rows = figure("fig19")
+    for wl in ("A", "F"):
+        normal = systems_at(rows, f"YCSB-{wl}-normal")
+        assert normal["dRAID"]["kiops"] >= 0.95 * normal["SPDK"]["kiops"]
+    for wl in ("A", "B", "C", "D", "F"):
+        degraded = systems_at(rows, f"YCSB-{wl}-degraded")
+        assert degraded["dRAID"]["kiops"] >= 0.95 * degraded["SPDK"]["kiops"]
+    # degraded read-heavy workloads gain clearly
+    deg_c = systems_at(rows, "YCSB-C-degraded")
+    assert deg_c["dRAID"]["kiops"] > 1.1 * deg_c["SPDK"]["kiops"]

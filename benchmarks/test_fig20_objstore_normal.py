@@ -1,0 +1,22 @@
+"""Benchmark regenerating Figure 20 of the paper.
+
+Figure 20 (object store, normal-state RAID-5).
+
+Expected shape: clear dRAID wins on write-heavy YCSB-A/F (paper: 1.7x
+and 1.5x); limited improvement on read-heavy B/C/D.
+"""
+
+import pytest
+
+from benchmarks.conftest import metric, systems_at
+
+
+@pytest.mark.benchmark(group="apps")
+def test_fig20_objstore_normal(figure):
+    rows = figure("fig20")
+    m = systems_at(rows, "YCSB-F")
+    assert m["dRAID"]["kiops"] > 1.1 * m["SPDK"]["kiops"]
+    m = systems_at(rows, "YCSB-A")
+    assert m["dRAID"]["kiops"] > 1.05 * m["SPDK"]["kiops"]
+    m = systems_at(rows, "YCSB-C")
+    assert m["dRAID"]["kiops"] >= 0.9 * m["SPDK"]["kiops"]

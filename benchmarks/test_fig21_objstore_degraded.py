@@ -1,0 +1,23 @@
+"""Benchmark regenerating Figure 21 of the paper.
+
+Figure 21 (object store, degraded-state RAID-5).
+
+Expected shape: dRAID wins across the board, most on the read-heavy
+workloads whose degraded reads SPDK amplifies through the host NIC
+(paper: ~2.35x on B/C/D).
+"""
+
+import pytest
+
+from benchmarks.conftest import metric, systems_at
+
+
+@pytest.mark.benchmark(group="apps")
+def test_fig21_objstore_degraded(figure):
+    rows = figure("fig21")
+    for wl in ("B", "C", "D"):
+        m = systems_at(rows, f"YCSB-{wl}")
+        assert m["dRAID"]["kiops"] > 1.3 * m["SPDK"]["kiops"]
+    for wl in ("A", "F"):
+        m = systems_at(rows, f"YCSB-{wl}")
+        assert m["dRAID"]["kiops"] >= 0.95 * m["SPDK"]["kiops"]

@@ -1,0 +1,21 @@
+"""Benchmark regenerating Figure 22 of the paper.
+
+Figure 22 (RAID-6 normal-state read vs I/O size).
+
+Expected shape: identical to RAID-5 reads — the rotating dual-parity
+layout still lets reads use every drive; all systems reach goodput at
+large sizes.
+"""
+
+import pytest
+
+from benchmarks.conftest import metric, systems_at
+
+
+@pytest.mark.benchmark(group="raid6")
+def test_fig22_r6_read(figure):
+    rows = figure("fig22")
+    goodput = 11500
+    for system in ("Linux", "SPDK", "dRAID"):
+        assert metric(rows, "128KB", system) > 0.9 * goodput
+    assert metric(rows, "4KB", "dRAID") > 1.5 * metric(rows, "4KB", "Linux")

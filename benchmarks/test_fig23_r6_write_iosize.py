@@ -1,0 +1,23 @@
+"""Benchmark regenerating Figure 23 of the paper.
+
+Figure 23 (RAID-6 write vs I/O size).
+
+Expected shape: RAID-6 small writes run at roughly two thirds of RAID-5
+(six drive I/Os per RMW instead of four); dRAID and SPDK converge at the
+full stripe size (3072 KiB).
+"""
+
+import pytest
+
+from benchmarks.conftest import metric, systems_at
+
+
+@pytest.mark.benchmark(group="raid6")
+def test_fig23_r6_write_iosize(figure):
+    rows = figure("fig23")
+    full_draid = metric(rows, "3072KB", "dRAID")
+    full_spdk = metric(rows, "3072KB", "SPDK")
+    assert abs(full_draid - full_spdk) / full_spdk < 0.12
+    assert metric(rows, "64KB", "dRAID") > 3000   # ~2/3 of the RAID-5 value
+    assert metric(rows, "64KB", "dRAID") > 0.85 * metric(rows, "64KB", "SPDK")
+    assert metric(rows, "64KB", "dRAID") > 3 * metric(rows, "64KB", "Linux")

@@ -1,0 +1,19 @@
+"""Benchmark regenerating Figure 24 of the paper.
+
+Figure 24 (RAID-6 write vs chunk size).
+
+Expected shape: as RAID-5 but with a wider dRAID/SPDK gap at small
+chunks (SPDK pays double host-side parity traffic).
+"""
+
+import pytest
+
+from benchmarks.conftest import metric, systems_at
+
+
+@pytest.mark.benchmark(group="raid6")
+def test_fig24_r6_chunksize(figure):
+    rows = figure("fig24")
+    assert metric(rows, "32KB", "dRAID") > 1.05 * metric(rows, "32KB", "SPDK")
+    for chunk in ("512KB", "1024KB"):
+        assert metric(rows, chunk, "dRAID") > 2.5 * metric(rows, chunk, "Linux")

@@ -1,0 +1,20 @@
+"""Benchmark regenerating Figure 25 of the paper.
+
+Figure 25 (RAID-6 write vs stripe width).
+
+Expected shape: SPDK is pinned near a third of the NIC goodput (RMW
+sends data + P + Q through the host); dRAID scales near-linearly.
+"""
+
+import pytest
+
+from benchmarks.conftest import metric, systems_at
+
+
+@pytest.mark.benchmark(group="raid6")
+def test_fig25_r6_width(figure):
+    rows = figure("fig25")
+    goodput = 11500
+    assert metric(rows, 18, "SPDK") < 0.42 * goodput
+    assert metric(rows, 18, "dRAID") > 1.7 * metric(rows, 18, "SPDK")
+    assert metric(rows, 18, "Linux") < metric(rows, 4, "Linux") * 1.1

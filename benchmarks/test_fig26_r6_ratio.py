@@ -1,0 +1,18 @@
+"""Benchmark regenerating Figure 26 of the paper.
+
+Figure 26 (RAID-6 mixed read/write ratios).
+
+Expected shape: as Figure 13 with a slightly larger dRAID/SPDK gap.
+"""
+
+import pytest
+
+from benchmarks.conftest import metric, systems_at
+
+
+@pytest.mark.benchmark(group="raid6")
+def test_fig26_r6_ratio(figure):
+    rows = figure("fig26")
+    for ratio in ("0%", "25%", "50%", "75%"):
+        assert metric(rows, ratio, "dRAID") >= 0.9 * metric(rows, ratio, "SPDK")
+    assert metric(rows, "100%", "dRAID") > 0.9 * 11500

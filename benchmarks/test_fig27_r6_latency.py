@@ -1,0 +1,24 @@
+"""Benchmark regenerating Figure 27 of the paper.
+
+Figure 27 (RAID-6 latency vs bandwidth).
+
+Expected shape: dRAID consistently reaches higher bandwidth than SPDK
+for both write-only and mixed load at 18 targets.
+"""
+
+import pytest
+
+from benchmarks.conftest import metric, systems_at
+
+
+@pytest.mark.benchmark(group="raid6")
+def test_fig27_r6_latency(figure):
+    rows = figure("fig27")
+    def peak(prefix, system):
+        return max(
+            r.metrics["bandwidth_mb_s"]
+            for r in rows if str(r.x).startswith(prefix) and r.system == system
+        )
+
+    assert peak("wo-", "dRAID") > 1.5 * peak("wo-", "SPDK")
+    assert peak("rw-", "dRAID") > 1.3 * peak("rw-", "SPDK")

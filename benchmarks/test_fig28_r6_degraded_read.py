@@ -1,0 +1,21 @@
+"""Benchmark regenerating Figure 28 of the paper.
+
+Figure 28 (RAID-6 degraded read vs I/O size).
+
+Expected shape: dRAID ~95% of normal-state read; SPDK ~61%; Linux
+collapsed (paper Appendix A.3).
+"""
+
+import pytest
+
+from benchmarks.conftest import metric, systems_at
+
+
+@pytest.mark.benchmark(group="raid6")
+def test_fig28_r6_degraded_read(figure):
+    rows = figure("fig28")
+    goodput = 11500
+    assert metric(rows, "128KB", "dRAID") > 0.9 * goodput
+    ratio = metric(rows, "128KB", "SPDK") / goodput
+    assert 0.5 < ratio < 0.75  # paper: 61%
+    assert metric(rows, "128KB", "Linux") < 1500

@@ -1,0 +1,20 @@
+"""Benchmark regenerating Figure 29 of the paper.
+
+Figure 29 (RAID-6 degraded read vs stripe width).
+
+Expected shape: dRAID is stable and near goodput across widths; SPDK
+peaks around width 8 and degrades slightly beyond.
+"""
+
+import pytest
+
+from benchmarks.conftest import metric, systems_at
+
+
+@pytest.mark.benchmark(group="raid6")
+def test_fig29_r6_degraded_width(figure):
+    rows = figure("fig29")
+    goodput = 11500
+    draid = [r.metrics["bandwidth_mb_s"] for r in rows if r.system == "dRAID"]
+    assert min(draid[1:]) > 0.75 * max(draid)
+    assert metric(rows, 18, "dRAID") > 1.4 * metric(rows, 18, "SPDK")

@@ -1,0 +1,19 @@
+"""Benchmark regenerating Figure 30 of the paper.
+
+Figure 30 (RAID-6 degraded write vs I/O size).
+
+Expected shape: dRAID's degraded-state penalty stays small (paper: 11%
+vs SPDK's 23% drop), keeping a clear gap over both baselines.
+"""
+
+import pytest
+
+from benchmarks.conftest import metric, systems_at
+
+
+@pytest.mark.benchmark(group="raid6")
+def test_fig30_r6_degraded_write(figure):
+    rows = figure("fig30")
+    assert metric(rows, "128KB", "dRAID") >= 0.85 * metric(rows, "128KB", "SPDK")
+    assert metric(rows, "128KB", "dRAID") > 2500
+    assert metric(rows, "128KB", "Linux") < 1500

@@ -1,0 +1,70 @@
+"""What-if study: online rebuild interference vs throttle.
+
+Not a paper figure — an operational question the paper's hot-spare story
+(§1) raises: how hard may the rebuild run before foreground latency
+suffers?  Sweeps the rebuild throttle and reports rebuild rate alongside
+foreground p99, using dRAID's peer-to-peer reconstruction (the rebuild
+reads never cross the host NIC, so interference is drive/server-side
+only).
+"""
+
+import pytest
+
+from benchmarks.conftest import save_table
+from repro.cluster import ClusterConfig, build_cluster
+from repro.draid import DraidArray
+from repro.raid.geometry import RaidGeometry, RaidLevel
+from repro.raid.rebuild import RebuildJob
+from repro.sim import Environment
+from repro.workloads import FioWorkload
+
+KB = 1024
+STRIPES = 48
+
+
+def run_point(throttle_ns):
+    env = Environment()
+    cluster = build_cluster(env, ClusterConfig(num_servers=8))
+    array = DraidArray(cluster, RaidGeometry(RaidLevel.RAID5, 8, 256 * KB))
+    array.fail_drive(3)
+    job = RebuildJob(array, 3, num_stripes=STRIPES, throttle_ns=throttle_ns)
+    done = job.start()
+    fio = FioWorkload(array, 64 * KB, read_fraction=0.7, queue_depth=16)
+    foreground = fio.run(warmup_ns=500_000, measure_ns=15_000_000)
+    env.run(until=done)
+    return job.stats.rate_mb_s(), foreground
+
+
+def run_all():
+    results = {}
+    for throttle_us in (0, 100, 500, 2000):
+        results[throttle_us] = run_point(throttle_us * 1000)
+    # baseline: no rebuild at all
+    env = Environment()
+    cluster = build_cluster(env, ClusterConfig(num_servers=8))
+    array = DraidArray(cluster, RaidGeometry(RaidLevel.RAID5, 8, 256 * KB))
+    fio = FioWorkload(array, 64 * KB, read_fraction=0.7, queue_depth=16)
+    results["none"] = (0.0, fio.run(warmup_ns=500_000, measure_ns=15_000_000))
+    return results
+
+
+@pytest.mark.benchmark(group="whatif")
+def test_whatif_rebuild_interference(benchmark):
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    lines = ["What-if: rebuild throttle vs foreground impact (dRAID, width 8)",
+             f"  {'throttle':>10} {'rebuild MB/s':>14} {'fg MB/s':>10} {'fg p99 us':>11}"]
+    for key, (rate, fg) in results.items():
+        label = "no rebuild" if key == "none" else f"{key} us"
+        lines.append(
+            f"  {label:>10} {rate:14.0f} {fg.bandwidth_mb_s:10.0f} "
+            f"{fg.latency.p99_us:11.0f}"
+        )
+    save_table("whatif_rebuild", "\n".join(lines))
+    unthrottled_rate, unthrottled_fg = results[0]
+    gentle_rate, gentle_fg = results[2000]
+    _, baseline_fg = results["none"]
+    # throttling trades rebuild speed for foreground latency
+    assert unthrottled_rate > gentle_rate
+    assert gentle_fg.latency.p99_ns <= unthrottled_fg.latency.p99_ns * 1.05
+    # even unthrottled, the rebuild must not collapse the foreground
+    assert unthrottled_fg.bandwidth_mb_s > 0.3 * baseline_fg.bandwidth_mb_s

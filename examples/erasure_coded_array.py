@@ -1,0 +1,69 @@
+"""dRAID beyond RAID-5/6: a disaggregated Reed-Solomon array (§7).
+
+The paper argues dRAID generalizes to arbitrary erasure codes because most
+codes are linear: parities are sums of per-device partial results, so the
+broadcast/reduce protocol applies unchanged.  This example builds an
+RS(6+3) array over nine storage servers — data bdevs forward
+coefficient-weighted partials to *three* parity reducers — then survives
+three simultaneous drive failures.
+
+Run:  python examples/erasure_coded_array.py
+"""
+
+import numpy as np
+
+from repro.cluster import ClusterConfig, build_cluster
+from repro.draid import EcDraidArray, EcGeometry
+from repro.sim import Environment
+
+KB = 1024
+CHUNK = 64 * KB
+STRIPES = 8
+
+
+def main() -> None:
+    env = Environment()
+    cluster = build_cluster(
+        env, ClusterConfig(num_servers=9, functional_capacity=STRIPES * CHUNK)
+    )
+    geometry = EcGeometry(num_drives=9, chunk_bytes=CHUNK, num_parity=3)
+    array = EcDraidArray(cluster, geometry)
+    print(f"array: {geometry!r} — tolerates {geometry.num_parity} failures")
+
+    rng = np.random.default_rng(7)
+    capacity = STRIPES * geometry.stripe_data_bytes
+    blob = rng.integers(0, 256, capacity, dtype=np.uint8)
+    env.run(until=array.write(0, capacity, blob))
+    print(f"wrote {capacity // KB} KiB across {STRIPES} stripes "
+          f"({array.stats.full_stripe_writes} full-stripe writes)")
+
+    # partial write: each data bdev forwards THREE coefficient-weighted
+    # partials, one per parity reducer
+    cluster.reset_accounting()
+    update = rng.integers(0, 256, 24 * KB, dtype=np.uint8)
+    env.run(until=array.write(10 * KB, len(update), update))
+    blob[10 * KB : 10 * KB + len(update)] = update
+    host = cluster.host.nic
+    print(f"partial write of 24 KiB: host TX {host.tx_bytes / KB:.0f} KiB "
+          f"(the three parity updates never touched the host)")
+
+    # three simultaneous failures — the array keeps serving reads
+    for drive in (0, 3, 6):
+        array.fail_drive(drive)
+    print("failed drives 0, 3 and 6 simultaneously")
+    data = env.run(until=array.read(0, capacity))
+    assert np.array_equal(data, blob), "decode mismatch!"
+    print(f"full read verified byte-for-byte via distributed RS decode "
+          f"({array.stats.remote_reconstructions} remote reconstructions)")
+
+    # degraded writes still work: parity partials route around the failures
+    patch = rng.integers(0, 256, 4 * KB, dtype=np.uint8)
+    env.run(until=array.write(0, len(patch), patch))
+    blob[: len(patch)] = patch
+    data = env.run(until=array.read(0, geometry.stripe_data_bytes))
+    assert np.array_equal(data, blob[: geometry.stripe_data_bytes])
+    print("degraded write + read-back verified under triple failure")
+
+
+if __name__ == "__main__":
+    main()

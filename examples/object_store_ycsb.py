@@ -1,0 +1,48 @@
+"""The paper's object-store application study (§9.6, Figures 20/21).
+
+Runs the hash-based object store (128 KiB objects, uniform YCSB as in the
+paper) on SPDK-POC RAID-5 and on dRAID, in normal and degraded state, and
+prints KIOPS side by side.
+
+Run:  python examples/object_store_ycsb.py
+"""
+
+from repro.apps import HashObjectStore
+from repro.baselines import SpdkRaid
+from repro.cluster import ClusterConfig, build_cluster
+from repro.draid import DraidArray
+from repro.raid.geometry import RaidGeometry, RaidLevel
+from repro.sim import Environment
+from repro.workloads import YCSB_WORKLOADS, YcsbWorkload
+
+KB = 1024
+SYSTEMS = {"SPDK": SpdkRaid, "dRAID": DraidArray}
+
+
+def run_one(system_cls, workload: str, degraded: bool) -> float:
+    env = Environment()
+    cluster = build_cluster(env, ClusterConfig(num_servers=8))
+    array = system_cls(cluster, RaidGeometry(RaidLevel.RAID5, 8, 512 * KB))
+    if degraded:
+        array.fail_drive(0)
+    store = HashObjectStore(array, object_size=128 * KB, num_objects=200_000)
+    ycsb = YcsbWorkload(store, YCSB_WORKLOADS[workload], num_keys=store.num_objects,
+                        clients=32, uniform=True)
+    return ycsb.run(measure_ns=10_000_000).kiops
+
+
+def main() -> None:
+    for degraded in (False, True):
+        state = "degraded" if degraded else "normal"
+        print(f"object store on {state}-state RAID-5 (KIOPS):")
+        print(f"  {'workload':>10} {'SPDK':>8} {'dRAID':>8} {'gain':>7}")
+        for workload in ("A", "B", "C", "D", "F"):
+            spdk = run_one(SYSTEMS["SPDK"], workload, degraded)
+            draid = run_one(SYSTEMS["dRAID"], workload, degraded)
+            print(f"  {'YCSB-' + workload:>10} {spdk:8.1f} {draid:8.1f} "
+                  f"{draid / spdk:6.2f}x")
+        print()
+
+
+if __name__ == "__main__":
+    main()

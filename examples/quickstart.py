@@ -1,0 +1,68 @@
+"""Quickstart: build a dRAID array, do I/O, inspect the data path.
+
+Builds the paper's default testbed (8 storage servers, 100 Gbps fabric,
+RAID-5 with 512 KiB chunks) in *functional mode* — the simulated drives
+hold real bytes — writes and reads back data, and shows the headline
+property of dRAID: a partial-stripe write moves each user byte through the
+host NIC exactly once, because partial parities flow peer-to-peer between
+storage servers.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.cluster import ClusterConfig, build_cluster
+from repro.draid import DraidArray
+from repro.raid.geometry import RaidGeometry, RaidLevel
+from repro.sim import Environment
+
+KB = 1024
+
+
+def main() -> None:
+    env = Environment()
+    cluster = build_cluster(
+        env,
+        ClusterConfig(num_servers=8, functional_capacity=64 * 512 * KB),
+    )
+    geometry = RaidGeometry(RaidLevel.RAID5, num_drives=8, chunk_bytes=512 * KB)
+    array = DraidArray(cluster, geometry)
+    print(f"virtual device: {geometry!r}, stripe={geometry.stripe_data_bytes // KB} KiB")
+
+    # -- write a full stripe, then a partial update -------------------------
+    rng = np.random.default_rng(0)
+    stripe = rng.integers(0, 256, geometry.stripe_data_bytes, dtype=np.uint8)
+    env.run(until=array.write(0, len(stripe), stripe))
+    print(f"full-stripe write done at t={env.now / 1e6:.2f} ms "
+          f"(mode counters: {array.stats.full_stripe_writes} full-stripe)")
+
+    cluster.reset_accounting()
+    update = rng.integers(0, 256, 128 * KB, dtype=np.uint8)
+    env.run(until=array.write(0, len(update), update))
+    host = cluster.host.nic
+    print(f"partial write of 128 KiB: host TX {host.tx_bytes / KB:.0f} KiB, "
+          f"host RX {host.rx_bytes / KB:.0f} KiB "
+          f"(host-centric RAID would move ~512 KiB)")
+    parity_server = geometry.parity_drives(0)[0]
+    print(f"  partial parity flowed peer-to-peer: server{parity_server} "
+          f"RX {cluster.servers[parity_server].nic.rx_bytes / KB:.0f} KiB")
+
+    # -- read back and verify ------------------------------------------------
+    data = env.run(until=array.read(0, geometry.stripe_data_bytes))
+    expected = stripe.copy()
+    expected[: len(update)] = update
+    assert np.array_equal(data, expected), "read-back mismatch!"
+    print("read-back verified byte-for-byte")
+
+    # -- survive a drive failure ----------------------------------------------
+    array.fail_drive(geometry.data_drive(0, 0))
+    degraded = env.run(until=array.read(0, 128 * KB))
+    assert np.array_equal(degraded, expected[: 128 * KB])
+    print(f"degraded read after failing drive {geometry.data_drive(0, 0)}: "
+          f"reconstructed correctly ({array.stats.remote_reconstructions} "
+          f"remote reconstruction)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+"""repro — a simulation-fidelity reproduction of dRAID (ASPLOS 2023).
+
+dRAID is a disaggregated RAID architecture that offloads parity generation,
+parity reduction and data reconstruction to storage servers exchanging
+partial results peer-to-peer, eliminating the host-NIC bandwidth
+amplification of host-centric remote RAID.
+
+This package contains a deterministic discrete-event simulation of the
+paper's entire testbed (NICs, RDMA fabric, NVMe drives, poll-mode CPUs),
+real GF(2^8) erasure coding, three RAID controllers (Linux-MD model,
+SPDK-POC model and dRAID itself), workload generators (FIO-style, YCSB)
+and application layers (object store, BlobFS, LSM KV store), plus
+experiment harnesses regenerating every table and figure of the paper.
+
+Quick start::
+
+    from repro import build_testbed
+
+    env, cluster, array = build_testbed("dRAID", servers=8)
+    env.run(until=array.write(0, 128 * 1024))
+
+See ``examples/`` for complete scenarios and ``benchmarks/`` for the
+paper's evaluation.
+"""
+
+from repro.baselines import MdRaid, SpdkRaid
+from repro.cluster import ClusterConfig, build_cluster
+from repro.draid import BandwidthAwareSelector, DraidArray, RandomReducerSelector
+from repro.raid.geometry import RaidGeometry, RaidLevel
+from repro.sim import Environment
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BandwidthAwareSelector",
+    "ClusterConfig",
+    "DraidArray",
+    "Environment",
+    "MdRaid",
+    "RaidGeometry",
+    "RaidLevel",
+    "RandomReducerSelector",
+    "SpdkRaid",
+    "build_cluster",
+    "build_testbed",
+]
+
+_SYSTEMS = {"Linux": MdRaid, "SPDK": SpdkRaid, "dRAID": DraidArray}
+
+
+def build_testbed(
+    system: str = "dRAID",
+    servers: int = 8,
+    level: RaidLevel = RaidLevel.RAID5,
+    chunk_bytes: int = 512 * 1024,
+    functional_capacity: int = 0,
+    **array_kwargs,
+):
+    """One-call testbed: returns ``(env, cluster, array)``.
+
+    ``system`` is one of ``"Linux"``, ``"SPDK"``, ``"dRAID"``.  Pass a
+    nonzero ``functional_capacity`` (bytes per drive) to carry real data
+    through the simulation.
+    """
+    if system not in _SYSTEMS:
+        raise ValueError(f"unknown system {system!r}; pick from {sorted(_SYSTEMS)}")
+    env = Environment()
+    cluster = build_cluster(
+        env,
+        ClusterConfig(num_servers=servers, functional_capacity=functional_capacity),
+    )
+    geometry = RaidGeometry(level, servers, chunk_bytes)
+    array = _SYSTEMS[system](cluster, geometry, **array_kwargs)
+    return env, cluster, array

@@ -1,0 +1,17 @@
+"""Analytical models: Table 1 and theoretical throughput bounds."""
+
+from repro.analysis.table1 import ARCHITECTURES, Architecture, architecture_table
+from repro.analysis.bounds import (
+    degraded_read_bound_mb_s,
+    drive_bound_write_mb_s,
+    nic_bound_write_mb_s,
+)
+
+__all__ = [
+    "ARCHITECTURES",
+    "Architecture",
+    "architecture_table",
+    "degraded_read_bound_mb_s",
+    "drive_bound_write_mb_s",
+    "nic_bound_write_mb_s",
+]

@@ -1,0 +1,62 @@
+"""Theoretical throughput bounds quoted in the paper (§2.3, §9.3).
+
+These are the reference lines the evaluation compares measured numbers
+against: NIC-goodput bounds per write mode and the aggregate drive bound
+for read-modify-write.
+"""
+
+from __future__ import annotations
+
+from repro.net.nic import GOODPUT_100G
+from repro.storage.profiles import DELL_AGN_MU, DriveProfile
+
+MB = 1_000_000
+
+
+def nic_bound_write_mb_s(
+    num_parity: int = 1,
+    nic_goodput: float = GOODPUT_100G,
+    host_centric: bool = True,
+) -> float:
+    """Host-NIC-TX bound on partial-stripe write throughput.
+
+    Host-centric RMW sends new data + ``num_parity`` parities: the paper's
+    "maximum write throughput is 50 Gbps for RAID-5 and 33.3 Gbps for
+    RAID-6 with a 100 Gbps NIC" (§2.3).  dRAID sends each byte once.
+    """
+    amplification = (1 + num_parity) if host_centric else 1
+    return nic_goodput / amplification / MB
+
+
+def drive_bound_write_mb_s(
+    width: int,
+    num_parity: int = 1,
+    profile: DriveProfile = DELL_AGN_MU,
+) -> float:
+    """Aggregate drive bound for read-modify-write.
+
+    Per user byte, RMW performs one read and one write on the touched data
+    drive and on each parity drive: ``(1 + p)`` reads and writes spread
+    across ``width`` drives sharing each drive's internal channel.
+    """
+    per_byte_seconds = (1 + num_parity) * (
+        1 / profile.read_bw_bytes_per_s + 1 / profile.write_bw_bytes_per_s
+    )
+    return width / per_byte_seconds / MB
+
+
+def degraded_read_bound_mb_s(
+    width: int,
+    nic_goodput: float = GOODPUT_100G,
+    host_centric: bool = True,
+) -> float:
+    """Host-NIC-RX bound on degraded-state read throughput.
+
+    With one failed drive, ``1/width`` of reads reconstruct and pull
+    ``width - 1`` chunks through a host-centric controller; dRAID pulls
+    exactly the requested bytes.
+    """
+    if not host_centric:
+        return nic_goodput / MB
+    amplification = (width - 1) / width * 1.0 + (1 / width) * (width - 1)
+    return nic_goodput / amplification / MB

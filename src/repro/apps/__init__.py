@@ -1,0 +1,15 @@
+"""Applications running on top of the virtual RAID block device (§9.6).
+
+* :mod:`repro.apps.objectstore` — the paper's hash-based object store,
+  running directly on the block layer.
+* :mod:`repro.apps.blobfs` — a BlobFS-like user-space filesystem with a hot
+  super-block region.
+* :mod:`repro.apps.lsm` — an LSM-tree key-value store (memtable, WAL, SSTs,
+  compaction, block cache) standing in for RocksDB-on-BlobFS.
+"""
+
+from repro.apps.blobfs import BlobFs
+from repro.apps.lsm import LsmConfig, LsmKvStore
+from repro.apps.objectstore import HashObjectStore
+
+__all__ = ["BlobFs", "HashObjectStore", "LsmConfig", "LsmKvStore"]

@@ -1,0 +1,24 @@
+"""Cluster assembly: machines, CPU cores, and topology builders.
+
+A cluster mirrors the paper's testbed (§9.1): one host machine plus N
+storage servers, each with a poll-mode CPU core, a NIC and an NVMe drive,
+all attached to a single-switch RDMA fabric.  The host holds an RDMA RC
+connection to every server; servers are additionally connected pairwise so
+dRAID bdevs can exchange partial parities peer-to-peer (§3).
+"""
+
+from repro.cluster.machines import CpuCore, HostMachine, Machine, StorageServer
+from repro.cluster.profiles import CpuProfile, DEFAULT_CPU
+from repro.cluster.builder import Cluster, ClusterConfig, build_cluster
+
+__all__ = [
+    "Cluster",
+    "ClusterConfig",
+    "CpuCore",
+    "CpuProfile",
+    "DEFAULT_CPU",
+    "HostMachine",
+    "Machine",
+    "StorageServer",
+    "build_cluster",
+]

@@ -1,0 +1,40 @@
+"""CPU cost profiles.
+
+Calibrated against the systems the paper builds on:
+
+* SPDK poll-mode command handling is a couple of microseconds per command.
+* ISA-L XOR runs at tens of GB/s on one modern x86 core; GF(2^8)
+  multiply-accumulate (the RAID-6 Q kernel) is roughly half that (§8).
+* The Linux MD model additionally pays a per-4KiB-page stripe-cache cost on
+  a single kernel thread; that constant lives with the MD controller
+  (:mod:`repro.baselines.mdraid`), not here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CpuProfile:
+    """Per-core software costs for a poll-mode storage stack."""
+
+    #: CPU time to parse/dispatch one command capsule.
+    cmd_handle_ns: int = 1_500
+    #: CPU time to post one completion / callback.
+    completion_ns: int = 500
+    #: ISA-L XOR throughput per core (RAID-5 parity, partial parities).
+    xor_bytes_per_s: float = 25e9
+    #: ISA-L GF multiply-accumulate throughput per core (RAID-6 Q).
+    gf_bytes_per_s: float = 12e9
+
+    def xor_ns(self, nbytes: int) -> int:
+        """CPU time to XOR ``nbytes`` (per source block)."""
+        return int(nbytes * 1e9 / self.xor_bytes_per_s)
+
+    def gf_ns(self, nbytes: int) -> int:
+        """CPU time for a GF multiply-accumulate over ``nbytes``."""
+        return int(nbytes * 1e9 / self.gf_bytes_per_s)
+
+
+DEFAULT_CPU = CpuProfile()

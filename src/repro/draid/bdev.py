@@ -1,0 +1,525 @@
+"""The dRAID server-side controller (one per storage server).
+
+A dRAID bdev services standard NVMe-oF reads/writes *plus* the extended
+opcodes of §4.  It holds an RDMA RC connection end to the host and one to
+every peer server, runs Algorithm 1 (partial-write handling) with the §5.3
+I/O pipeline, Algorithm 2 (reduce-phase handling with late-Parity
+tolerance), and the §6.1 reconstruction participant/reducer roles.
+
+A bdev is unaware of RAID configuration: every command carries all the
+information needed (next-dest, wait-num, fwd-offset/length, ...).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.cluster.builder import Cluster
+from repro.draid.protocol import (
+    DraidCompletion,
+    ParityCmd,
+    PartialWriteCmd,
+    PeerMsg,
+    ReconstructionCmd,
+    Subtype,
+)
+from repro.ec import raid6_reconstruct, xor_blocks
+from repro.ec.gf import GF
+from repro.nvmeof.messages import RESPONSE_BYTES, NvmeOfCommand, Opcode
+from repro.sim.core import Environment
+from repro.storage.drive import DriveFailedError
+
+#: PeerMsg.key value marking a reconstruction partial (keyed by cid instead).
+RECON_KEY = -1
+
+_RS_CODES = {}
+
+
+def _rs_code_cache_get(k: int, m: int):
+    """Memoized Reed-Solomon codes (building the matrix is O(k^3))."""
+    code = _RS_CODES.get((k, m))
+    if code is None:
+        from repro.ec.rs import ReedSolomon
+
+        code = ReedSolomon(k, m)
+        _RS_CODES[(k, m)] = code
+    return code
+
+
+@dataclass
+class _ParityReduceState:
+    """Algorithm 2 state for one in-flight parity reduction.
+
+    Partials are *collected* in arrival order and folded at completion —
+    XOR's commutativity makes the fold order irrelevant (§5), and deferring
+    the arithmetic keeps late-Parity handling trivial: nothing about the
+    final region needs to be known until the Parity command has arrived.
+    """
+
+    partials: List[Tuple[int, Optional[np.ndarray]]] = field(default_factory=list)
+    old_parity: Optional[Tuple[int, Optional[np.ndarray]]] = None
+    received: int = 0
+    #: None until the Parity command arrives (late-arrival handling, §5.2)
+    wait_num: Optional[int] = None
+    cmd: Optional[ParityCmd] = None
+    #: fires when the Parity command arrives (used by the §5.2 barrier
+    #: ablation, where partials may not be processed before the command)
+    cmd_arrived: Optional[object] = None
+    #: the end the Parity command came from (completion destination)
+    origin: Optional[object] = None
+
+
+@dataclass
+class _ReconReduceState:
+    """Reducer-side state for one reconstruction (§6.1)."""
+
+    received: int = 0
+    blocks: Dict[Tuple[str, int], Optional[np.ndarray]] = field(default_factory=dict)
+    #: None until the reducer's own Reconstruction command arrives
+    cmd: Optional[ReconstructionCmd] = None
+    own_done: bool = False
+    #: the end the command came from (completion destination)
+    origin: Optional[object] = None
+
+
+class DraidBdevServer:
+    """Server-side dRAID controller for one storage server."""
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        index: int,
+        pipeline: bool = True,
+        blocking_reduce: bool = False,
+    ) -> None:
+        self.env: Environment = cluster.env
+        self.cluster = cluster
+        self.index = index
+        self.server = cluster.servers[index]
+        #: §5.3 pipeline on/off (ablation knob)
+        self.pipeline = pipeline
+        #: §5.2 ablation: process peer partials only after the Parity
+        #: command has arrived (the "barrier" design dRAID rejects)
+        self.blocking_reduce = blocking_reduce
+        self.functional = cluster.config.functional_capacity > 0
+        self.host_end = cluster.server_end(index)
+        self.peer_ends = {}
+        for j in range(cluster.num_servers):
+            if j == index:
+                continue
+            self.peer_ends[j] = cluster.peer_end(index, j)
+        self._parity_states: Dict[int, _ParityReduceState] = {}
+        self._recon_states: Dict[int, _ReconReduceState] = {}
+        self.commands_served = 0
+        self.env.process(self._serve(self.host_end), name=f"{self.server.name}.draid")
+        for end in self.peer_ends.values():
+            self.env.process(self._serve(end), name=f"{self.server.name}.peer")
+
+    # -- dispatch ---------------------------------------------------------
+
+    def _serve(self, end):
+        while True:
+            message = yield end.recv()
+            self.commands_served += 1
+            if isinstance(message, NvmeOfCommand):
+                handler = self._handle_plain(message, end)
+            elif isinstance(message, PartialWriteCmd):
+                handler = self._handle_partial_write(message, end)
+            elif isinstance(message, ParityCmd):
+                handler = self._handle_parity(message, end)
+            elif isinstance(message, ReconstructionCmd):
+                handler = self._handle_reconstruction(message, end)
+            elif isinstance(message, PeerMsg):
+                handler = self._handle_peer(message, end)
+            else:
+                raise TypeError(f"unknown dRAID message {message!r}")
+            self.env.process(handler, name=f"{self.server.name}.op")
+
+    def _complete(self, origin, cid, kind, ok=True, data=None, io_offset=0,
+                  error=None, payload=0):
+        """Send a completion back to the end the command came from —
+        normally the host, or the controller server when the host-side
+        controller is offloaded (§7)."""
+        origin.send(
+            DraidCompletion(cid, kind, ok=ok, data=data, io_offset=io_offset, error=error),
+            payload_bytes=payload,
+            header_bytes=RESPONSE_BYTES,
+        )
+
+    # -- plain NVMe-oF ------------------------------------------------------
+
+    def _handle_plain(self, cmd: NvmeOfCommand, origin):
+        cpu = self.server.cpu
+        profile = self.server.cpu_profile
+        yield cpu.execute(profile.cmd_handle_ns)
+        try:
+            if cmd.opcode is Opcode.READ:
+                data = yield self.server.drive.read(cmd.offset, cmd.length)
+                yield cpu.execute(profile.completion_ns)
+                self._complete(origin, cmd.cid, "read", data=data, payload=cmd.length)
+            else:
+                yield origin.rdma_read(cmd.length)
+                yield self.server.drive.write(cmd.offset, cmd.length, cmd.data)
+                yield cpu.execute(profile.completion_ns)
+                self._complete(origin, cmd.cid, "write")
+        except (DriveFailedError, ValueError) as exc:
+            self._complete(origin, cmd.cid,
+                           "read" if cmd.opcode is Opcode.READ else "write",
+                           ok=False, error=str(exc))
+
+    # -- PartialWrite: Algorithm 1 + §5.3 pipeline ---------------------------
+
+    def _handle_partial_write(self, cmd: PartialWriteCmd, origin):
+        cpu = self.server.cpu
+        profile = self.server.cpu_profile
+        yield cpu.execute(profile.cmd_handle_ns)
+        try:
+            if self.pipeline:
+                yield from self._partial_write_pipelined(cmd, origin)
+            else:
+                yield from self._partial_write_serial(cmd, origin)
+        except (DriveFailedError, ValueError) as exc:
+            self._complete(origin, cmd.cid, "data", ok=False, error=str(exc))
+
+    def _fetch_and_read(self, cmd: PartialWriteCmd, origin):
+        """Start the remote-data fetch and the drive read(s).
+
+        Returns ``(fetch_event_or_None, [((chunk_offset, length), event)])``.
+        Both are started eagerly so they overlap (§5.3).
+        """
+        fetch = origin.rdma_read(cmd.length) if cmd.length else None
+        reads: List[Tuple[Tuple[int, int], Any]] = []
+        chunk_base = cmd.chunk_drive_offset
+        if cmd.subtype is Subtype.RMW:
+            reads.append(
+                ((cmd.chunk_offset, cmd.length),
+                 self.server.drive.read(cmd.drive_offset, cmd.length))
+            )
+        elif cmd.subtype is Subtype.RW_WRITE:
+            # read the chunk complement so the full new image can be forwarded
+            seg_start, seg_end = cmd.chunk_offset, cmd.chunk_offset + cmd.length
+            fwd_end = cmd.fwd_offset + cmd.fwd_length
+            if seg_start > cmd.fwd_offset:
+                length = seg_start - cmd.fwd_offset
+                reads.append(
+                    ((cmd.fwd_offset, length),
+                     self.server.drive.read(chunk_base + cmd.fwd_offset, length))
+                )
+            if seg_end < fwd_end:
+                length = fwd_end - seg_end
+                reads.append(
+                    ((seg_end, length),
+                     self.server.drive.read(chunk_base + seg_end, length))
+                )
+        elif cmd.subtype is Subtype.RW_READ:
+            reads.append(
+                ((cmd.fwd_offset, cmd.fwd_length),
+                 self.server.drive.read(chunk_base + cmd.fwd_offset, cmd.fwd_length))
+            )
+        else:
+            raise ValueError(f"bad PartialWrite subtype {cmd.subtype}")
+        return fetch, reads
+
+    def _build_partial(self, cmd: PartialWriteCmd, old_blocks):
+        """The partial parity this bdev contributes (functional mode only)."""
+        if not self.functional:
+            return None
+        partial = np.zeros(cmd.fwd_length, dtype=np.uint8)
+        if cmd.subtype is Subtype.RMW:
+            old = old_blocks[0][1]
+            rel = cmd.chunk_offset - cmd.fwd_offset
+            partial[rel : rel + cmd.length] = old ^ cmd.data
+        else:
+            # full new chunk image: complement reads + the new segment
+            for (offset, length), block in old_blocks:
+                rel = offset - cmd.fwd_offset
+                partial[rel : rel + length] = block
+            if cmd.length:
+                rel = cmd.chunk_offset - cmd.fwd_offset
+                partial[rel : rel + cmd.length] = cmd.data
+        return partial
+
+    def _partial_write_pipelined(self, cmd: PartialWriteCmd, origin):
+        fetch, reads = self._fetch_and_read(cmd, origin)
+        # remote-data fetch and drive reads overlap (§5.3)
+        old_blocks = []
+        for region, event in reads:
+            block = yield event
+            old_blocks.append((region, block))
+        if fetch is not None:
+            yield fetch
+        # drive write proceeds concurrently with parity generation/forwarding
+        write_event = None
+        if cmd.length:
+            write_event = self.server.drive.write(cmd.drive_offset, cmd.length, cmd.data)
+        forward_done = self.env.process(self._forward_partials(cmd, old_blocks))
+        if write_event is not None:
+            yield write_event
+            yield self.server.cpu.execute(self.server.cpu_profile.completion_ns)
+            # §5.3: the data bdev reports its own drive-write completion,
+            # overlapping with partial-parity forwarding.
+            self._complete(origin, cmd.cid, "data")
+        yield forward_done
+
+    def _partial_write_serial(self, cmd: PartialWriteCmd, origin):
+        """Ablation: NVMe-oF-style strictly serial processing (no §5.3)."""
+        fetch, reads = self._fetch_and_read(cmd, origin)
+        if fetch is not None:
+            yield fetch
+        old_blocks = []
+        for region, event in reads:
+            block = yield event
+            old_blocks.append((region, block))
+        if cmd.length:
+            yield self.server.drive.write(cmd.drive_offset, cmd.length, cmd.data)
+        yield self.env.process(self._forward_partials(cmd, old_blocks))
+        if cmd.length:
+            yield self.server.cpu.execute(self.server.cpu_profile.completion_ns)
+            self._complete(origin, cmd.cid, "data")
+
+    def _forward_partials(self, cmd: PartialWriteCmd, old_blocks):
+        cpu = self.server.cpu
+        profile = self.server.cpu_profile
+        yield cpu.execute(profile.xor_ns(cmd.fwd_length))
+        partial = self._build_partial(cmd, old_blocks)
+        if cmd.dests is not None:
+            # generic erasure code (§7): explicit per-parity coefficients
+            destinations = [
+                (dest, None if coefficient == 1 else coefficient)
+                for dest, coefficient in cmd.dests
+            ]
+        else:
+            # RAID-5/6: role 0 forwards the raw delta (P); role 1 weights
+            # it by g^data_index (Q, §4 "other command data")
+            destinations = [(cmd.next_dest, None if cmd.next_dest_parity == 0
+                             else GF.gen_pow(cmd.data_index))]
+            if cmd.next_dest2 is not None:
+                destinations.append(
+                    (cmd.next_dest2, None if cmd.next_dest2_parity == 0
+                     else GF.gen_pow(cmd.data_index))
+                )
+        for dest, coefficient in destinations:
+            block = partial
+            if coefficient is not None:
+                yield cpu.execute(profile.gf_ns(cmd.fwd_length))
+                if partial is not None:
+                    block = GF.mul_bytes(coefficient, partial)
+            self._signal_peer(
+                dest,
+                PeerMsg(cmd.cid, key=cmd.parity_key, fwd_offset=cmd.fwd_offset,
+                        fwd_length=cmd.fwd_length, source=("data", cmd.data_index),
+                        data=block),
+            )
+
+    def _signal_peer(self, dest: int, msg: PeerMsg) -> None:
+        if dest == self.index:
+            raise ValueError("a bdev never forwards a partial to itself")
+        self.peer_ends[dest].send(msg)
+
+    # -- Parity: Algorithm 2 -------------------------------------------------
+
+    def _parity_state(self, key: int) -> _ParityReduceState:
+        state = self._parity_states.get(key)
+        if state is None:
+            state = _ParityReduceState()
+            self._parity_states[key] = state
+        return state
+
+    def _handle_parity(self, cmd: ParityCmd, origin):
+        cpu = self.server.cpu
+        profile = self.server.cpu_profile
+        yield cpu.execute(profile.cmd_handle_ns)
+        key = cmd.key
+        state = self._parity_state(key)
+        state.origin = origin
+        if cmd.subtype is Subtype.RMW:
+            try:
+                old = yield self.server.drive.read(
+                    cmd.parity_drive_offset + cmd.fwd_offset, cmd.fwd_length
+                )
+            except (DriveFailedError, ValueError) as exc:
+                del self._parity_states[key]
+                self._complete(origin, cmd.cid, "parity", ok=False, error=str(exc))
+                return
+            yield cpu.execute(profile.xor_ns(cmd.fwd_length))
+            state.old_parity = (cmd.fwd_offset, old)
+        state.wait_num = (state.wait_num or 0) + cmd.wait_num
+        state.cmd = cmd
+        if state.cmd_arrived is not None and not state.cmd_arrived.triggered:
+            # wake peers held at the §5.2 barrier (ablation mode only)
+            state.cmd_arrived.succeed()
+        yield from self._maybe_finish_parity(key)
+
+    def _maybe_finish_parity(self, key: int):
+        """Persist and acknowledge once Parity arrived and all partials are in."""
+        state = self._parity_states.get(key)
+        if state is None or state.cmd is None:
+            return
+        if state.wait_num is None or state.received < state.wait_num:
+            return
+        cmd = state.cmd
+        del self._parity_states[key]
+        data = None
+        if self.functional:
+            data = np.zeros(cmd.fwd_length, dtype=np.uint8)
+            if state.old_parity is not None:
+                offset, block = state.old_parity
+                rel = offset - cmd.fwd_offset
+                data[rel : rel + len(block)] ^= block
+            for offset, block in state.partials:
+                rel = offset - cmd.fwd_offset
+                data[rel : rel + len(block)] ^= block
+        origin = state.origin if state.origin is not None else self.host_end
+        try:
+            yield self.server.drive.write(
+                cmd.parity_drive_offset + cmd.fwd_offset, cmd.fwd_length, data
+            )
+        except (DriveFailedError, ValueError) as exc:
+            self._complete(origin, cmd.cid, "parity", ok=False, error=str(exc))
+            return
+        yield self.server.cpu.execute(self.server.cpu_profile.completion_ns)
+        self._complete(origin, cmd.cid, "parity")
+
+    # -- Peer messages ----------------------------------------------------------
+
+    def _handle_peer(self, msg: PeerMsg, end):
+        cpu = self.server.cpu
+        profile = self.server.cpu_profile
+        yield cpu.execute(profile.cmd_handle_ns)
+        if msg.key != RECON_KEY and self.blocking_reduce:
+            # §5.2 ablation: a barrier design cannot even fetch the partial
+            # before the Parity command has set up the reduction, so the
+            # one-sided READ and everything after it wait for the command.
+            # dRAID proper proceeds immediately (non-blocking multi-stage).
+            state = self._parity_state(msg.key)
+            if state.cmd is None:
+                if state.cmd_arrived is None:
+                    state.cmd_arrived = self.env.event()
+                yield state.cmd_arrived
+        # fetch the partial from the signalling peer (one-sided READ)
+        yield end.rdma_read(msg.fwd_length)
+        yield cpu.execute(profile.xor_ns(msg.fwd_length))
+        if msg.key == RECON_KEY:
+            yield from self._reduce_recon_partial(msg)
+        else:
+            state = self._parity_state(msg.key)
+            state.partials.append((msg.fwd_offset, msg.data))
+            state.received += 1
+            yield from self._maybe_finish_parity(msg.key)
+
+    # -- Reconstruction (§6.1) ---------------------------------------------------
+
+    def _recon_state(self, cid: int) -> _ReconReduceState:
+        state = self._recon_states.get(cid)
+        if state is None:
+            state = _ReconReduceState()
+            self._recon_states[cid] = state
+        return state
+
+    def _handle_reconstruction(self, cmd: ReconstructionCmd, origin):
+        cpu = self.server.cpu
+        profile = self.server.cpu_profile
+        yield cpu.execute(profile.cmd_handle_ns)
+        # read the union of the normal-read segment and the recon region
+        # (a single drive I/O even when they are disjoint, §6.1)
+        spans = [(cmd.region_offset, cmd.region_offset + cmd.region_length)]
+        if cmd.read_segment is not None:
+            offset, length, _io = cmd.read_segment
+            spans.append((offset, offset + length))
+        union_start = min(s for s, _ in spans)
+        union_end = max(e for _, e in spans)
+        try:
+            block = yield self.server.drive.read(
+                cmd.chunk_drive_offset + union_start, union_end - union_start
+            )
+        except (DriveFailedError, ValueError) as exc:
+            self._complete(origin, cmd.cid, "recon", ok=False, error=str(exc))
+            return
+        region = None
+        if self.functional:
+            rel = cmd.region_offset - union_start
+            region = block[rel : rel + cmd.region_length]
+        if cmd.reducer == self.index:
+            state = self._recon_state(cmd.cid)
+            state.cmd = cmd
+            state.origin = origin
+            state.own_done = True
+            state.blocks[cmd.source] = region
+            yield from self._maybe_finish_recon(cmd.cid)
+        else:
+            # prioritize forwarding the partial to the reducer (§6.1)
+            self._signal_peer(
+                cmd.reducer,
+                PeerMsg(cmd.cid, key=RECON_KEY, fwd_offset=cmd.region_offset,
+                        fwd_length=cmd.region_length, source=cmd.source, data=region),
+            )
+        if cmd.read_segment is not None:
+            offset, length, io_offset = cmd.read_segment
+            seg = None
+            if self.functional:
+                rel = offset - union_start
+                seg = block[rel : rel + length]
+            yield cpu.execute(profile.completion_ns)
+            # normal-read bytes return directly to the host (§6.1 key idea)
+            self._complete(origin, cmd.cid, "read", data=seg, io_offset=io_offset,
+                           payload=length)
+
+    def _reduce_recon_partial(self, msg: PeerMsg):
+        state = self._recon_state(msg.cid)
+        state.blocks[msg.source] = msg.data
+        state.received += 1
+        yield from self._maybe_finish_recon(msg.cid)
+
+    def _maybe_finish_recon(self, cid: int):
+        state = self._recon_states.get(cid)
+        if state is None or state.cmd is None or not state.own_done:
+            return
+        if state.received < state.cmd.wait_num:
+            return
+        cmd = state.cmd
+        del self._recon_states[cid]
+        profile = self.server.cpu_profile
+        yield self.server.cpu.execute(
+            profile.xor_ns(cmd.region_length) * max(1, len(state.blocks) - 1)
+        )
+        result = None
+        if self.functional:
+            result = self._decode_lost(cmd, state)
+        yield self.server.cpu.execute(profile.completion_ns)
+        origin = state.origin if state.origin is not None else self.host_end
+        self._complete(origin, cmd.cid, "recon", data=result,
+                       io_offset=cmd.lost_io_offset, payload=cmd.region_length)
+
+    def _decode_lost(self, cmd: ReconstructionCmd, state: _ReconReduceState):
+        """Rebuild the lost region from the labeled partials."""
+        kind, index = cmd.lost
+        parity_blocks = {i: b for (k, i), b in state.blocks.items() if k == "parity"}
+        data_blocks = {i: b for (k, i), b in state.blocks.items() if k == "data"}
+        if cmd.code_km is not None:
+            # generic Reed-Solomon decode (§7)
+            from repro.ec.rs import ReedSolomon
+
+            k_data, m_parity = cmd.code_km
+            code = _rs_code_cache_get(k_data, m_parity)
+            shards = dict(data_blocks)
+            for j, block in parity_blocks.items():
+                shards[k_data + j] = block
+            recovered = code.decode(shards, length=cmd.region_length)
+            return recovered[index]
+        if (
+            kind == "data"
+            and set(parity_blocks) == {0}
+            and len(data_blocks) == cmd.num_data - 1
+        ):
+            # plain XOR path (RAID-5, or RAID-6 single failure through P)
+            return xor_blocks(list(data_blocks.values()) + [parity_blocks[0]])
+        recovered = raid6_reconstruct(
+            dict(data_blocks),
+            cmd.num_data,
+            parity_blocks.get(0),
+            parity_blocks.get(1),
+        )
+        return recovered[index]

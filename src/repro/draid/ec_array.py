@@ -1,0 +1,328 @@
+"""dRAID generalized to arbitrary Reed-Solomon codes (§7).
+
+"Most erasure codes can also be generated in parallel, so I/O
+disaggregation still applies."  This module proves it: the same
+broadcast/reduce protocol runs a systematic (k+m) Reed-Solomon layout —
+each data bdev forwards, for parity row j, ``C[j,i] * partial`` (where C is
+the code's parity matrix and i its data index), and each of the m parity
+bdevs reduces with plain XOR, exactly as RAID-5/6.
+
+:class:`EcGeometry` rotates all m parity chunks across members (balancing
+load, as RAID-6 does for P and Q), and :class:`EcDraidArray` reuses the
+dRAID host controller wholesale, overriding only the places where parity
+math is computed or destinations chosen.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.cluster.builder import Cluster
+from repro.draid.host import DraidArray
+from repro.draid.protocol import ParityCmd, PartialWriteCmd, ReconstructionCmd, Subtype
+from repro.ec.gf import GF
+from repro.ec.rs import ReedSolomon
+from repro.nvmeof.messages import NvmeOfCommand, Opcode, next_cid
+from repro.raid.geometry import RaidGeometry, StripeExtent
+
+
+class EcGeometry(RaidGeometry):
+    """Striped layout with ``num_parity`` rotating parity chunks."""
+
+    def __init__(self, num_drives: int, chunk_bytes: int, num_parity: int) -> None:
+        if num_parity < 1:
+            raise ValueError(f"need at least one parity, got {num_parity}")
+        if num_drives <= num_parity + 1:
+            raise ValueError(
+                f"{num_drives} drives cannot host {num_parity} parities + data"
+            )
+        if chunk_bytes <= 0 or chunk_bytes % 4096:
+            raise ValueError(f"chunk size must be a positive multiple of 4096, got {chunk_bytes}")
+        self.level = None  #: not a standard RAID level
+        self.num_drives = num_drives
+        self.chunk_bytes = chunk_bytes
+        self.num_parity = num_parity
+        self.data_per_stripe = num_drives - num_parity
+        self.stripe_data_bytes = self.data_per_stripe * chunk_bytes
+
+    def __repr__(self) -> str:
+        return (
+            f"<EcGeometry RS({self.data_per_stripe}+{self.num_parity}) "
+            f"drives={self.num_drives} chunk={self.chunk_bytes // 1024}KiB>"
+        )
+
+    def parity_drives(self, stripe: int) -> Tuple[int, ...]:
+        n = self.num_drives
+        first = (n - 1) - (stripe % n)
+        return tuple((first + j) % n for j in range(self.num_parity))
+
+
+class EcDraidArray(DraidArray):
+    """A disaggregated erasure-coded array: dRAID over RS(k+m).
+
+    Tolerates up to ``m`` simultaneous member failures.  The host-side
+    orchestration (stripe queue, broadcast, reduce callbacks, §5.4
+    retries) is inherited from :class:`DraidArray`; only the parity
+    arithmetic and destination wiring differ.
+    """
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        geometry: EcGeometry,
+        name: str = "ec-draid",
+        **kwargs,
+    ) -> None:
+        if not isinstance(geometry, EcGeometry):
+            raise TypeError("EcDraidArray requires an EcGeometry")
+        self.code = ReedSolomon(geometry.data_per_stripe, geometry.num_parity)
+        super().__init__(cluster, geometry, name=name, **kwargs)
+
+    # -- failure tolerance -------------------------------------------------
+
+    def fail_drive(self, index: int) -> None:
+        self.failed.add(index)
+        self.cluster.servers[index].drive.fail()
+        if len(self.failed) > self.geometry.num_parity:
+            from repro.baselines.base import ArrayFailureError
+
+            raise ArrayFailureError(
+                f"{self.name}: {len(self.failed)} failures exceed RS tolerance "
+                f"of {self.geometry.num_parity}"
+            )
+
+    # -- parity computation overrides ------------------------------------------
+
+    def _encode_parities(self, chunks: List[Optional[np.ndarray]]):
+        """All m parity blocks for a full stripe image (functional mode)."""
+        if not self.functional:
+            return [None] * self.geometry.num_parity
+        return self.code.encode(chunks)
+
+    def _write_full(self, ext: StripeExtent, io_data):
+        g = self.geometry
+        chunk = g.chunk_bytes
+        yield self._charge_gf(g.data_per_stripe * g.num_parity, chunk)
+        blocks = self._encode_parities(
+            [self._seg_data(io_data, s) for s in ext.segments]
+        )
+        failed = self.failed_in_stripe(ext.stripe)
+        cid = next_cid()
+        writes = 0
+        for seg in ext.segments:
+            if seg.drive in failed:
+                continue
+            self.host_ends[seg.drive].send(
+                NvmeOfCommand(cid, Opcode.WRITE, seg.drive_offset, seg.length,
+                              data=self._seg_data(io_data, seg))
+            )
+            writes += 1
+        for j, p in enumerate(ext.parity_drives):
+            if p in failed:
+                continue
+            self.host_ends[p].send(
+                NvmeOfCommand(cid, Opcode.WRITE, ext.parity_offset, chunk,
+                              data=blocks[j])
+            )
+            writes += 1
+        waiter = self._register(cid, {"write": writes})
+        expired = yield from self._await_op(cid, waiter)
+        if waiter.errors:
+            self._mark_prolonged_failures(waiter)
+        return not (waiter.errors or expired)
+
+    def _write_distributed(self, ext: StripeExtent, io_data, rcw: bool):
+        g = self.geometry
+        chunk = g.chunk_bytes
+        failed = self.failed_in_stripe(ext.stripe)
+        alive_parities = [
+            (j, p) for j, p in enumerate(ext.parity_drives) if p not in failed
+        ]
+        if not alive_parities:
+            return (yield from self._plain_segment_writes(ext, io_data))
+        if rcw:
+            fwd_off, fwd_len = 0, chunk
+            subtype_parity = Subtype.RW_READ
+        else:
+            fwd_off, fwd_len = ext.parity_span()
+            subtype_parity = Subtype.RMW
+        cid = next_cid()
+        touched = {s.data_index: s for s in ext.segments}
+        contributors = list(range(g.data_per_stripe)) if rcw else sorted(touched)
+        matrix = self.code.parity_matrix
+        writers = 0
+        for d in contributors:
+            seg = touched.get(d)
+            drive = g.data_drive(ext.stripe, d)
+            if rcw:
+                subtype = Subtype.RW_WRITE if seg is not None else Subtype.RW_READ
+                cmd_fwd = (0, chunk)
+            else:
+                subtype = Subtype.RMW
+                cmd_fwd = (seg.chunk_offset, seg.length)
+            dests = tuple((self._server_of(p), int(matrix[j, d])) for j, p in alive_parities)
+            self.host_ends[drive].send(
+                PartialWriteCmd(
+                    cid,
+                    subtype=subtype,
+                    drive_offset=seg.drive_offset if seg else 0,
+                    length=seg.length if seg else 0,
+                    chunk_offset=seg.chunk_offset if seg else 0,
+                    data_index=d,
+                    fwd_offset=cmd_fwd[0],
+                    fwd_length=cmd_fwd[1],
+                    next_dest=self._server_of(alive_parities[0][1]),
+                    chunk_drive_offset=ext.stripe * chunk,
+                    parity_key=cid,
+                    dests=dests,
+                    data=self._seg_data(io_data, seg) if seg is not None else None,
+                )
+            )
+            if seg is not None:
+                writers += 1
+        for j, p in alive_parities:
+            self.host_ends[p].send(
+                ParityCmd(cid, subtype=subtype_parity,
+                          parity_drive_offset=ext.parity_offset,
+                          fwd_offset=fwd_off, fwd_length=fwd_len,
+                          wait_num=len(contributors), parity_index=j, key=cid)
+            )
+        waiter = self._register(cid, {"data": writers, "parity": len(alive_parities)})
+        expired = yield from self._await_op(cid, waiter)
+        if waiter.errors:
+            self._mark_prolonged_failures(waiter)
+        return not (waiter.errors or expired)
+
+    # -- reconstruction overrides -------------------------------------------------
+
+    def _recon_participants(self, ext: StripeExtent):
+        g = self.geometry
+        failed = self.failed_in_stripe(ext.stripe)
+        participants = []
+        lost_data = 0
+        for d in range(g.data_per_stripe):
+            drive = g.data_drive(ext.stripe, d)
+            if drive in failed:
+                lost_data += 1
+            else:
+                participants.append((drive, ("data", d)))
+        alive_parities = [
+            (p, ("parity", j))
+            for j, p in enumerate(ext.parity_drives)
+            if p not in failed
+        ]
+        participants.extend(alive_parities[:lost_data])
+        return participants
+
+    def _recon_cmd(self, *args, **kwargs):
+        # stamp the RS code so reducers run the generic decode (§7)
+        kwargs["code_km"] = (self.geometry.data_per_stripe, self.geometry.num_parity)
+        return ReconstructionCmd(*args, **kwargs)
+
+    # -- degraded / fallback writes -------------------------------------------------
+
+    def _write_degraded(self, ext: StripeExtent, io_data, failed_touched):
+        g = self.geometry
+        chunk = g.chunk_bytes
+        failed = self.failed_in_stripe(ext.stripe)
+        alive_parities = [
+            (j, p) for j, p in enumerate(ext.parity_drives) if p not in failed
+        ]
+        if not alive_parities:
+            return (yield from self._plain_segment_writes(ext, io_data))
+        only_failed_chunk = (
+            len(failed_touched) == len(ext.segments) == 1
+            and len(failed - set(ext.parity_drives)) == 1
+        )
+        if not only_failed_chunk:
+            return (yield from self._write_host_fallback(ext, io_data))
+        seg = failed_touched[0]
+        failed_index = g.data_index_of_drive(ext.stripe, seg.drive)
+        region_offset, region_len = seg.chunk_offset, seg.length
+        matrix = self.code.parity_matrix
+        cid = next_cid()
+        contributors = 0
+        for d in range(g.data_per_stripe):
+            drive = g.data_drive(ext.stripe, d)
+            if drive in failed:
+                continue
+            dests = tuple((self._server_of(p), int(matrix[j, d])) for j, p in alive_parities)
+            self.host_ends[drive].send(
+                PartialWriteCmd(
+                    cid, subtype=Subtype.RW_READ, drive_offset=0, length=0,
+                    chunk_offset=0, data_index=d, fwd_offset=region_offset,
+                    fwd_length=region_len, next_dest=self._server_of(alive_parities[0][1]),
+                    chunk_drive_offset=ext.stripe * chunk, parity_key=cid,
+                    dests=dests,
+                )
+            )
+            contributors += 1
+        new_data = self._seg_data(io_data, seg)
+        from repro.draid.protocol import PeerMsg
+
+        for j, p in alive_parities:
+            block = None
+            if self.functional:
+                block = GF.mul_bytes(int(matrix[j, failed_index]), new_data)
+            yield self._charge_gf(1, region_len)
+            self.host_ends[p].send(
+                PeerMsg(cid, key=cid, fwd_offset=region_offset, fwd_length=region_len,
+                        source=("data", failed_index), data=block)
+            )
+            self.host_ends[p].send(
+                ParityCmd(cid, subtype=Subtype.RW_READ,
+                          parity_drive_offset=ext.parity_offset,
+                          fwd_offset=region_offset, fwd_length=region_len,
+                          wait_num=contributors + 1, parity_index=j, key=cid)
+            )
+        waiter = self._register(cid, {"parity": len(alive_parities)})
+        expired = yield from self._await_op(cid, waiter)
+        if waiter.errors:
+            self._mark_prolonged_failures(waiter)
+        return not (waiter.errors or expired)
+
+    def _write_host_fallback(self, ext: StripeExtent, io_data):
+        g = self.geometry
+        chunk = g.chunk_bytes
+        gaps = self._stripe_gaps(ext)
+        stripe_base = ext.stripe * g.stripe_data_bytes
+        gap_buffers = []
+        for d, off, length in gaps:
+            user_offset = stripe_base + d * chunk + off
+            gap_ext, = g.map_extent(user_offset, length)
+            buffer = np.zeros(length, dtype=np.uint8) if self.functional else None
+            yield from self._read_extent(gap_ext, buffer, user_offset)
+            gap_buffers.append(buffer)
+        yield self._charge_gf(g.data_per_stripe * g.num_parity, chunk)
+        stripe_img = None
+        blocks = [None] * g.num_parity
+        if self.functional:
+            stripe_img = self._assemble_stripe(ext, io_data, gaps, gap_buffers)
+            blocks = self.code.encode(stripe_img)
+        failed = self.failed_in_stripe(ext.stripe)
+        cid = next_cid()
+        writes = 0
+        for d in range(g.data_per_stripe):
+            drive = g.data_drive(ext.stripe, d)
+            if drive in failed:
+                continue
+            block = stripe_img[d] if stripe_img is not None else None
+            self.host_ends[drive].send(
+                NvmeOfCommand(cid, Opcode.WRITE, ext.stripe * chunk, chunk, data=block)
+            )
+            writes += 1
+        for j, p in enumerate(ext.parity_drives):
+            if p in failed:
+                continue
+            self.host_ends[p].send(
+                NvmeOfCommand(cid, Opcode.WRITE, ext.parity_offset, chunk,
+                              data=blocks[j])
+            )
+            writes += 1
+        waiter = self._register(cid, {"write": writes})
+        expired = yield from self._await_op(cid, waiter)
+        if waiter.errors:
+            self._mark_prolonged_failures(waiter)
+        return not (waiter.errors or expired)

@@ -1,0 +1,663 @@
+"""The dRAID host-side controller (§3, §5, §6.1).
+
+The host is a thin coordinator: it admits one write per stripe (stripe
+queue), decides the write mode, broadcasts PartialWrite/Parity commands,
+and collects callbacks.  Data bytes leave the host exactly once per write;
+partial parities flow peer-to-peer between the storage servers.  Normal
+reads are lock-free (§8).
+
+Where dRAID gains nothing from disaggregation the host handles data
+itself (§3): full-stripe writes compute parity locally, and degraded
+writes that touch a failed chunk contribute the failed chunk's image as a
+host-supplied partial parity.
+
+Failure handling follows §5.4: completions are collected until every
+sub-operation reaches a final state; on error or timeout the host marks
+prolonged-failed drives faulty and retries the whole stripe as a
+(degraded-aware) full-stripe write.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.baselines.base import HostCentricRaid
+from repro.cluster.builder import Cluster
+from repro.draid.bdev import DraidBdevServer
+from repro.draid.protocol import (
+    DraidCompletion,
+    ParityCmd,
+    PartialWriteCmd,
+    PeerMsg,
+    ReconstructionCmd,
+    Subtype,
+)
+from repro.draid.reconstruction import RandomReducerSelector
+from repro.ec import xor_blocks
+from repro.ec.gf import GF
+from repro.nvmeof.messages import IoError, NvmeOfCommand, Opcode, next_cid
+from repro.raid.geometry import RaidGeometry, RaidLevel, StripeExtent
+from repro.raid.modes import WriteMode, classify_write
+from repro.sim.core import AnyOf, Event
+
+
+class _OpWaiter:
+    """Collects the multiple completions of one dRAID operation.
+
+    Releases when every expected completion bucket is drained, or
+    immediately on the first error (all constituent mutations are
+    idempotent re-executions of the same logical write, so an abort
+    followed by a full-stripe retry is safe — §5.4).
+    """
+
+    def __init__(self, env, expected: Dict[str, int]) -> None:
+        self.event: Event = env.event()
+        self.remaining = {k: v for k, v in expected.items() if v > 0}
+        self.completions: List[DraidCompletion] = []
+        self.errors: List[DraidCompletion] = []
+        if not self.remaining:
+            self.event.succeed(self)
+
+    def on_completion(self, comp: DraidCompletion) -> None:
+        if self.event.triggered:
+            return
+        if not comp.ok:
+            self.errors.append(comp)
+            self.event.succeed(self)
+            return
+        self.completions.append(comp)
+        if comp.kind in self.remaining:
+            self.remaining[comp.kind] -= 1
+            if self.remaining[comp.kind] <= 0:
+                del self.remaining[comp.kind]
+        if not self.remaining:
+            self.event.succeed(self)
+
+
+class DraidArray(HostCentricRaid):
+    """The dRAID virtual block device."""
+
+    submit_ns = 2_000
+    #: dRAID normal reads are lock-free (§8 implementation choice (ii)).
+    lock_reads = False
+    #: §5.4 per-operation execution time upper bound.
+    timeout_ns = 50_000_000
+    #: give up after this many full-stripe retries of one extent.
+    max_retries = 3
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        geometry: RaidGeometry,
+        name: str = "draid",
+        selector=None,
+        pipeline: bool = True,
+        blocking_reduce: bool = False,
+    ) -> None:
+        self.pipeline = pipeline
+        self.blocking_reduce = blocking_reduce
+        self.selector = selector or RandomReducerSelector(seed=17)
+        super().__init__(cluster, geometry, name=name)
+
+    # -- transport --------------------------------------------------------
+
+    def _attach_transport(self) -> None:
+        self.bdev_servers = [
+            DraidBdevServer(
+                self.cluster, i,
+                pipeline=self.pipeline,
+                blocking_reduce=self.blocking_reduce,
+            )
+            for i in range(self.cluster.num_servers)
+        ]
+        self.host_ends = [
+            self.cluster.host_end(i) for i in range(self.cluster.num_servers)
+        ]
+        self._waiters: Dict[int, _OpWaiter] = {}
+        for end in self.host_ends:
+            self.env.process(self._receive(end), name=f"{self.name}.cq")
+
+    def _receive(self, end):
+        while True:
+            comp: DraidCompletion = yield end.recv()
+            waiter = self._waiters.get(comp.cid)
+            if waiter is not None:
+                waiter.on_completion(comp)
+
+    def _register(self, cid: int, expected: Dict[str, int]) -> _OpWaiter:
+        waiter = _OpWaiter(self.env, expected)
+        self._waiters[cid] = waiter
+        return waiter
+
+    def _await_op(self, cid: int, waiter: _OpWaiter):
+        """Wait for all final states; flag expiry past the §5.4 deadline."""
+        deadline = self.env.timeout(self.timeout_ns)
+        yield AnyOf(self.env, [waiter.event, deadline])
+        expired = not waiter.event.triggered
+        if expired:
+            # §5.4: never retry until every sub-operation reached a final
+            # state (concurrent writes on a stripe are forbidden).
+            yield waiter.event
+        del self._waiters[cid]
+        return expired
+
+    def _mark_prolonged_failures(self, waiter: _OpWaiter) -> None:
+        """§5.4 prolonged failure: faulty drives detected via error status."""
+        for comp in waiter.errors:
+            for i, server in enumerate(self.cluster.servers):
+                if server.drive.failed:
+                    self.failed.add(i)
+
+    # -- reads -----------------------------------------------------------------
+
+    def _read_extent(self, ext: StripeExtent, buffer, io_base: int, take_locks: bool = True):
+        # dRAID reads are lock-free (§8); take_locks is part of the shared
+        # controller interface and has nothing to suppress here.
+        failed = self.failed_in_stripe(ext.stripe)
+        healthy = [s for s in ext.segments if s.drive not in failed]
+        lost = [s for s in ext.segments if s.drive in failed]
+        if not lost:
+            yield from self._plain_reads(ext, healthy, buffer)
+            return
+        yield from self._degraded_read(ext, healthy, lost, buffer)
+
+    def _plain_reads(self, ext: StripeExtent, segments, buffer):
+        pending = list(segments)
+        attempts = 0
+        while pending:
+            # one command id per segment so payloads map back unambiguously
+            submitted = []
+            for seg in pending:
+                cid = next_cid()
+                waiter = self._register(cid, {"read": 1})
+                self.host_ends[seg.drive].send(
+                    NvmeOfCommand(cid, Opcode.READ, seg.drive_offset, seg.length)
+                )
+                submitted.append((cid, seg, waiter))
+            retry = []
+            for cid, seg, waiter in submitted:
+                expired = yield from self._await_op(cid, waiter)
+                if waiter.errors or expired:
+                    # NVMe-oF reads are idempotent: resend expired ones
+                    # (§5.4); errors mean a prolonged failure, handled by
+                    # the degraded path on the retry round.
+                    self._mark_prolonged_failures(waiter)
+                    retry.append(seg)
+                    continue
+                if buffer is not None:
+                    comp = next(c for c in waiter.completions if c.kind == "read")
+                    buffer[seg.io_offset : seg.io_offset + seg.length] = comp.data
+            if retry:
+                attempts += 1
+                if attempts > self.max_retries:
+                    raise IoError(f"{self.name}: read failed on stripe {ext.stripe}")
+                failed = self.failed_in_stripe(ext.stripe)
+                still_healthy = [s for s in retry if s.drive not in failed]
+                lost = [s for s in retry if s.drive in failed]
+                if lost:
+                    yield from self._degraded_read(ext, [], lost, buffer)
+                pending = still_healthy
+            else:
+                pending = []
+
+    def _degraded_read(self, ext: StripeExtent, healthy, lost, buffer):
+        """§6.1: merge normal reads into the reconstruction broadcast."""
+        g = self.geometry
+        remaining_healthy = {s.drive: s for s in healthy}
+        for order, seg in enumerate(lost):
+            self.stats.degraded_reads += 1
+            self.stats.remote_reconstructions += 1
+            lost_index = g.data_index_of_drive(ext.stripe, seg.drive)
+            participants = self._recon_participants(ext)
+            region = (seg.chunk_offset, seg.length)
+            reducer = self._server_of(
+                self.selector.pick([d for d, _ in participants], seg.length)
+            )
+            cid = next_cid()
+            also_read = 0
+            folded = []
+            for drive, source in participants:
+                read_segment = None
+                if order == 0 and drive in remaining_healthy:
+                    h = remaining_healthy.pop(drive)
+                    read_segment = (h.chunk_offset, h.length, h.io_offset)
+                    folded.append(h)
+                    also_read += 1
+                cmd = self._recon_cmd(
+                    cid,
+                    subtype=Subtype.ALSO_READ if read_segment else Subtype.NO_READ,
+                    chunk_drive_offset=ext.stripe * g.chunk_bytes,
+                    region_offset=region[0],
+                    region_length=region[1],
+                    source=source,
+                    reducer=reducer,
+                    wait_num=len(participants) - 1,
+                    lost=("data", lost_index),
+                    num_data=g.data_per_stripe,
+                    read_segment=read_segment,
+                    lost_io_offset=seg.io_offset,
+                )
+                self.host_ends[drive].send(cmd)
+            waiter = self._register(cid, {"recon": 1, "read": also_read})
+            expired = yield from self._await_op(cid, waiter)
+            if waiter.errors or expired:
+                # reconstruction reads are idempotent too: retry once with
+                # a fresh broadcast before giving up
+                self._mark_prolonged_failures(waiter)
+                # keep whatever normal-read payloads already arrived and
+                # re-read the folded segments that were lost with the op
+                received = set()
+                for comp in waiter.completions:
+                    if comp.kind == "read":
+                        received.add(comp.io_offset)
+                        if buffer is not None and comp.data is not None:
+                            buffer[comp.io_offset : comp.io_offset + len(comp.data)] = comp.data
+                missing = [h for h in folded if h.io_offset not in received]
+                if missing:
+                    yield from self._plain_reads(ext, missing, buffer)
+                cid2 = next_cid()
+                participants = self._recon_participants(ext)
+                reducer = self._server_of(
+                    self.selector.pick([d for d, _ in participants], seg.length)
+                )
+                for drive, source in participants:
+                    self.host_ends[drive].send(
+                        self._recon_cmd(
+                            cid2,
+                            subtype=Subtype.NO_READ,
+                            chunk_drive_offset=ext.stripe * g.chunk_bytes,
+                            region_offset=region[0],
+                            region_length=region[1],
+                            source=source,
+                            reducer=reducer,
+                            wait_num=len(participants) - 1,
+                            lost=("data", lost_index),
+                            num_data=g.data_per_stripe,
+                            lost_io_offset=seg.io_offset,
+                        )
+                    )
+                waiter = self._register(cid2, {"recon": 1})
+                expired = yield from self._await_op(cid2, waiter)
+                if waiter.errors or expired:
+                    raise IoError(
+                        f"{self.name}: degraded read failed on stripe {ext.stripe}"
+                    )
+            if buffer is not None:
+                for comp in waiter.completions:
+                    if comp.data is not None:
+                        buffer[comp.io_offset : comp.io_offset + len(comp.data)] = comp.data
+        # healthy segments not folded into any reconstruction broadcast
+        leftovers = list(remaining_healthy.values())
+        if leftovers:
+            yield from self._plain_reads(ext, leftovers, buffer)
+
+    def _recon_participants(self, ext: StripeExtent) -> List[Tuple[int, Tuple[str, int]]]:
+        """(server, source-role) pairs contributing to a reconstruction."""
+        g = self.geometry
+        participants: List[Tuple[int, Tuple[str, int]]] = []
+        failed = self.failed_in_stripe(ext.stripe)
+        lost_data = 0
+        for d in range(g.data_per_stripe):
+            drive = g.data_drive(ext.stripe, d)
+            if drive in failed:
+                lost_data += 1
+            else:
+                participants.append((drive, ("data", d)))
+        alive_parities = [
+            (p, ("parity", idx))
+            for idx, p in enumerate(ext.parity_drives)
+            if p not in failed
+        ]
+        participants.extend(alive_parities[:lost_data])
+        return participants
+
+    def _recon_cmd(self, *args, **kwargs) -> ReconstructionCmd:
+        """ReconstructionCmd factory (EcDraidArray stamps its RS code on)."""
+        return ReconstructionCmd(*args, **kwargs)
+
+    def _server_of(self, drive: int) -> int:
+        """Server index hosting member ``drive``.
+
+        Identity for the normal topology; the offloaded-controller variant
+        (§7) skips the controller's own server slot.
+        """
+        return drive
+
+    # -- writes ----------------------------------------------------------------
+
+    def _write_extent(self, ext: StripeExtent, io_data):
+        # §3: the host-side controller admits one write per stripe.
+        self.bitmap.mark(ext.stripe)
+        yield self.locks.acquire(ext.stripe)
+        try:
+            ok = yield from self._write_extent_once(ext, io_data)
+            attempts = 0
+            while not ok:
+                # §5.4: explicit full-stripe retry after timeout/failure.
+                attempts += 1
+                if attempts > self.max_retries:
+                    raise IoError(f"{self.name}: write failed on stripe {ext.stripe}")
+                self.stats.retries += 1
+                ok = yield from self._write_host_fallback(ext, io_data)
+        finally:
+            self.locks.release(ext.stripe)
+            self.bitmap.clear(ext.stripe)
+
+    def _write_extent_once(self, ext: StripeExtent, io_data):
+        """One attempt at the optimal disaggregated write path.
+
+        Returns True on clean completion, False if a retry is needed.
+        """
+        failed = self.failed_in_stripe(ext.stripe)
+        failed_touched = [s for s in ext.segments if s.drive in failed]
+        failed_untouched_data = [
+            d for d in failed
+            if d not in ext.parity_drives and d not in {s.drive for s in ext.segments}
+        ]
+        mode = classify_write(self.geometry, ext)
+        if failed_touched:
+            self.stats.degraded_writes += 1
+            return (yield from self._write_degraded(ext, io_data, failed_touched))
+        if mode is WriteMode.FULL_STRIPE:
+            self.stats.full_stripe_writes += 1
+            return (yield from self._write_full(ext, io_data))
+        if mode is WriteMode.RECONSTRUCT_WRITE and not failed_untouched_data:
+            self.stats.rcw_writes += 1
+            return (yield from self._write_distributed(ext, io_data, rcw=True))
+        self.stats.rmw_writes += 1
+        if failed_untouched_data:
+            self.stats.degraded_writes += 1
+        return (yield from self._write_distributed(ext, io_data, rcw=False))
+
+    # .. full-stripe (host-side parity, §3) ....................................
+
+    def _write_full(self, ext: StripeExtent, io_data):
+        g = self.geometry
+        chunk = g.chunk_bytes
+        yield self._charge_xor(g.data_per_stripe, chunk)
+        p_block = q_block = None
+        if self.functional:
+            chunks = [self._seg_data(io_data, s) for s in ext.segments]
+            p_block = xor_blocks(chunks)
+            if g.level is RaidLevel.RAID6:
+                q_block = np.zeros(chunk, dtype=np.uint8)
+                for i, blk in enumerate(chunks):
+                    GF.mul_bytes_inplace_xor(q_block, GF.gen_pow(i), blk)
+        if g.level is RaidLevel.RAID6:
+            yield self._charge_gf(g.data_per_stripe, chunk)
+        failed = self.failed_in_stripe(ext.stripe)
+        cid = next_cid()
+        writes = 0
+        for seg in ext.segments:
+            if seg.drive in failed:
+                continue
+            self.host_ends[seg.drive].send(
+                NvmeOfCommand(cid, Opcode.WRITE, seg.drive_offset, seg.length,
+                              data=self._seg_data(io_data, seg))
+            )
+            writes += 1
+        for idx, p in enumerate(ext.parity_drives):
+            if p in failed:
+                continue
+            block = p_block if idx == 0 else q_block
+            self.host_ends[p].send(
+                NvmeOfCommand(cid, Opcode.WRITE, ext.parity_offset, chunk, data=block)
+            )
+            writes += 1
+        waiter = self._register(cid, {"write": writes})
+        expired = yield from self._await_op(cid, waiter)
+        if waiter.errors:
+            self._mark_prolonged_failures(waiter)
+        return not (waiter.errors or expired)
+
+    # .. the disaggregated partial-stripe write (§5) ...........................
+
+    def _write_distributed(self, ext: StripeExtent, io_data, rcw: bool):
+        g = self.geometry
+        chunk = g.chunk_bytes
+        alive_parities = [
+            (idx, p) for idx, p in enumerate(ext.parity_drives)
+            if not self.drive_failed(p, ext.stripe)
+        ]
+        if not alive_parities:
+            # no parity to maintain (e.g. RAID-5 with P failed): plain writes
+            return (yield from self._plain_segment_writes(ext, io_data))
+        if rcw:
+            fwd_off, fwd_len = 0, chunk
+            subtype_parity = Subtype.RW_READ  # no parity preread
+        else:
+            fwd_off, fwd_len = ext.parity_span()
+            subtype_parity = Subtype.RMW
+        cid = next_cid()
+        touched = {s.data_index: s for s in ext.segments}
+        # every data bdev participates in RCW; only touched ones in RMW
+        if rcw:
+            contributors = list(range(g.data_per_stripe))
+        else:
+            contributors = sorted(touched)
+        next_dest = self._server_of(alive_parities[0][1])
+        next_dest_parity = alive_parities[0][0]
+        next_dest2 = next_dest2_parity = None
+        if len(alive_parities) > 1:
+            next_dest2 = self._server_of(alive_parities[1][1])
+            next_dest2_parity = alive_parities[1][0]
+        writers = 0
+        for d in contributors:
+            seg = touched.get(d)
+            drive = g.data_drive(ext.stripe, d)
+            if rcw:
+                subtype = Subtype.RW_WRITE if seg is not None else Subtype.RW_READ
+                cmd_fwd_off, cmd_fwd_len = 0, chunk
+            else:
+                subtype = Subtype.RMW
+                cmd_fwd_off, cmd_fwd_len = seg.chunk_offset, seg.length
+            cmd = PartialWriteCmd(
+                cid,
+                subtype=subtype,
+                drive_offset=seg.drive_offset if seg else 0,
+                length=seg.length if seg else 0,
+                chunk_offset=seg.chunk_offset if seg else 0,
+                data_index=d,
+                fwd_offset=cmd_fwd_off,
+                fwd_length=cmd_fwd_len,
+                next_dest=next_dest,
+                next_dest2=next_dest2,
+                next_dest_parity=next_dest_parity,
+                next_dest2_parity=next_dest2_parity if next_dest2 is not None else 1,
+                chunk_drive_offset=ext.stripe * chunk,
+                parity_key=cid,
+                data=self._seg_data(io_data, seg) if seg is not None else None,
+            )
+            self.host_ends[drive].send(cmd)
+            if seg is not None:
+                writers += 1
+        for idx, p in alive_parities:
+            self.host_ends[p].send(
+                ParityCmd(
+                    cid,
+                    subtype=subtype_parity,
+                    parity_drive_offset=ext.parity_offset,
+                    fwd_offset=fwd_off,
+                    fwd_length=fwd_len,
+                    wait_num=len(contributors),
+                    parity_index=idx,
+                    key=cid,
+                )
+            )
+        waiter = self._register(cid, {"data": writers, "parity": len(alive_parities)})
+        expired = yield from self._await_op(cid, waiter)
+        if waiter.errors:
+            self._mark_prolonged_failures(waiter)
+        return not (waiter.errors or expired)
+
+    def _plain_segment_writes(self, ext: StripeExtent, io_data):
+        cid = next_cid()
+        writes = 0
+        failed = self.failed_in_stripe(ext.stripe)
+        for seg in ext.segments:
+            if seg.drive in failed:
+                continue
+            self.host_ends[seg.drive].send(
+                NvmeOfCommand(cid, Opcode.WRITE, seg.drive_offset, seg.length,
+                              data=self._seg_data(io_data, seg))
+            )
+            writes += 1
+        waiter = self._register(cid, {"write": writes})
+        expired = yield from self._await_op(cid, waiter)
+        if waiter.errors:
+            self._mark_prolonged_failures(waiter)
+        return not (waiter.errors or expired)
+
+    # .. degraded write touching failed chunks (§3 host participation) .........
+
+    def _write_degraded(self, ext: StripeExtent, io_data, failed_touched):
+        """Write that touches a failed data chunk.
+
+        Common case (the write covers *only* the failed chunk, one data
+        failure): region-scoped distributed reconstruct-write.  Parity over
+        the written region is the (weighted) sum of the other chunks' same
+        region plus the new data, so every surviving data bdev forwards its
+        region (RW_READ) and the host contributes the new data as one extra
+        partial (wait-num + 1) — no old-parity read, no reconstruction of
+        the failed chunk, cost proportional to the I/O size (Fig. 18/30's
+        small degraded-write penalty).
+
+        Mixed or multi-failure cases are rare (multi-chunk writes) and go
+        through the §5.4 host-side full-stripe path.
+        """
+        g = self.geometry
+        chunk = g.chunk_bytes
+        failed = self.failed_in_stripe(ext.stripe)
+        alive_parities = [
+            (idx, p) for idx, p in enumerate(ext.parity_drives) if p not in failed
+        ]
+        if not alive_parities:
+            return (yield from self._plain_segment_writes(ext, io_data))
+        only_failed_chunk = (
+            len(failed_touched) == len(ext.segments) == 1
+            and len(failed - set(ext.parity_drives)) == 1
+        )
+        if not only_failed_chunk:
+            return (yield from self._write_host_fallback(ext, io_data))
+        seg = failed_touched[0]
+        failed_index = g.data_index_of_drive(ext.stripe, seg.drive)
+        region_offset, region_len = seg.chunk_offset, seg.length
+        cid = next_cid()
+        next_dest = self._server_of(alive_parities[0][1])
+        next_dest_parity = alive_parities[0][0]
+        next_dest2 = next_dest2_parity = None
+        if len(alive_parities) > 1:
+            next_dest2 = self._server_of(alive_parities[1][1])
+            next_dest2_parity = alive_parities[1][0]
+        contributors = 0
+        for d in range(g.data_per_stripe):
+            drive = g.data_drive(ext.stripe, d)
+            if drive in failed:
+                continue
+            self.host_ends[drive].send(
+                PartialWriteCmd(
+                    cid,
+                    subtype=Subtype.RW_READ,
+                    drive_offset=0,
+                    length=0,
+                    chunk_offset=0,
+                    data_index=d,
+                    fwd_offset=region_offset,
+                    fwd_length=region_len,
+                    next_dest=next_dest,
+                    next_dest2=next_dest2,
+                    next_dest_parity=next_dest_parity,
+                    next_dest2_parity=next_dest2_parity if next_dest2 is not None else 1,
+                    chunk_drive_offset=ext.stripe * chunk,
+                    parity_key=cid,
+                )
+            )
+            contributors += 1
+        # the host's own partial: the failed chunk's new data for the region
+        new_data = self._seg_data(io_data, seg)
+        for idx, p in alive_parities:
+            block = None
+            if self.functional:
+                block = (
+                    new_data.copy()
+                    if idx == 0
+                    else GF.mul_bytes(GF.gen_pow(failed_index), new_data)
+                )
+            if idx == 1:
+                yield self._charge_gf(1, region_len)
+            self.host_ends[p].send(
+                PeerMsg(cid, key=cid, fwd_offset=region_offset, fwd_length=region_len,
+                        source=("data", failed_index), data=block)
+            )
+            self.host_ends[p].send(
+                ParityCmd(cid, subtype=Subtype.RW_READ,
+                          parity_drive_offset=ext.parity_offset,
+                          fwd_offset=region_offset, fwd_length=region_len,
+                          wait_num=contributors + 1, parity_index=idx, key=cid)
+            )
+        waiter = self._register(cid, {"parity": len(alive_parities)})
+        expired = yield from self._await_op(cid, waiter)
+        if waiter.errors:
+            self._mark_prolonged_failures(waiter)
+        return not (waiter.errors or expired)
+
+    # .. §5.4 full-stripe retry / host fallback ...............................
+
+    def _write_host_fallback(self, ext: StripeExtent, io_data):
+        """Degraded-aware full-stripe write executed by the host.
+
+        Reads every stripe region the write does not cover (through the
+        normal degraded-aware read path), computes parity locally, and
+        rewrites the whole stripe.  Used for §5.4 retries and for RAID-6
+        double-data-failure writes.
+        """
+        g = self.geometry
+        chunk = g.chunk_bytes
+        gaps = self._stripe_gaps(ext)
+        stripe_base = ext.stripe * g.stripe_data_bytes
+        gap_buffers: List[Optional[np.ndarray]] = []
+        for d, off, length in gaps:
+            user_offset = stripe_base + d * chunk + off
+            gap_ext, = g.map_extent(user_offset, length)
+            buffer = np.zeros(length, dtype=np.uint8) if self.functional else None
+            yield from self._read_extent(gap_ext, buffer, user_offset)
+            gap_buffers.append(buffer)
+        yield self._charge_xor(g.data_per_stripe, chunk)
+        p_block = q_block = None
+        stripe_img = None
+        if self.functional:
+            stripe_img = self._assemble_stripe(ext, io_data, gaps, gap_buffers)
+            p_block = xor_blocks(stripe_img)
+            if g.level is RaidLevel.RAID6:
+                q_block = np.zeros(chunk, dtype=np.uint8)
+                for i, blk in enumerate(stripe_img):
+                    GF.mul_bytes_inplace_xor(q_block, GF.gen_pow(i), blk)
+        if g.level is RaidLevel.RAID6:
+            yield self._charge_gf(g.data_per_stripe, chunk)
+        cid = next_cid()
+        writes = 0
+        failed = self.failed_in_stripe(ext.stripe)
+        for d in range(g.data_per_stripe):
+            drive = g.data_drive(ext.stripe, d)
+            if drive in failed:
+                continue
+            block = stripe_img[d] if stripe_img is not None else None
+            self.host_ends[drive].send(
+                NvmeOfCommand(cid, Opcode.WRITE, ext.stripe * chunk, chunk, data=block)
+            )
+            writes += 1
+        for idx, p in enumerate(ext.parity_drives):
+            if p in failed:
+                continue
+            block = p_block if idx == 0 else q_block
+            self.host_ends[p].send(
+                NvmeOfCommand(cid, Opcode.WRITE, ext.parity_offset, chunk, data=block)
+            )
+            writes += 1
+        waiter = self._register(cid, {"write": writes})
+        expired = yield from self._await_op(cid, waiter)
+        if waiter.errors:
+            self._mark_prolonged_failures(waiter)
+        return not (waiter.errors or expired)

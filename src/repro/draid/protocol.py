@@ -1,0 +1,168 @@
+"""The dRAID protocol: a compatible extension of NVMe-oF (§4).
+
+Four opcodes are added to standard read/write:
+
+* ``PartialWrite`` — host -> data bdev: write a segment and produce a
+  partial parity.
+* ``Parity`` — host -> parity bdev: expect ``wait_num`` partial parities,
+  reduce them and persist the result.
+* ``Reconstruction`` — host -> surviving bdev: contribute a region of your
+  chunk to a designated reducer (optionally serving a normal read at the
+  same time, subtype ``AlsoRead``).
+* ``Peer`` — bdev -> bdev: partial result available for fetching.
+
+Subtypes change behaviour per opcode (§5.1): ``RMW`` (read old data, XOR
+delta), ``RW_WRITE`` (reconstruct-write for a chunk being written: read the
+chunk complement, forward the full new chunk image), ``RW_READ``
+(reconstruct-write for an untouched chunk: read and forward it),
+``ALSO_READ`` / ``NO_READ`` for reconstruction participants.
+
+The dataclasses below carry exactly the fields Figure 5 lists (offset,
+length, fwd-offset, fwd-length, subtype, next-dest, wait-num, plus the
+RAID-6 extras next-dest2 / data-idx); payload arrays are a functional-mode
+convenience and are not charged to the network (payload bytes are moved by
+explicit one-sided reads/writes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Any, Optional, Tuple
+
+
+class DraidOp(Enum):
+    PARTIAL_WRITE = "partial-write"
+    PARITY = "parity"
+    RECONSTRUCTION = "reconstruction"
+    PEER = "peer"
+
+
+class Subtype(Enum):
+    RMW = "rmw"
+    RW_WRITE = "rw-write"
+    RW_READ = "rw-read"
+    ALSO_READ = "also-read"
+    NO_READ = "no-read"
+
+
+@dataclass
+class PartialWriteCmd:
+    """Host -> data bdev: write ``length`` bytes and forward a partial parity."""
+
+    cid: int
+    subtype: Subtype
+    #: location of the write on the member drive
+    drive_offset: int
+    length: int
+    #: offset of the segment within its chunk
+    chunk_offset: int
+    #: logical data-chunk index (RAID-6 Q coefficient = g^data_index)
+    data_index: int
+    #: region of the chunk the forwarded partial covers
+    fwd_offset: int
+    fwd_length: int
+    #: server index of the first parity reducer
+    next_dest: int
+    #: server index of the second parity reducer (RAID-6 only)
+    next_dest2: Optional[int] = None
+    #: parity role of next_dest (0 = P: raw delta; 1 = Q: g^i-weighted)
+    next_dest_parity: int = 0
+    #: parity role of next_dest2
+    next_dest2_parity: int = 1
+    #: stripe-relative drive offset of the chunk start
+    chunk_drive_offset: int = 0
+    #: reduction key echoed in Peer messages (= parity chunk drive offset;
+    #: unique per in-flight write because stripes admit one write at a time)
+    parity_key: int = 0
+    #: generic erasure codes (§7): explicit (server, GF coefficient) pairs
+    #: for every parity destination; overrides next_dest/next_dest2
+    dests: Optional[Tuple[Tuple[int, int], ...]] = None
+    #: new data (functional mode)
+    data: Optional[Any] = None
+
+
+@dataclass
+class ParityCmd:
+    """Host -> parity bdev: collect partials, reduce, persist (§5.2)."""
+
+    cid: int
+    subtype: Subtype
+    #: drive offset of the parity chunk
+    parity_drive_offset: int
+    #: region of the parity chunk being updated
+    fwd_offset: int
+    fwd_length: int
+    #: how many partial parities to expect
+    wait_num: int
+    #: 0 = P, 1 = Q
+    parity_index: int = 0
+    #: reduction key matching PartialWriteCmd.parity_key / PeerMsg.key
+    key: int = 0
+
+
+@dataclass
+class PeerMsg:
+    """bdev -> bdev signal: a partial result is ready to be fetched (§5.1).
+
+    ``key`` groups partials of the same reduction; dRAID uses the parity
+    chunk's drive offset because only one write runs per stripe at a time.
+    """
+
+    cid: int
+    key: int
+    fwd_offset: int
+    fwd_length: int
+    #: ('data', index) or ('parity', parity_index) — lets a reconstruction
+    #: reducer run the correct decode; plain XOR reductions ignore it.
+    source: Tuple[str, int]
+    #: the partial result (functional mode)
+    data: Optional[Any] = None
+
+
+@dataclass
+class ReconstructionCmd:
+    """Host -> surviving bdev: participate in rebuilding a lost region (§6.1)."""
+
+    cid: int
+    subtype: Subtype  #: ALSO_READ or NO_READ
+    #: drive offset of this bdev's chunk in the stripe
+    chunk_drive_offset: int
+    #: region of the chunk to contribute (same for every participant)
+    region_offset: int
+    region_length: int
+    #: this bdev's role: ('data', index) or ('parity', parity_index)
+    source: Tuple[str, int]
+    #: server index of the reducer
+    reducer: int
+    #: reducer only: number of peer partials to expect
+    wait_num: int = 0
+    #: reducer only: identity of the lost chunk ('data', idx) / ('parity', i)
+    lost: Optional[Tuple[str, int]] = None
+    #: reducer only: how many data chunks the stripe has (for decode)
+    num_data: int = 0
+    #: ALSO_READ only: normal-read segment (chunk_offset, length, io_offset)
+    read_segment: Optional[Tuple[int, int, int]] = None
+    #: reducer only: where the rebuilt region lands in the user I/O buffer
+    lost_io_offset: int = 0
+    #: generic erasure codes (§7): (k, m) of the Reed-Solomon code the
+    #: reducer must decode with (None = RAID-5/6 parity math)
+    code_km: Optional[Tuple[int, int]] = None
+
+
+@dataclass
+class DraidCompletion:
+    """Server -> host completion/callback.
+
+    ``kind`` distinguishes the multiple callbacks one dRAID operation can
+    produce: per-data-bdev write callbacks (§5.3), the parity bdev's reduce
+    completion, reconstruction results and plain read/write completions.
+    """
+
+    cid: int
+    kind: str  #: 'read' | 'write' | 'data' | 'parity' | 'recon'
+    ok: bool = True
+    data: Optional[Any] = None
+    #: destination offset within the user I/O buffer (read payloads)
+    io_offset: int = 0
+    error: Optional[str] = None

@@ -1,0 +1,29 @@
+"""Erasure coding: GF(2^8) arithmetic, RAID-5/6 parity and Reed-Solomon.
+
+Unlike the performance-simulation layers of this repository, this package
+performs *real* computation on real bytes.  It mirrors what ISA-L provides
+to the paper's prototype: XOR parity for RAID-5, P+Q parity for RAID-6
+(H. P. Anvin, "The mathematics of RAID-6") and a generic systematic
+Reed-Solomon code used to demonstrate the paper's §7 claim that dRAID
+generalizes to other erasure-coding schemes.
+"""
+
+from repro.ec.gf import GF256
+from repro.ec.parity import (
+    raid5_parity,
+    raid5_reconstruct,
+    raid6_pq,
+    raid6_reconstruct,
+    xor_blocks,
+)
+from repro.ec.rs import ReedSolomon
+
+__all__ = [
+    "GF256",
+    "ReedSolomon",
+    "raid5_parity",
+    "raid5_reconstruct",
+    "raid6_pq",
+    "raid6_reconstruct",
+    "xor_blocks",
+]

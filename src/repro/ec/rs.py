@@ -1,0 +1,97 @@
+"""Systematic Reed-Solomon erasure codes over GF(2^8).
+
+The paper (§7) argues that dRAID generalizes beyond RAID-5/6 to arbitrary
+erasure codes because most codes are linear and thus their parities can be
+generated as an order-independent sum of per-device partial results.  This
+module provides that generalization: a systematic (k+m, k) Reed-Solomon
+code built from a Vandermonde matrix reduced so the first k rows form the
+identity.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.ec.gf import GF
+
+
+class ReedSolomon:
+    """A systematic (k+m, k) Reed-Solomon erasure code.
+
+    ``k`` data shards, ``m`` parity shards; any ``k`` of the ``k+m`` shards
+    reconstruct the original data.
+    """
+
+    def __init__(self, k: int, m: int) -> None:
+        if k < 1 or m < 0:
+            raise ValueError(f"invalid code parameters k={k}, m={m}")
+        if k + m > 255:
+            raise ValueError(f"k+m={k + m} exceeds GF(2^8) limit of 255 shards")
+        self.k = k
+        self.m = m
+        self.encode_matrix = self._systematic_matrix(k, m)
+        # rows k..k+m-1 are the parity-generation coefficients
+        self.parity_matrix = self.encode_matrix[k:, :]
+
+    @staticmethod
+    def _systematic_matrix(k: int, m: int) -> np.ndarray:
+        """Vandermonde matrix reduced so the top k x k block is identity.
+
+        Row-reducing preserves the MDS property (every k x k submatrix
+        stays invertible) while making the code systematic.
+        """
+        v = GF.vandermonde(k + m, k)
+        top_inv = GF.mat_inv(v[:k, :])
+        return GF.mat_mul(v, top_inv)
+
+    # -- encoding -----------------------------------------------------------
+
+    def encode(self, data_shards: Sequence) -> List[np.ndarray]:
+        """Compute the m parity shards for k equal-length data shards."""
+        shards = [np.asarray(np.frombuffer(s, dtype=np.uint8) if isinstance(s, (bytes, bytearray)) else s, dtype=np.uint8) for s in data_shards]
+        if len(shards) != self.k:
+            raise ValueError(f"expected {self.k} data shards, got {len(shards)}")
+        length = len(shards[0])
+        for s in shards:
+            if len(s) != length:
+                raise ValueError("data shards must have equal length")
+        parities = []
+        for row in range(self.m):
+            acc = np.zeros(length, dtype=np.uint8)
+            for col in range(self.k):
+                GF.mul_bytes_inplace_xor(acc, int(self.parity_matrix[row, col]), shards[col])
+            parities.append(acc)
+        return parities
+
+    def partial_parity(self, shard_index: int, block) -> List[np.ndarray]:
+        """Per-device partial contribution of one data shard to every parity.
+
+        XOR-ing the partial parities of all k data shards yields the full
+        parity set — the dRAID reduce-phase generalized to m parities.
+        """
+        if not 0 <= shard_index < self.k:
+            raise ValueError(f"shard index {shard_index} out of range")
+        arr = np.asarray(np.frombuffer(block, dtype=np.uint8) if isinstance(block, (bytes, bytearray)) else block, dtype=np.uint8)
+        return [
+            GF.mul_bytes(int(self.parity_matrix[row, shard_index]), arr)
+            for row in range(self.m)
+        ]
+
+    # -- decoding -----------------------------------------------------------
+
+    def decode(self, shards: Dict[int, np.ndarray], length: int) -> List[np.ndarray]:
+        """Recover the k data shards from any k surviving shards.
+
+        ``shards`` maps global shard index (0..k+m-1; parities start at k)
+        to the surviving block.  Returns the k data shards in order.
+        """
+        if len(shards) < self.k:
+            raise ValueError(f"need at least {self.k} shards, got {len(shards)}")
+        indices = sorted(shards)[: self.k]
+        sub = self.encode_matrix[indices, :]
+        inv = GF.mat_inv(sub)
+        stacked = np.stack([np.asarray(shards[i], dtype=np.uint8) for i in indices])
+        recovered = GF.mat_mul(inv, stacked)
+        return [recovered[i, :length].copy() for i in range(self.k)]

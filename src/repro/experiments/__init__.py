@@ -1,0 +1,24 @@
+"""Experiment harnesses reproducing every table and figure of the paper.
+
+Each experiment in :data:`repro.experiments.registry.EXPERIMENTS` maps a
+paper table/figure id to a runner that executes the corresponding sweep on
+the simulated testbed and returns rows shaped like the paper's plot axes.
+The benchmark suite (``benchmarks/``) wraps these runners one-per-figure.
+"""
+
+from repro.experiments.common import (
+    SYSTEMS,
+    build_array,
+    fio_point,
+    nic_goodput_mb_s,
+)
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+
+__all__ = [
+    "EXPERIMENTS",
+    "SYSTEMS",
+    "build_array",
+    "fio_point",
+    "nic_goodput_mb_s",
+    "run_experiment",
+]

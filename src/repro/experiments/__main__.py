@@ -1,0 +1,69 @@
+"""Command-line entry point: regenerate paper tables/figures.
+
+Usage::
+
+    python -m repro.experiments fig10            # one figure, fast windows
+    python -m repro.experiments fig10 --full     # longer measurement windows
+    python -m repro.experiments --list           # what is available
+    python -m repro.experiments --all            # everything (takes minutes)
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+import time
+
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+from repro.metrics.report import rows_to_csv
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate dRAID paper tables and figures in simulation.",
+    )
+    parser.add_argument("experiments", nargs="*", help="experiment ids (e.g. fig10)")
+    parser.add_argument("--list", action="store_true", help="list experiment ids")
+    parser.add_argument("--all", action="store_true", help="run every experiment")
+    parser.add_argument(
+        "--full", action="store_true",
+        help="longer measurement windows (more stable numbers, slower)",
+    )
+    parser.add_argument(
+        "--csv", metavar="DIR", default=None,
+        help="also write each experiment's rows as <DIR>/<id>.csv",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for exp_id in EXPERIMENTS:
+            print(exp_id)
+        return 0
+    targets = list(EXPERIMENTS) if args.all else args.experiments
+    if not targets:
+        parser.print_help()
+        return 2
+    unknown = [t for t in targets if t not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiments: {', '.join(unknown)}", file=sys.stderr)
+        print(f"known: {', '.join(EXPERIMENTS)}", file=sys.stderr)
+        return 2
+    for exp_id in targets:
+        start = time.time()
+        if args.csv:
+            title, rows = EXPERIMENTS[exp_id](not args.full)
+            directory = pathlib.Path(args.csv)
+            directory.mkdir(parents=True, exist_ok=True)
+            (directory / f"{exp_id}.csv").write_text(rows_to_csv(rows))
+            print(f"{title} -> {directory / (exp_id + '.csv')}")
+        else:
+            print(run_experiment(exp_id, fast=not args.full))
+        print(f"[{exp_id}: {time.time() - start:.1f}s]")
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

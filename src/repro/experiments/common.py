@@ -1,0 +1,108 @@
+"""Shared experiment plumbing: system registry, cluster/array builders and
+single-point FIO runs (§9.1 methodology).
+
+Defaults mirror the paper: 128 KiB I/O, 512 KiB chunk, 8 remote targets,
+RAID-5, 100 Gbps NICs.  ``fast=True`` shortens measurement windows so the
+full benchmark suite completes in minutes; set ``REPRO_FULL=1`` for longer
+windows.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Optional, Sequence
+
+from repro.baselines import MdRaid, SpdkRaid
+from repro.cluster import ClusterConfig, build_cluster
+from repro.draid import DraidArray
+from repro.net.nic import GOODPUT_100G
+from repro.raid.geometry import RaidGeometry, RaidLevel
+from repro.sim import Environment
+from repro.workloads import FioWorkload
+from repro.workloads.fio import FioResult
+
+KB = 1024
+MB = 1_000_000
+
+#: Comparison systems, named as in the paper's figures.
+SYSTEMS: Dict[str, type] = {
+    "Linux": MdRaid,
+    "SPDK": SpdkRaid,
+    "dRAID": DraidArray,
+}
+
+DEFAULT_SERVERS = 8
+DEFAULT_CHUNK = 512 * KB
+DEFAULT_IO = 128 * KB
+DEFAULT_QD = 64
+
+
+def full_mode() -> bool:
+    return os.environ.get("REPRO_FULL", "") not in ("", "0")
+
+
+def measure_window_ns(fast: bool = True) -> int:
+    return 60_000_000 if (full_mode() or not fast) else 15_000_000
+
+
+def nic_goodput_mb_s() -> float:
+    """The paper's reference line: ~92 Gbps NIC goodput in MB/s."""
+    return GOODPUT_100G / MB
+
+
+def build_array(
+    system: str,
+    servers: int = DEFAULT_SERVERS,
+    level: RaidLevel = RaidLevel.RAID5,
+    chunk: int = DEFAULT_CHUNK,
+    server_nic_rates: Optional[Sequence[float]] = None,
+    failed_drives: Sequence[int] = (),
+    **array_kwargs,
+):
+    """Fresh environment + cluster + controller for one experiment point."""
+    if system not in SYSTEMS:
+        raise ValueError(f"unknown system {system!r}; pick from {sorted(SYSTEMS)}")
+    env = Environment()
+    cluster = build_cluster(
+        env,
+        ClusterConfig(num_servers=servers, server_nic_rates=server_nic_rates),
+    )
+    geometry = RaidGeometry(level, servers, chunk)
+    array = SYSTEMS[system](cluster, geometry, **array_kwargs)
+    for drive in failed_drives:
+        array.fail_drive(drive)
+    return array
+
+
+def fio_point(
+    system: str,
+    io_size: int = DEFAULT_IO,
+    read_fraction: float = 0.0,
+    servers: int = DEFAULT_SERVERS,
+    level: RaidLevel = RaidLevel.RAID5,
+    chunk: int = DEFAULT_CHUNK,
+    queue_depth: int = DEFAULT_QD,
+    failed_drives: Sequence[int] = (),
+    server_nic_rates: Optional[Sequence[float]] = None,
+    fast: bool = True,
+    seed: int = 1234,
+    **array_kwargs,
+) -> FioResult:
+    """Run one FIO measurement point on a fresh simulated testbed."""
+    array = build_array(
+        system,
+        servers=servers,
+        level=level,
+        chunk=chunk,
+        server_nic_rates=server_nic_rates,
+        failed_drives=failed_drives,
+        **array_kwargs,
+    )
+    fio = FioWorkload(
+        array,
+        io_size,
+        read_fraction=read_fraction,
+        queue_depth=queue_depth,
+        seed=seed,
+    )
+    return fio.run(measure_ns=measure_window_ns(fast))

@@ -1,0 +1,235 @@
+"""Registry: paper table/figure id -> experiment runner.
+
+Each runner takes ``fast`` (short measurement windows, slightly sparser
+sweeps) and returns ``(title, rows)``.  ``run_experiment`` executes one and
+renders its table.  Benchmarks in ``benchmarks/`` wrap these one-to-one.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from repro.analysis.table1 import architecture_table
+from repro.experiments import app_figures, fio_figures
+from repro.metrics.report import Row, format_table
+from repro.raid.geometry import RaidLevel
+
+R5, R6 = RaidLevel.RAID5, RaidLevel.RAID6
+
+#: Sweep points (full mode mirrors the paper's x axes; fast mode thins them).
+IO_SIZES_READ = [4, 8, 16, 32, 64, 128]
+IO_SIZES_WRITE_R5 = [4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 3584]
+IO_SIZES_WRITE_R6 = [4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 3072]
+CHUNK_SIZES = [32, 64, 128, 256, 512, 1024]
+WIDTHS = [4, 6, 8, 10, 12, 14, 16, 18]
+RATIOS = [0.0, 0.25, 0.5, 0.75, 1.0]
+QUEUE_DEPTHS = [1, 2, 4, 8, 16, 32, 64, 128]
+
+
+def _thin(points: Sequence, fast: bool, keep_every: int = 2) -> List:
+    """Drop every other interior point in fast mode (keep both endpoints)."""
+    if not fast or len(points) <= 4:
+        return list(points)
+    kept = [p for i, p in enumerate(points) if i % keep_every == 0]
+    if kept[-1] != points[-1]:
+        kept.append(points[-1])
+    return kept
+
+
+def run_table1(fast: bool = True) -> Tuple[str, List[Row]]:
+    table = architecture_table()
+    # Rendered analytically; rows carry the numeric overhead columns.
+    rows = [
+        Row("Single-Machine", "analytical", {"write_overhead_x": 1.0, "dread_overhead_x": 1.0}),
+        Row("Distributed", "analytical", {"write_overhead_x": 4.0, "dread_overhead_x": 7.0}),
+        Row("dRAID", "analytical", {"write_overhead_x": 1.0, "dread_overhead_x": 1.0}),
+    ]
+    return "Table 1: remote RAID architectures\n" + table, rows
+
+
+def run_fig09(fast: bool = True):
+    rows = fio_figures.sweep_io_size(R5, 1.0, _thin(IO_SIZES_READ, fast), servers=6, fast=fast)
+    return "Figure 9: RAID-5 normal-state read vs I/O size (6 targets)", rows
+
+
+def run_fig10(fast: bool = True):
+    rows = fio_figures.sweep_io_size(R5, 0.0, _thin(IO_SIZES_WRITE_R5, fast), fast=fast)
+    return "Figure 10: RAID-5 write vs I/O size", rows
+
+
+def run_fig11(fast: bool = True):
+    rows = fio_figures.sweep_chunk_size(R5, _thin(CHUNK_SIZES, fast), fast=fast)
+    return "Figure 11: RAID-5 write vs chunk size", rows
+
+
+def run_fig12(fast: bool = True):
+    rows = fio_figures.sweep_stripe_width(R5, _thin(WIDTHS, fast), fast=fast)
+    return "Figure 12: RAID-5 write vs stripe width", rows
+
+
+def run_fig13(fast: bool = True):
+    rows = fio_figures.sweep_read_ratio(R5, RATIOS, fast=fast)
+    return "Figure 13: RAID-5 write vs read/write ratio", rows
+
+
+def run_fig14(fast: bool = True):
+    qds = _thin(QUEUE_DEPTHS, fast)
+    rows = fio_figures.latency_curve(R5, 0.0, qds, fast=fast)
+    for row in rows:
+        row.x = f"wo-qd{row.x}"
+    mixed = fio_figures.latency_curve(R5, 0.5, qds, fast=fast)
+    for row in mixed:
+        row.x = f"rw-qd{row.x}"
+    return "Figure 14: RAID-5 latency vs bandwidth (write-only and 50/50)", rows + mixed
+
+
+def run_fig15(fast: bool = True):
+    rows = fio_figures.sweep_io_size(
+        R5, 1.0, _thin(IO_SIZES_READ, fast), failed_drives=(0,), fast=fast
+    )
+    return "Figure 15: RAID-5 degraded read vs I/O size", rows
+
+
+def run_fig16(fast: bool = True):
+    rows = fio_figures.sweep_stripe_width(
+        R5, _thin(WIDTHS, fast), read_fraction=1.0, failed=True, fast=fast
+    )
+    return "Figure 16: RAID-5 degraded read vs stripe width", rows
+
+
+def run_fig17(fast: bool = True):
+    rows = fio_figures.reconstruction_scalability(R5, _thin(WIDTHS, fast), fast=fast)
+    for row in rows:
+        row.x = f"width-{row.x}"
+    aware = fio_figures.bandwidth_aware_comparison(
+        load_points=_thin([4, 8, 16, 32, 64], fast), fast=fast
+    )
+    for row in aware:
+        row.x = f"qd-{row.x}"
+    return "Figure 17: reconstruction scalability and BW-aware reducer", rows + aware
+
+
+def run_fig18(fast: bool = True):
+    rows = fio_figures.sweep_io_size(
+        R5, 0.0, _thin(IO_SIZES_READ, fast), failed_drives=(0,), fast=fast
+    )
+    return "Figure 18: RAID-5 degraded write vs I/O size", rows
+
+
+def run_fig19(fast: bool = True):
+    rows = app_figures.lsm_ycsb(degraded=False, fast=fast)
+    for row in rows:
+        row.x = f"{row.x}-normal"
+    degraded = app_figures.lsm_ycsb(degraded=True, fast=fast)
+    for row in degraded:
+        row.x = f"{row.x}-degraded"
+    return "Figure 19: LSM KV store (RocksDB stand-in) YCSB throughput", rows + degraded
+
+
+def run_fig20(fast: bool = True):
+    rows = app_figures.objectstore_ycsb(degraded=False, fast=fast)
+    return "Figure 20: object store on normal-state RAID-5", rows
+
+
+def run_fig21(fast: bool = True):
+    rows = app_figures.objectstore_ycsb(degraded=True, fast=fast)
+    return "Figure 21: object store on degraded-state RAID-5", rows
+
+
+# -- Appendix A: RAID-6 -------------------------------------------------------
+
+
+def run_fig22(fast: bool = True):
+    rows = fio_figures.sweep_io_size(R6, 1.0, _thin(IO_SIZES_READ, fast), servers=6, fast=fast)
+    return "Figure 22: RAID-6 normal-state read vs I/O size", rows
+
+
+def run_fig23(fast: bool = True):
+    rows = fio_figures.sweep_io_size(R6, 0.0, _thin(IO_SIZES_WRITE_R6, fast), fast=fast)
+    return "Figure 23: RAID-6 write vs I/O size", rows
+
+
+def run_fig24(fast: bool = True):
+    rows = fio_figures.sweep_chunk_size(R6, _thin(CHUNK_SIZES, fast), fast=fast)
+    return "Figure 24: RAID-6 write vs chunk size", rows
+
+
+def run_fig25(fast: bool = True):
+    rows = fio_figures.sweep_stripe_width(R6, _thin(WIDTHS, fast), fast=fast)
+    return "Figure 25: RAID-6 write vs stripe width", rows
+
+
+def run_fig26(fast: bool = True):
+    rows = fio_figures.sweep_read_ratio(R6, RATIOS, fast=fast)
+    return "Figure 26: RAID-6 write vs read/write ratio", rows
+
+
+def run_fig27(fast: bool = True):
+    qds = _thin(QUEUE_DEPTHS, fast)
+    rows = fio_figures.latency_curve(R6, 0.0, qds, fast=fast)
+    for row in rows:
+        row.x = f"wo-qd{row.x}"
+    mixed = fio_figures.latency_curve(R6, 0.5, qds, fast=fast)
+    for row in mixed:
+        row.x = f"rw-qd{row.x}"
+    return "Figure 27: RAID-6 latency vs bandwidth", rows + mixed
+
+
+def run_fig28(fast: bool = True):
+    rows = fio_figures.sweep_io_size(
+        R6, 1.0, _thin(IO_SIZES_READ, fast), failed_drives=(0,), fast=fast
+    )
+    return "Figure 28: RAID-6 degraded read vs I/O size", rows
+
+
+def run_fig29(fast: bool = True):
+    rows = fio_figures.sweep_stripe_width(
+        R6, _thin(WIDTHS, fast), read_fraction=1.0, failed=True, fast=fast
+    )
+    return "Figure 29: RAID-6 degraded read vs stripe width", rows
+
+
+def run_fig30(fast: bool = True):
+    rows = fio_figures.sweep_io_size(
+        R6, 0.0, _thin(IO_SIZES_READ, fast), failed_drives=(0,), fast=fast
+    )
+    return "Figure 30: RAID-6 degraded write vs I/O size", rows
+
+
+EXPERIMENTS: Dict[str, Callable[[bool], Tuple[str, List[Row]]]] = {
+    "table1": run_table1,
+    "fig09": run_fig09,
+    "fig10": run_fig10,
+    "fig11": run_fig11,
+    "fig12": run_fig12,
+    "fig13": run_fig13,
+    "fig14": run_fig14,
+    "fig15": run_fig15,
+    "fig16": run_fig16,
+    "fig17": run_fig17,
+    "fig18": run_fig18,
+    "fig19": run_fig19,
+    "fig20": run_fig20,
+    "fig21": run_fig21,
+    "fig22": run_fig22,
+    "fig23": run_fig23,
+    "fig24": run_fig24,
+    "fig25": run_fig25,
+    "fig26": run_fig26,
+    "fig27": run_fig27,
+    "fig28": run_fig28,
+    "fig29": run_fig29,
+    "fig30": run_fig30,
+}
+
+
+def run_experiment(exp_id: str, fast: bool = True) -> str:
+    """Run one experiment and return its rendered table."""
+    if exp_id not in EXPERIMENTS:
+        raise KeyError(f"unknown experiment {exp_id!r}; known: {sorted(EXPERIMENTS)}")
+    title, rows = EXPERIMENTS[exp_id](fast)
+    if not rows:
+        return title
+    x_label = "x"
+    metric_order = ["bandwidth_mb_s", "avg_latency_us"] if "bandwidth_mb_s" in rows[0].metrics else []
+    return format_table(title, rows, x_label=x_label, metric_order=metric_order)

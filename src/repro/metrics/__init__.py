@@ -1,0 +1,14 @@
+"""Measurement utilities: latency distributions and throughput windows."""
+
+from repro.metrics.latency import LatencySummary, LatencyRecorder
+from repro.metrics.report import Row, format_table
+from repro.metrics.timeline import ThroughputTimeline, TimelineSample
+
+__all__ = [
+    "LatencyRecorder",
+    "LatencySummary",
+    "Row",
+    "ThroughputTimeline",
+    "TimelineSample",
+    "format_table",
+]

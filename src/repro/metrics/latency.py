@@ -1,0 +1,74 @@
+"""Latency recording and summarization."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """Summary statistics of a latency sample, in nanoseconds."""
+
+    count: int
+    mean_ns: float
+    p50_ns: float
+    p90_ns: float
+    p99_ns: float
+    max_ns: float
+
+    @property
+    def mean_us(self) -> float:
+        return self.mean_ns / 1_000
+
+    @property
+    def p99_us(self) -> float:
+        return self.p99_ns / 1_000
+
+    @staticmethod
+    def empty() -> "LatencySummary":
+        return LatencySummary(0, 0.0, 0.0, 0.0, 0.0, 0.0)
+
+
+class LatencyRecorder:
+    """Collects per-operation latencies (exact, not sketched).
+
+    Simulated experiments complete at most a few tens of thousands of
+    operations, so keeping every sample is cheap and exact.
+    """
+
+    def __init__(self) -> None:
+        self._samples: List[int] = []
+
+    def record(self, latency_ns: int) -> None:
+        if latency_ns < 0:
+            raise ValueError(f"negative latency {latency_ns}")
+        self._samples.append(latency_ns)
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    def reset(self) -> None:
+        self._samples.clear()
+
+    def _percentile(self, sorted_samples: List[int], q: float) -> float:
+        if not sorted_samples:
+            return 0.0
+        idx = q * (len(sorted_samples) - 1)
+        lo = int(idx)
+        hi = min(lo + 1, len(sorted_samples) - 1)
+        frac = idx - lo
+        return sorted_samples[lo] * (1 - frac) + sorted_samples[hi] * frac
+
+    def summarize(self) -> LatencySummary:
+        if not self._samples:
+            return LatencySummary.empty()
+        ordered = sorted(self._samples)
+        return LatencySummary(
+            count=len(ordered),
+            mean_ns=sum(ordered) / len(ordered),
+            p50_ns=self._percentile(ordered, 0.50),
+            p90_ns=self._percentile(ordered, 0.90),
+            p99_ns=self._percentile(ordered, 0.99),
+            max_ns=float(ordered[-1]),
+        )

@@ -1,0 +1,59 @@
+"""Plain-text result tables in the style the paper's figures report."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Sequence
+
+
+@dataclass
+class Row:
+    """One data point of an experiment: an x-value, a system, and metrics."""
+
+    x: Any
+    system: str
+    metrics: Dict[str, float] = field(default_factory=dict)
+
+
+def format_table(
+    title: str,
+    rows: Sequence[Row],
+    x_label: str = "x",
+    metric_order: Sequence[str] = (),
+) -> str:
+    """Render rows as a fixed-width table grouped by x-value."""
+    metrics: List[str] = list(metric_order)
+    for row in rows:
+        for key in row.metrics:
+            if key not in metrics:
+                metrics.append(key)
+    systems: List[str] = []
+    for row in rows:
+        if row.system not in systems:
+            systems.append(row.system)
+    lines = [title, "=" * len(title)]
+    header = f"{x_label:>12} {'system':>10}" + "".join(f"{m:>16}" for m in metrics)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in rows:
+        cells = "".join(
+            f"{row.metrics.get(m, float('nan')):>16.1f}" for m in metrics
+        )
+        lines.append(f"{str(row.x):>12} {row.system:>10}{cells}")
+    return "\n".join(lines)
+
+
+def rows_to_csv(rows: Sequence[Row]) -> str:
+    """Render rows as CSV (x, system, then one column per metric)."""
+    metrics: List[str] = []
+    for row in rows:
+        for key in row.metrics:
+            if key not in metrics:
+                metrics.append(key)
+    lines = ["x,system," + ",".join(metrics)]
+    for row in rows:
+        cells = ",".join(
+            f"{row.metrics[m]:.3f}" if m in row.metrics else "" for m in metrics
+        )
+        lines.append(f"{row.x},{row.system},{cells}")
+    return "\n".join(lines) + "\n"

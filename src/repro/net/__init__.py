@@ -1,0 +1,13 @@
+"""Simulated datacenter network: NICs, fabric and RDMA RC connections.
+
+The network model is bandwidth-conserving: every byte a transfer moves
+occupies the sender's TX direction and the receiver's RX direction for
+``bytes / rate``, with FIFO queueing per direction.  This captures exactly
+the quantity the paper's evaluation turns on — *which NIC carries how many
+bytes* — while abstracting packets, congestion control and DMA engines.
+"""
+
+from repro.net.nic import Nic
+from repro.net.fabric import ConnectionEnd, Fabric, RdmaConnection
+
+__all__ = ["ConnectionEnd", "Fabric", "Nic", "RdmaConnection"]

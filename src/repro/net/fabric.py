@@ -1,0 +1,147 @@
+"""The datacenter fabric and RDMA reliable connections.
+
+The fabric is a single-switch topology (as in the paper's testbed, one Dell
+Z9264) with a fixed propagation delay per traversal.  dRAID uses RDMA RC
+queue pairs between the host and every storage server, and between storage
+servers in pairs (§3); :class:`RdmaConnection` models one such queue pair.
+
+Three verbs are modeled:
+
+* ``send`` — a message (command capsule) with optional inline payload,
+  delivered into the peer's inbox in order.
+* ``rdma_read`` — one-sided READ: the initiator pulls bytes from the peer;
+  bytes occupy peer-TX and initiator-RX.
+* ``rdma_write`` — one-sided WRITE: bytes occupy initiator-TX and peer-RX.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.net.nic import Nic
+from repro.sim.core import Environment, Event
+from repro.sim.resources import Store
+
+#: Size of a command capsule on the wire (NVMe-oF capsule + dRAID fields).
+CAPSULE_BYTES = 192
+
+
+class ConnectionEnd:
+    """One endpoint of an RDMA RC connection."""
+
+    def __init__(self, connection: "RdmaConnection", nic: Nic, label: str) -> None:
+        self.connection = connection
+        self.nic = nic
+        self.label = label
+        self.inbox: Store = Store(connection.env, name=f"{label}.inbox")
+        self.peer: "ConnectionEnd" = None  # type: ignore[assignment]  # wired by RdmaConnection
+
+    def __repr__(self) -> str:
+        return f"<ConnectionEnd {self.label}>"
+
+    # -- verbs --------------------------------------------------------------
+
+    def send(self, message: Any, payload_bytes: int = 0, header_bytes: int = CAPSULE_BYTES) -> Event:
+        """Send a command capsule (+ optional inline payload) to the peer.
+
+        The message object is placed into the peer's inbox when the last
+        byte arrives.  Returns the delivery event.
+        """
+        return self.connection._transfer(
+            src=self.nic,
+            dst=self.peer.nic,
+            nbytes=header_bytes + payload_bytes,
+            deliver_to=self.peer.inbox,
+            message=message,
+        )
+
+    def rdma_read(self, nbytes: int) -> Event:
+        """One-sided READ: pull ``nbytes`` from the peer's memory."""
+        return self.connection._transfer(src=self.peer.nic, dst=self.nic, nbytes=nbytes)
+
+    def rdma_write(self, nbytes: int) -> Event:
+        """One-sided WRITE: push ``nbytes`` into the peer's memory."""
+        return self.connection._transfer(src=self.nic, dst=self.peer.nic, nbytes=nbytes)
+
+    def recv(self) -> Event:
+        """Event yielding the next message in this end's inbox."""
+        return self.inbox.get()
+
+
+class RdmaConnection:
+    """An RDMA reliable connection (queue pair) between two NICs."""
+
+    def __init__(self, env: Environment, fabric: "Fabric", nic_a: Nic, nic_b: Nic, name: str) -> None:
+        self.env = env
+        self.fabric = fabric
+        self.name = name
+        self.a = ConnectionEnd(self, nic_a, f"{name}.a")
+        self.b = ConnectionEnd(self, nic_b, f"{name}.b")
+        self.a.peer = self.b
+        self.b.peer = self.a
+
+    def end_for(self, nic: Nic) -> ConnectionEnd:
+        if nic is self.a.nic:
+            return self.a
+        if nic is self.b.nic:
+            return self.b
+        raise ValueError(f"{nic!r} is not an endpoint of {self.name}")
+
+    def _transfer(
+        self,
+        src: Nic,
+        dst: Nic,
+        nbytes: int,
+        deliver_to: Optional[Store] = None,
+        message: Any = None,
+    ) -> Event:
+        """Move ``nbytes`` from ``src`` to ``dst``.
+
+        Bytes occupy src.tx and dst.rx; the transfer completes when both
+        directions have drained it, plus fabric propagation and the RDMA
+        op overhead.  O(1): one completion event per transfer.
+        """
+        if src is dst:
+            # loopback (co-located bdevs): no NIC occupancy, memcpy-scale delay
+            done = self.env.now + self.fabric.loopback_ns
+        else:
+            tx_done = src.tx.reserve(nbytes)
+            rx_done = dst.rx.reserve(nbytes)
+            done = max(tx_done, rx_done) + self.fabric.propagation_ns
+        done += self.fabric.rdma_op_ns
+        event = self.env.timeout(done - self.env.now, value=nbytes)
+        if deliver_to is not None:
+            event.callbacks.append(lambda _ev: deliver_to.put(message))
+        return event
+
+
+class Fabric:
+    """A single-switch RDMA fabric.
+
+    ``propagation_ns`` is the one-way switch traversal time;
+    ``rdma_op_ns`` the per-verb initiation/completion overhead; and
+    ``loopback_ns`` the cost of a transfer between co-located endpoints.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        propagation_ns: int = 1_500,
+        rdma_op_ns: int = 3_000,
+        loopback_ns: int = 500,
+    ) -> None:
+        self.env = env
+        self.propagation_ns = int(propagation_ns)
+        self.rdma_op_ns = int(rdma_op_ns)
+        self.loopback_ns = int(loopback_ns)
+        self._counter = 0
+        self.connections = []
+
+    def connect(self, nic_a: Nic, nic_b: Nic, name: Optional[str] = None) -> RdmaConnection:
+        """Create an RDMA RC connection (queue pair) between two NICs."""
+        self._counter += 1
+        conn = RdmaConnection(
+            self.env, self, nic_a, nic_b, name or f"qp{self._counter}"
+        )
+        self.connections.append(conn)
+        return conn

@@ -1,0 +1,65 @@
+"""Network interface cards.
+
+A :class:`Nic` is a pair of independent FIFO bandwidth channels (full
+duplex).  Rates are expressed as *goodput* — what the application sees after
+protocol overheads — matching the paper's methodology ("NIC goodput
+~92 Gbps" for a 100 Gbps ConnectX-5).
+"""
+
+from __future__ import annotations
+
+from repro.sim.core import Environment
+from repro.sim.resources import BandwidthChannel
+
+GBPS = 1_000_000_000 / 8  # bytes/s per Gbps
+
+#: Goodput of the paper's 100 Gbps NIC (~92 Gbps on the wire).
+GOODPUT_100G = 92 * GBPS
+#: Goodput of the paper's 25 Gbps NIC (~23 Gbps).
+GOODPUT_25G = 23 * GBPS
+
+
+class Nic:
+    """A full-duplex NIC with FIFO per-direction bandwidth queues."""
+
+    def __init__(
+        self,
+        env: Environment,
+        rate_bytes_per_s: float = GOODPUT_100G,
+        name: str = "nic",
+    ) -> None:
+        self.env = env
+        self.name = name
+        self.tx = BandwidthChannel(env, rate_bytes_per_s, name=f"{name}.tx")
+        self.rx = BandwidthChannel(env, rate_bytes_per_s, name=f"{name}.rx")
+
+    @property
+    def rate_bytes_per_s(self) -> float:
+        return self.tx.rate_bytes_per_s
+
+    @property
+    def tx_bytes(self) -> int:
+        return self.tx.bytes_transferred
+
+    @property
+    def rx_bytes(self) -> int:
+        return self.rx.bytes_transferred
+
+    def available_bandwidth(self, window_ns: int) -> float:
+        """Estimated spare TX bandwidth (bytes/s) given the current backlog.
+
+        Used by the bandwidth-aware reconstruction algorithm (§6.2): a NIC
+        with a deep TX backlog has little headroom to serve as reducer.
+        """
+        backlog = self.tx.backlog_ns()
+        if window_ns <= 0:
+            raise ValueError("window must be positive")
+        free_fraction = max(0.0, 1.0 - backlog / window_ns)
+        return self.rate_bytes_per_s * free_fraction
+
+    def reset_accounting(self) -> None:
+        self.tx.reset_accounting()
+        self.rx.reset_accounting()
+
+    def __repr__(self) -> str:
+        return f"<Nic {self.name} {self.rate_bytes_per_s * 8 / 1e9:.0f}Gbps>"

@@ -1,0 +1,22 @@
+"""Standard NVMe-over-Fabrics: commands, targets and initiators.
+
+This is the baseline remote-storage protocol (§2.2): the host sends a
+command capsule over an RDMA RC queue pair; for writes the target pulls the
+payload with a one-sided READ, for reads it pushes the payload back with
+the response.  The Linux-MD and SPDK-POC baseline RAID controllers are
+built purely on this layer; dRAID extends the target with additional
+opcodes (:mod:`repro.draid`).
+"""
+
+from repro.nvmeof.messages import IoError, NvmeOfCommand, NvmeOfCompletion, Opcode
+from repro.nvmeof.target import NvmeOfTarget
+from repro.nvmeof.initiator import RemoteBdev
+
+__all__ = [
+    "IoError",
+    "NvmeOfCommand",
+    "NvmeOfCompletion",
+    "NvmeOfTarget",
+    "Opcode",
+    "RemoteBdev",
+]

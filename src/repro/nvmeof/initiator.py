@@ -1,0 +1,71 @@
+"""The NVMe-oF initiator: a host-side handle to one remote drive.
+
+A :class:`RemoteBdev` turns the message exchange with a target into plain
+``read``/``write`` calls returning completion events, which is the
+interface the baseline RAID controllers program against.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from repro.cluster.machines import HostMachine
+from repro.net.fabric import ConnectionEnd
+from repro.nvmeof.messages import (
+    IoError,
+    NvmeOfCommand,
+    NvmeOfCompletion,
+    Opcode,
+    next_cid,
+)
+from repro.sim.core import Environment, Event
+
+
+class RemoteBdev:
+    """Host-side view of one remote NVMe namespace over NVMe-oF."""
+
+    def __init__(self, host: HostMachine, end: ConnectionEnd, name: str = "bdev") -> None:
+        self.env: Environment = host.env
+        self.host = host
+        self.end = end
+        self.name = name
+        self._pending: Dict[int, Event] = {}
+        self._receiver = self.env.process(self._receive(), name=f"{name}.cq")
+
+    @property
+    def outstanding(self) -> int:
+        return len(self._pending)
+
+    def _receive(self):
+        while True:
+            completion: NvmeOfCompletion = yield self.end.recv()
+            event = self._pending.pop(completion.cid, None)
+            if event is None or event.triggered:
+                continue  # late completion for a timed-out command
+            if completion.ok:
+                event.succeed(completion.data)
+            else:
+                event.fail(IoError(f"{self.name}: {completion.error}"))
+
+    def _submit(self, opcode: Opcode, offset: int, length: int, data: Any = None) -> Event:
+        command = NvmeOfCommand(next_cid(), opcode, offset, length, data=data)
+        completion = self.env.event()
+        self._pending[command.cid] = completion
+        # Write payloads are pulled by the target via one-sided READ after
+        # the capsule arrives, so the capsule itself is header-only.
+        self.end.send(command)
+        return completion
+
+    def read(self, offset: int, length: int) -> Event:
+        """Completion event whose value is the data (functional mode)."""
+        return self._submit(Opcode.READ, offset, length)
+
+    def write(self, offset: int, length: int, data: Any = None) -> Event:
+        return self._submit(Opcode.WRITE, offset, length, data=data)
+
+    def cancel(self, event: Event) -> None:
+        """Abandon a pending command (used by timeout handling)."""
+        for cid, pending in list(self._pending.items()):
+            if pending is event:
+                del self._pending[cid]
+                return

@@ -1,0 +1,61 @@
+"""NVMe-oF wire messages.
+
+These objects ride inside simulated command capsules; the network layer
+charges their on-wire size separately, so they may carry real payload
+arrays in functional mode without affecting timing.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from enum import Enum
+from typing import Any, Optional
+
+#: On-wire size of a completion queue entry (+ transport framing).
+RESPONSE_BYTES = 64
+
+_cid_counter = itertools.count(1)
+
+
+def next_cid() -> int:
+    """Globally unique command identifier."""
+    return next(_cid_counter)
+
+
+class Opcode(Enum):
+    READ = "read"
+    WRITE = "write"
+
+
+class IoError(RuntimeError):
+    """A remote I/O failed (drive fault, injected error, timeout)."""
+
+
+@dataclass
+class NvmeOfCommand:
+    """A read or write submitted to a remote target."""
+
+    cid: int
+    opcode: Opcode
+    offset: int
+    length: int
+    #: Payload for functional-mode writes (timing mode: None).
+    data: Optional[Any] = None
+
+    def __post_init__(self) -> None:
+        if self.length <= 0:
+            raise ValueError(f"command length must be positive, got {self.length}")
+        if self.offset < 0:
+            raise ValueError(f"negative offset {self.offset}")
+
+
+@dataclass
+class NvmeOfCompletion:
+    """Response to a command."""
+
+    cid: int
+    ok: bool
+    #: Read payload in functional mode.
+    data: Optional[Any] = None
+    error: Optional[str] = None

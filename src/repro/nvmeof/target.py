@@ -1,0 +1,80 @@
+"""The NVMe-oF target: server-side command service loop.
+
+One target runs per storage server.  It polls the host-facing connection
+end for command capsules and services each in its own process so that
+drive-internal parallelism is exploitable.  Per the paper's constraint
+(§7), all command parsing and completion work serializes on the server's
+single poll-mode core.
+
+Fault injection knobs (used by the failure-handling tests):
+
+* ``stall_ns`` — freeze command intake for a period (network jitter /
+  transient outage); commands arriving meanwhile sit in the inbox.
+* failed drives produce error completions rather than silent hangs.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.machines import StorageServer
+from repro.net.fabric import ConnectionEnd
+from repro.nvmeof.messages import (
+    RESPONSE_BYTES,
+    NvmeOfCommand,
+    NvmeOfCompletion,
+    Opcode,
+)
+from repro.sim.core import Environment
+from repro.storage.drive import DriveFailedError
+
+
+class NvmeOfTarget:
+    """Serves standard NVMe-oF reads/writes for one storage server."""
+
+    def __init__(self, server: StorageServer, host_end: ConnectionEnd) -> None:
+        self.env: Environment = server.env
+        self.server = server
+        self.host_end = host_end
+        self.stall_ns = 0
+        self.commands_served = 0
+        self._service = self.env.process(self._serve(), name=f"{server.name}.nvmf")
+
+    def _serve(self):
+        while True:
+            command = yield self.host_end.recv()
+            if self.stall_ns:
+                # transient outage: the target freezes, capsules queue up
+                yield self.env.timeout(self.stall_ns)
+                self.stall_ns = 0
+            self.env.process(self._handle(command), name=f"{self.server.name}.cmd")
+
+    def _handle(self, command: NvmeOfCommand):
+        cpu = self.server.cpu
+        profile = self.server.cpu_profile
+        yield cpu.execute(profile.cmd_handle_ns)
+        try:
+            if command.opcode is Opcode.READ:
+                data = yield self.server.drive.read(command.offset, command.length)
+                yield cpu.execute(profile.completion_ns)
+                # read payload rides back with the response
+                self.host_end.send(
+                    NvmeOfCompletion(command.cid, ok=True, data=data),
+                    payload_bytes=command.length,
+                    header_bytes=RESPONSE_BYTES,
+                )
+            else:
+                # target pulls the payload from host memory (one-sided READ)
+                yield self.host_end.rdma_read(command.length)
+                yield self.server.drive.write(command.offset, command.length, command.data)
+                yield cpu.execute(profile.completion_ns)
+                self.host_end.send(
+                    NvmeOfCompletion(command.cid, ok=True),
+                    payload_bytes=0,
+                    header_bytes=RESPONSE_BYTES,
+                )
+        except (DriveFailedError, ValueError) as exc:
+            self.host_end.send(
+                NvmeOfCompletion(command.cid, ok=False, error=str(exc)),
+                payload_bytes=0,
+                header_bytes=RESPONSE_BYTES,
+            )
+        self.commands_served += 1

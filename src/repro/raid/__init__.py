@@ -1,0 +1,33 @@
+"""RAID core: geometry, write-mode classification and stripe locking.
+
+This package contains the level- and system-independent machinery shared by
+all three controllers (Linux-MD model, SPDK-POC model and dRAID): mapping a
+user byte extent onto stripes/chunks/drives with rotating parity, deciding
+between read-modify-write / reconstruct-write / full-stripe write, and
+serializing conflicting writes per stripe.
+"""
+
+from repro.raid.bitmap import WriteIntentBitmap
+from repro.raid.geometry import ChunkSegment, RaidGeometry, RaidLevel, StripeExtent
+from repro.raid.locks import StripeLockManager
+from repro.raid.modes import WriteMode, classify_write
+from repro.raid.rebuild import RebuildJob, RebuildStats
+from repro.raid.resync import resync_after_crash, resync_stripes
+from repro.raid.scrub import scrub_array, scrub_stripe
+
+__all__ = [
+    "ChunkSegment",
+    "RaidGeometry",
+    "RaidLevel",
+    "RebuildJob",
+    "RebuildStats",
+    "StripeExtent",
+    "StripeLockManager",
+    "WriteIntentBitmap",
+    "WriteMode",
+    "classify_write",
+    "resync_after_crash",
+    "resync_stripes",
+    "scrub_array",
+    "scrub_stripe",
+]

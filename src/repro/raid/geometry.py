@@ -1,0 +1,182 @@
+"""RAID address geometry.
+
+Maps the linear user address space of the virtual block device onto
+(stripe, chunk, drive) coordinates with rotating parity:
+
+* RAID-5 uses the *left-symmetric* layout (the Linux MD default): parity of
+  stripe ``s`` lives on drive ``n-1 - (s mod n)`` and data chunks follow it
+  cyclically.
+* RAID-6 places Q on the drive after P (Linux "left-symmetric-6"-style
+  rotation) so both parities rotate and the read load is balanced across
+  all members — the property §6 relies on ("parity chunks are evenly
+  distributed among all member drives").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import List, Tuple
+
+
+class RaidLevel(Enum):
+    """Parity-based RAID levels supported by every controller here."""
+
+    RAID5 = 5
+    RAID6 = 6
+
+    @property
+    def num_parity(self) -> int:
+        return 1 if self is RaidLevel.RAID5 else 2
+
+
+@dataclass(frozen=True)
+class ChunkSegment:
+    """A contiguous byte range of one data chunk touched by a user I/O."""
+
+    data_index: int  #: logical data-chunk index within the stripe (0..k-1)
+    drive: int  #: physical member-drive index
+    drive_offset: int  #: byte offset of the segment on that drive
+    chunk_offset: int  #: offset of the segment within its chunk
+    length: int
+    io_offset: int  #: offset of this segment inside the user buffer
+
+    @property
+    def chunk_end(self) -> int:
+        return self.chunk_offset + self.length
+
+
+@dataclass(frozen=True)
+class StripeExtent:
+    """The portion of a user I/O that falls into one stripe."""
+
+    stripe: int
+    segments: Tuple[ChunkSegment, ...]
+    parity_drives: Tuple[int, ...]  #: (P,) for RAID-5, (P, Q) for RAID-6
+    parity_offset: int  #: byte offset of the parity chunk on its drive
+
+    @property
+    def touched_bytes(self) -> int:
+        return sum(s.length for s in self.segments)
+
+    @property
+    def touched_data_indices(self) -> Tuple[int, ...]:
+        return tuple(s.data_index for s in self.segments)
+
+    def parity_span(self) -> Tuple[int, int]:
+        """(offset, length) of the union of per-chunk intervals touched.
+
+        This is the region of the parity chunk that must be updated: the
+        dRAID protocol's ``fwd-offset`` / ``fwd-length`` (§5.1).
+        """
+        start = min(s.chunk_offset for s in self.segments)
+        end = max(s.chunk_end for s in self.segments)
+        return start, end - start
+
+
+class RaidGeometry:
+    """Address arithmetic for a parity-RAID array.
+
+    ``num_drives`` counts every member (data + parity); ``chunk_bytes`` is
+    the striping unit (the paper's default is 512 KiB, the Linux MD
+    default).
+    """
+
+    def __init__(self, level: RaidLevel, num_drives: int, chunk_bytes: int) -> None:
+        min_drives = 3 if level is RaidLevel.RAID5 else 4
+        if num_drives < min_drives:
+            raise ValueError(f"{level.name} needs >= {min_drives} drives, got {num_drives}")
+        if chunk_bytes <= 0 or chunk_bytes % 4096:
+            raise ValueError(f"chunk size must be a positive multiple of 4096, got {chunk_bytes}")
+        self.level = level
+        self.num_drives = num_drives
+        self.chunk_bytes = chunk_bytes
+        self.num_parity = level.num_parity
+        self.data_per_stripe = num_drives - self.num_parity
+        self.stripe_data_bytes = self.data_per_stripe * chunk_bytes
+
+    def __repr__(self) -> str:
+        return (
+            f"<RaidGeometry {self.level.name} drives={self.num_drives} "
+            f"chunk={self.chunk_bytes // 1024}KiB>"
+        )
+
+    # -- parity / data placement -------------------------------------------
+
+    def parity_drives(self, stripe: int) -> Tuple[int, ...]:
+        """Physical drives holding P (and Q) for ``stripe``."""
+        n = self.num_drives
+        p = (n - 1) - (stripe % n)
+        if self.level is RaidLevel.RAID5:
+            return (p,)
+        return (p, (p + 1) % n)
+
+    def data_drive(self, stripe: int, data_index: int) -> int:
+        """Physical drive of logical data chunk ``data_index`` in ``stripe``."""
+        if not 0 <= data_index < self.data_per_stripe:
+            raise ValueError(f"data index {data_index} out of range")
+        parity = self.parity_drives(stripe)
+        anchor = parity[-1]  # data follows the last parity drive cyclically
+        return (anchor + 1 + data_index) % self.num_drives
+
+    def data_index_of_drive(self, stripe: int, drive: int) -> int:
+        """Inverse of :meth:`data_drive`; raises if ``drive`` holds parity."""
+        if drive in self.parity_drives(stripe):
+            raise ValueError(f"drive {drive} holds parity for stripe {stripe}")
+        anchor = self.parity_drives(stripe)[-1]
+        return (drive - anchor - 1) % self.num_drives
+
+    def chunk_offset_on_drive(self, stripe: int) -> int:
+        """Every member stores one chunk per stripe at the same drive offset."""
+        return stripe * self.chunk_bytes
+
+    # -- extent mapping -------------------------------------------------------
+
+    def map_extent(self, offset: int, length: int) -> List[StripeExtent]:
+        """Split the user extent ``[offset, offset+length)`` into stripes."""
+        if offset < 0 or length <= 0:
+            raise ValueError(f"invalid extent offset={offset} length={length}")
+        extents: List[StripeExtent] = []
+        end = offset + length
+        pos = offset
+        while pos < end:
+            stripe = pos // self.stripe_data_bytes
+            stripe_start = stripe * self.stripe_data_bytes
+            local = pos - stripe_start
+            local_end = min(end - stripe_start, self.stripe_data_bytes)
+            segments: List[ChunkSegment] = []
+            while local < local_end:
+                data_index = local // self.chunk_bytes
+                chunk_offset = local % self.chunk_bytes
+                seg_len = min(self.chunk_bytes - chunk_offset, local_end - local)
+                segments.append(
+                    ChunkSegment(
+                        data_index=data_index,
+                        drive=self.data_drive(stripe, data_index),
+                        drive_offset=stripe * self.chunk_bytes + chunk_offset,
+                        chunk_offset=chunk_offset,
+                        length=seg_len,
+                        io_offset=(stripe_start + local) - offset,
+                    )
+                )
+                local += seg_len
+            extents.append(
+                StripeExtent(
+                    stripe=stripe,
+                    segments=tuple(segments),
+                    parity_drives=self.parity_drives(stripe),
+                    parity_offset=self.chunk_offset_on_drive(stripe),
+                )
+            )
+            pos = stripe_start + local_end
+        return extents
+
+    def untouched_data_indices(self, extent: StripeExtent) -> List[int]:
+        """Data-chunk indices of ``extent``'s stripe not touched at all."""
+        touched = set(extent.touched_data_indices)
+        return [d for d in range(self.data_per_stripe) if d not in touched]
+
+    def capacity_bytes(self, drive_capacity: int) -> int:
+        """Usable capacity of the virtual device."""
+        stripes = drive_capacity // self.chunk_bytes
+        return stripes * self.stripe_data_bytes

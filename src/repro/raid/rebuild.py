@@ -1,0 +1,142 @@
+"""Online drive rebuild onto a replacement (§1 hot spares, §6 context).
+
+With disaggregated storage a replacement drive comes from the shared pool;
+the array must reconstruct the failed member's contents onto it while
+staying online.  :class:`RebuildJob` sweeps the stripes in order:
+
+* the failed member's *data* chunk is rebuilt through the array's degraded
+  read path (which for dRAID is the §6.1 peer-to-peer reconstruction) and
+  written to the replacement;
+* the failed member's *parity* chunk is recomputed from the stripe's data.
+
+A per-drive *rebuild watermark* on the controller makes rebuilt stripes
+treat the member as healthy again, so concurrent writes update the
+replacement directly and nothing goes stale — the array serves I/O during
+the whole rebuild.  Each stripe is processed under the stripe lock to
+serialize with writers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.ec import raid6_pq, xor_blocks
+from repro.raid.geometry import RaidLevel
+from repro.sim.core import Environment, Event
+
+
+@dataclass
+class RebuildStats:
+    stripes_rebuilt: int = 0
+    data_chunks_rebuilt: int = 0
+    parity_chunks_rebuilt: int = 0
+    bytes_written: int = 0
+    started_ns: int = 0
+    finished_ns: int = 0
+
+    @property
+    def elapsed_ns(self) -> int:
+        return max(0, self.finished_ns - self.started_ns)
+
+    def rate_mb_s(self) -> float:
+        if self.elapsed_ns == 0:
+            return 0.0
+        return self.bytes_written * 1e9 / self.elapsed_ns / 1e6
+
+
+class RebuildJob:
+    """Rebuild the contents of failed member ``drive`` onto its replacement.
+
+    The replacement is modeled as the repaired physical drive on the same
+    server slot (the pool-allocation itself is outside the data path).
+    ``throttle_ns`` adds an inter-stripe delay so production deployments
+    can bound rebuild interference with foreground traffic.
+    """
+
+    def __init__(
+        self,
+        array,
+        drive: int,
+        num_stripes: int,
+        throttle_ns: int = 0,
+    ) -> None:
+        if drive not in array.failed:
+            raise ValueError(f"drive {drive} is not failed")
+        self.array = array
+        self.drive = drive
+        self.num_stripes = num_stripes
+        self.throttle_ns = throttle_ns
+        self.env: Environment = array.env
+        self.stats = RebuildStats()
+
+    def start(self) -> Event:
+        """Begin the rebuild; the returned event fires on completion."""
+        return self.env.process(self._run(), name=f"{self.array.name}.rebuild")
+
+    @property
+    def progress(self) -> float:
+        """Fraction of stripes rebuilt so far."""
+        if self.num_stripes == 0:
+            return 1.0
+        return self.stats.stripes_rebuilt / self.num_stripes
+
+    def _run(self):
+        array = self.array
+        geometry = array.geometry
+        # physically replace the drive; the controller still treats it as
+        # failed beyond the (initially zero) watermark
+        array.cluster.servers[self.drive].drive.repair()
+        array.rebuild_watermark[self.drive] = 0
+        self.stats.started_ns = self.env.now
+        for stripe in range(self.num_stripes):
+            yield array.locks.acquire(stripe)
+            try:
+                yield from self._rebuild_stripe(stripe)
+                array.rebuild_watermark[self.drive] = stripe + 1
+            finally:
+                array.locks.release(stripe)
+            if self.throttle_ns:
+                yield self.env.timeout(self.throttle_ns)
+            self.stats.stripes_rebuilt += 1
+        array.repair_drive(self.drive)
+        self.stats.finished_ns = self.env.now
+        return self.stats
+
+    def _rebuild_stripe(self, stripe: int):
+        array = self.array
+        geometry = array.geometry
+        chunk = geometry.chunk_bytes
+        drive = array.cluster.servers[self.drive].drive
+        parity_drives = geometry.parity_drives(stripe)
+        if self.drive in parity_drives:
+            yield from self._rebuild_parity(stripe, parity_drives.index(self.drive))
+            self.stats.parity_chunks_rebuilt += 1
+        else:
+            data_index = geometry.data_index_of_drive(stripe, self.drive)
+            offset = stripe * geometry.stripe_data_bytes + data_index * chunk
+            # degraded read: dRAID reconstructs peer-to-peer, the baselines
+            # pull width-1 chunks through the host (unlocked: the stripe
+            # lock is already held by the rebuild loop)
+            data = yield array.read_unlocked(offset, chunk)
+            yield drive.write(stripe * chunk, chunk, data)
+            self.stats.data_chunks_rebuilt += 1
+        self.stats.bytes_written += chunk
+
+    def _rebuild_parity(self, stripe: int, parity_index: int):
+        array = self.array
+        geometry = array.geometry
+        chunk = geometry.chunk_bytes
+        drive = array.cluster.servers[self.drive].drive
+        offset = stripe * geometry.stripe_data_bytes
+        data = yield array.read_unlocked(offset, geometry.stripe_data_bytes)
+        block: Optional[np.ndarray] = None
+        if data is not None:
+            chunks = [data[d * chunk : (d + 1) * chunk] for d in range(geometry.data_per_stripe)]
+            if geometry.level is RaidLevel.RAID5 or parity_index == 0:
+                block = xor_blocks(chunks)
+            else:
+                _, block = raid6_pq(chunks)
+        yield drive.write(stripe * chunk, chunk, block)

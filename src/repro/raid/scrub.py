@@ -1,0 +1,47 @@
+"""Array scrubbing: verify on-disk parity consistency.
+
+Only meaningful for functional-mode drives (which carry real bytes).
+Used by the whole-array tests as the ground-truth invariant — after any
+workload, every stripe's parity must equal the parity of its data chunks —
+and usable as a library facility (e.g. after crash-recovery resync).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.ec import raid6_pq, xor_blocks
+from repro.raid.geometry import RaidGeometry, RaidLevel
+from repro.storage.drive import NvmeDrive
+
+
+def scrub_stripe(drives: Sequence[NvmeDrive], geometry: RaidGeometry, stripe: int) -> bool:
+    """True iff ``stripe``'s parity is consistent with its data."""
+    chunk = geometry.chunk_bytes
+    offset = stripe * chunk
+    data = [
+        drives[geometry.data_drive(stripe, d)].peek(offset, chunk)
+        for d in range(geometry.data_per_stripe)
+    ]
+    parity_drives = geometry.parity_drives(stripe)
+    if geometry.level is RaidLevel.RAID5:
+        expected = xor_blocks(data)
+        actual = drives[parity_drives[0]].peek(offset, chunk)
+        return bool(np.array_equal(expected, actual))
+    p, q = raid6_pq(data)
+    actual_p = drives[parity_drives[0]].peek(offset, chunk)
+    actual_q = drives[parity_drives[1]].peek(offset, chunk)
+    return bool(np.array_equal(p, actual_p) and np.array_equal(q, actual_q))
+
+
+def scrub_array(
+    drives: Sequence[NvmeDrive], geometry: RaidGeometry, num_stripes: int
+) -> List[int]:
+    """Scrub ``num_stripes`` stripes; returns the inconsistent stripe indices."""
+    return [
+        stripe
+        for stripe in range(num_stripes)
+        if not scrub_stripe(drives, geometry, stripe)
+    ]

@@ -1,0 +1,49 @@
+"""Discrete-event simulation kernel.
+
+This package implements a small, deterministic, generator-based
+discrete-event simulator in the style of ``simpy``.  Time is modeled as an
+integer number of nanoseconds.  The kernel is self-contained so that the
+rest of the repository depends on no external simulation framework.
+
+Public surface:
+
+* :class:`~repro.sim.core.Environment` — the event loop.
+* :class:`~repro.sim.core.Event`, :class:`~repro.sim.core.Timeout`,
+  :class:`~repro.sim.core.Process` — primitive events.
+* :class:`~repro.sim.core.AllOf` / :class:`~repro.sim.core.AnyOf` —
+  condition events.
+* :class:`~repro.sim.core.Interrupt` — raised inside a process when
+  another process interrupts it.
+* :mod:`repro.sim.resources` — FIFO stores, counted resources and fluid
+  bandwidth channels used to model NICs, SSDs and CPU cores.
+"""
+
+from repro.sim.core import (
+    AllOf,
+    AnyOf,
+    Environment,
+    Event,
+    Interrupt,
+    Process,
+    SimulationError,
+    Timeout,
+)
+from repro.sim.resources import (
+    BandwidthChannel,
+    CapacityResource,
+    Store,
+)
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "BandwidthChannel",
+    "CapacityResource",
+    "Environment",
+    "Event",
+    "Interrupt",
+    "Process",
+    "SimulationError",
+    "Store",
+    "Timeout",
+]

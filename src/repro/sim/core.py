@@ -1,0 +1,371 @@
+"""Core of the discrete-event simulation kernel.
+
+The design mirrors ``simpy``: an :class:`Environment` owns a binary-heap
+event calendar; a :class:`Process` wraps a Python generator that yields
+events and is resumed when those events trigger.  Unlike ``simpy``, time is
+an integer (nanoseconds) so simulations are exactly reproducible across
+platforms, and the implementation is trimmed to what this repository needs.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, List, Optional
+
+#: Sentinel for "event has not been assigned a value yet".
+_PENDING = object()
+
+ProcessGenerator = Generator["Event", Any, Any]
+
+
+class SimulationError(RuntimeError):
+    """Raised when the simulation reaches an invalid state."""
+
+
+class Interrupt(Exception):
+    """Raised inside a process when :meth:`Process.interrupt` is called.
+
+    The ``cause`` attribute carries the value passed to ``interrupt``.
+    """
+
+    @property
+    def cause(self) -> Any:
+        return self.args[0] if self.args else None
+
+
+class Event:
+    """An event that may succeed (with a value) or fail (with an exception).
+
+    Callbacks are plain callables invoked with the event as their only
+    argument when the event is *processed* (popped from the calendar).
+    """
+
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_defused", "_scheduled")
+
+    def __init__(self, env: "Environment") -> None:
+        self.env = env
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._value: Any = _PENDING
+        self._ok: Optional[bool] = None
+        self._defused = False
+        self._scheduled = False
+
+    def __repr__(self) -> str:
+        state = "pending"
+        if self._ok is True:
+            state = f"ok({self._value!r})"
+        elif self._ok is False:
+            state = f"failed({self._value!r})"
+        return f"<{type(self).__name__} {state}>"
+
+    @property
+    def triggered(self) -> bool:
+        """True once the event has an outcome (succeeded or failed)."""
+        return self._ok is not None
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have run."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        if self._ok is None:
+            raise SimulationError("event has not been triggered yet")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        if self._value is _PENDING:
+            raise SimulationError("event has no value yet")
+        return self._value
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self._ok is not None:
+            raise SimulationError(f"{self!r} has already been triggered")
+        self._ok = True
+        self._value = value
+        self.env._schedule(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with an exception.
+
+        The exception propagates into every process waiting on the event;
+        if nothing waits, :meth:`Environment.run` re-raises it (errors never
+        pass silently).
+        """
+        if self._ok is not None:
+            raise SimulationError(f"{self!r} has already been triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"{exception!r} is not an exception")
+        self._ok = False
+        self._value = exception
+        self.env._schedule(self)
+        return self
+
+
+class Timeout(Event):
+    """An event that triggers after a fixed delay."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, env: "Environment", delay: int, value: Any = None) -> None:
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        super().__init__(env)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        env._schedule(self, delay)
+
+
+class Initialize(Event):
+    """Internal event that starts a freshly created process."""
+
+    __slots__ = ()
+
+    def __init__(self, env: "Environment", process: "Process") -> None:
+        super().__init__(env)
+        self._ok = True
+        self._value = None
+        self.callbacks.append(process._resume)
+        env._schedule(self)
+
+
+class Process(Event):
+    """A running process: an event that triggers when its generator returns.
+
+    The wrapped generator yields :class:`Event` instances.  When a yielded
+    event succeeds the generator is resumed with the event's value; when it
+    fails the exception is thrown into the generator.
+    """
+
+    __slots__ = ("_generator", "_target", "name")
+
+    def __init__(
+        self,
+        env: "Environment",
+        generator: ProcessGenerator,
+        name: Optional[str] = None,
+    ) -> None:
+        super().__init__(env)
+        self._generator = generator
+        self._target: Optional[Event] = None
+        self.name = name or getattr(generator, "__name__", "process")
+        Initialize(env, self)
+
+    def __repr__(self) -> str:
+        return f"<Process {self.name} at t={self.env.now}>"
+
+    @property
+    def is_alive(self) -> bool:
+        return self._ok is None
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at its current wait."""
+        if not self.is_alive:
+            raise SimulationError(f"{self!r} has already terminated")
+        if self._target is None:
+            raise SimulationError(f"{self!r} is not waiting on anything")
+        interrupt_event = Event(self.env)
+        interrupt_event._ok = False
+        interrupt_event._value = Interrupt(cause)
+        interrupt_event._defused = True
+        # Detach from the current wait target so the original event no
+        # longer resumes this process when it eventually triggers.
+        target = self._target
+        if target.callbacks is not None and self._resume in target.callbacks:
+            target.callbacks.remove(self._resume)
+        self._target = None
+        interrupt_event.callbacks = [self._resume]
+        self.env._schedule(interrupt_event)
+
+    def _resume(self, event: Event) -> None:
+        self.env._active_process = self
+        while True:
+            try:
+                if event is None or event._ok:
+                    target = self._generator.send(None if event is None else event._value)
+                else:
+                    event._defused = True
+                    target = self._generator.throw(event._value)
+            except StopIteration as stop:
+                self._target = None
+                self.env._active_process = None
+                self.succeed(stop.value)
+                return
+            except BaseException as exc:
+                self._target = None
+                self.env._active_process = None
+                self.fail(exc)
+                return
+
+            if not isinstance(target, Event):
+                self.env._active_process = None
+                self._generator.throw(
+                    SimulationError(f"process yielded a non-event: {target!r}")
+                )
+                return
+            if target.processed:
+                # Already processed: resume immediately with its outcome.
+                event = target
+                continue
+            if target.callbacks is None:
+                raise SimulationError("event callbacks missing")  # pragma: no cover
+            self._target = target
+            target.callbacks.append(self._resume)
+            self.env._active_process = None
+            return
+
+
+class Condition(Event):
+    """Base for :class:`AllOf` / :class:`AnyOf`."""
+
+    __slots__ = ("events", "_remaining")
+
+    def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
+        super().__init__(env)
+        self.events = list(events)
+        self._remaining = len(self.events)
+        if not self.events:
+            self.succeed(self._outcome())
+            return
+        for event in self.events:
+            if event.processed:
+                self._check(event)
+            else:
+                event.callbacks.append(self._check)
+            if self.triggered:
+                break
+
+    def _outcome(self) -> Any:
+        return {e: e._value for e in self.events if e.triggered and e._ok}
+
+    def _check(self, event: Event) -> None:
+        raise NotImplementedError
+
+
+class AllOf(Condition):
+    """Triggers when every child event has succeeded (fails fast on error)."""
+
+    __slots__ = ()
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            if not event._ok:
+                event._defused = True
+            return
+        if not event._ok:
+            event._defused = True
+            self.fail(event._value)
+            return
+        self._remaining -= 1
+        if self._remaining == 0:
+            self.succeed(self._outcome())
+
+
+class AnyOf(Condition):
+    """Triggers as soon as any child event succeeds (fails fast on error)."""
+
+    __slots__ = ()
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            if not event._ok:
+                event._defused = True
+            return
+        if not event._ok:
+            event._defused = True
+            self.fail(event._value)
+            return
+        self.succeed(self._outcome())
+
+
+class Environment:
+    """The simulation event loop.
+
+    ``now`` is the current simulated time in integer nanoseconds.
+    """
+
+    def __init__(self, initial_time: int = 0) -> None:
+        self.now: int = int(initial_time)
+        self._queue: List = []
+        self._eid = 0
+        self._active_process: Optional[Process] = None
+
+    # -- event construction helpers ------------------------------------
+
+    def event(self) -> Event:
+        """A fresh untriggered event."""
+        return Event(self)
+
+    def timeout(self, delay: int, value: Any = None) -> Timeout:
+        """An event that succeeds ``delay`` nanoseconds from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: ProcessGenerator, name: Optional[str] = None) -> Process:
+        """Start a new process from ``generator``."""
+        return Process(self, generator, name=name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    # -- scheduling -----------------------------------------------------
+
+    def _schedule(self, event: Event, delay: int = 0) -> None:
+        if event._scheduled:
+            return
+        event._scheduled = True
+        self._eid += 1
+        heapq.heappush(self._queue, (self.now + delay, self._eid, event))
+
+    def _step(self) -> None:
+        time, _, event = heapq.heappop(self._queue)
+        if time < self.now:  # pragma: no cover - guarded by heap order
+            raise SimulationError("time went backwards")
+        self.now = time
+        callbacks, event.callbacks = event.callbacks, None
+        for callback in callbacks:
+            callback(event)
+        if event._ok is False and not event._defused:
+            raise event._value
+
+    def run(self, until: Any = None) -> Any:
+        """Run the simulation.
+
+        ``until`` may be ``None`` (run until no events remain), an integer
+        time, or an :class:`Event` (run until it triggers and return its
+        value).
+        """
+        if isinstance(until, Event):
+            stop_event = until
+            while self._queue and not stop_event.triggered:
+                self._step()
+            if not stop_event.triggered:
+                raise SimulationError(
+                    f"simulation ran out of events before {stop_event!r} triggered"
+                )
+            if not stop_event._ok:
+                stop_event._defused = True
+                raise stop_event._value
+            return stop_event._value
+        if until is not None:
+            horizon = int(until)
+            if horizon < self.now:
+                raise ValueError(f"until={horizon} is in the past (now={self.now})")
+            while self._queue and self._queue[0][0] <= horizon:
+                self._step()
+            self.now = horizon
+            return None
+        while self._queue:
+            self._step()
+        return None
+
+    def peek(self) -> Optional[int]:
+        """Time of the next scheduled event, or None if the calendar is empty."""
+        return self._queue[0][0] if self._queue else None

@@ -1,0 +1,204 @@
+"""Shared resources for the simulation kernel.
+
+Three primitives cover every piece of hardware this repository models:
+
+* :class:`Store` — an unbounded FIFO queue of items (mailboxes, command
+  queues).
+* :class:`CapacityResource` — a counted semaphore (queue-depth limits).
+* :class:`BandwidthChannel` — a fluid FIFO bandwidth server.  A transfer of
+  ``n`` bytes occupies the channel for ``overhead + n/rate`` seconds; queued
+  transfers are served in order.  This is the model used for NIC directions,
+  SSD data channels and CPU cores (where "bytes" are replaced by
+  nanoseconds of work).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque
+
+from repro.sim.core import Environment, Event
+
+#: Nanoseconds per second; all rates are converted to bytes/ns internally.
+NS_PER_S = 1_000_000_000
+
+
+class Store:
+    """Unbounded FIFO store of items with event-based ``get``."""
+
+    def __init__(self, env: Environment, name: str = "store") -> None:
+        self.env = env
+        self.name = name
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: Any) -> None:
+        """Add ``item``; wakes the oldest waiting getter if any."""
+        while self._getters:
+            getter = self._getters.popleft()
+            if getter.triggered:  # cancelled getter
+                continue
+            getter.succeed(item)
+            return
+        self._items.append(item)
+
+    def get(self) -> Event:
+        """Event that succeeds with the next item (FIFO order)."""
+        event = self.env.event()
+        if self._items:
+            event.succeed(self._items.popleft())
+        else:
+            self._getters.append(event)
+        return event
+
+
+class CapacityResource:
+    """A counted resource (semaphore) with FIFO request ordering."""
+
+    def __init__(self, env: Environment, capacity: int, name: str = "resource") -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.env = env
+        self.name = name
+        self.capacity = capacity
+        self._in_use = 0
+        self._waiters: Deque[Event] = deque()
+
+    @property
+    def in_use(self) -> int:
+        return self._in_use
+
+    @property
+    def queued(self) -> int:
+        return len(self._waiters)
+
+    def request(self) -> Event:
+        """Event that succeeds once a slot is available (slot is then held)."""
+        event = self.env.event()
+        if self._in_use < self.capacity:
+            self._in_use += 1
+            event.succeed(self)
+        else:
+            self._waiters.append(event)
+        return event
+
+    def release(self) -> None:
+        """Release a held slot, handing it to the oldest waiter if any."""
+        if self._in_use <= 0:
+            raise RuntimeError(f"{self.name}: release without matching request")
+        while self._waiters:
+            waiter = self._waiters.popleft()
+            if waiter.triggered:
+                continue
+            waiter.succeed(self)
+            return
+        self._in_use -= 1
+
+
+class BandwidthChannel:
+    """A fluid FIFO bandwidth server.
+
+    The channel serves transfers strictly in submission order.  A transfer
+    of ``nbytes`` takes ``per_op_overhead_ns + nbytes / rate``; its
+    completion event fires when the transfer (and everything queued before
+    it) has drained.  Scheduling is O(1) per transfer: the channel only
+    tracks the time at which it becomes free.
+
+    ``parallelism`` models devices with internal channels (e.g. NAND dies):
+    ``k`` independent FIFO servers each running at ``rate / k``, with new
+    transfers dispatched to the earliest-free server.  ``parallelism=1``
+    (the default) is a plain FIFO pipe at full rate.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        rate_bytes_per_s: float,
+        per_op_overhead_ns: int = 0,
+        parallelism: int = 1,
+        name: str = "channel",
+    ) -> None:
+        if rate_bytes_per_s <= 0:
+            raise ValueError(f"rate must be positive, got {rate_bytes_per_s}")
+        if parallelism < 1:
+            raise ValueError(f"parallelism must be >= 1, got {parallelism}")
+        self.env = env
+        self.name = name
+        self.per_op_overhead_ns = int(per_op_overhead_ns)
+        self.parallelism = parallelism
+        self._rate = float(rate_bytes_per_s)
+        self._free_at = [0] * parallelism
+        # accounting
+        self.bytes_transferred = 0
+        self.ops = 0
+        self.busy_ns = 0
+
+    @property
+    def rate_bytes_per_s(self) -> float:
+        return self._rate
+
+    @rate_bytes_per_s.setter
+    def rate_bytes_per_s(self, value: float) -> None:
+        if value <= 0:
+            raise ValueError(f"rate must be positive, got {value}")
+        self._rate = float(value)
+
+    def service_ns(self, nbytes: int) -> int:
+        """Pure service time of ``nbytes`` (no queueing)."""
+        per_server_rate = self._rate / self.parallelism
+        return self.per_op_overhead_ns + int(round(nbytes * NS_PER_S / per_server_rate))
+
+    def queue_delay_ns(self) -> int:
+        """Wait a transfer submitted now would incur before service starts."""
+        free_at = min(self._free_at)
+        return max(0, free_at - self.env.now)
+
+    def backlog_ns(self) -> int:
+        """Total remaining work across all internal servers (congestion signal)."""
+        now = self.env.now
+        return sum(max(0, f - now) for f in self._free_at)
+
+    def reserve(self, nbytes: int, extra_ns: int = 0) -> int:
+        """Queue a transfer and return its *absolute* completion time.
+
+        This is the O(1) primitive behind :meth:`transfer`; layers that
+        need to combine several channel occupancies into one completion
+        event (e.g. a network transfer through sender-TX and receiver-RX)
+        call ``reserve`` on each channel and take the max.
+        """
+        if nbytes < 0:
+            raise ValueError(f"negative transfer size {nbytes}")
+        service = self.service_ns(nbytes) + int(extra_ns)
+        # earliest-free internal server
+        idx = min(range(self.parallelism), key=self._free_at.__getitem__)
+        start = max(self.env.now, self._free_at[idx])
+        done = start + service
+        self._free_at[idx] = done
+        self.bytes_transferred += nbytes
+        self.ops += 1
+        self.busy_ns += service
+        return done
+
+    def transfer(self, nbytes: int, extra_ns: int = 0) -> Event:
+        """Submit a transfer; returns its completion event.
+
+        ``extra_ns`` is appended to the service time (e.g. a fixed access
+        latency that occupies the channel).
+        """
+        done = self.reserve(nbytes, extra_ns)
+        return self.env.timeout(done - self.env.now, value=nbytes)
+
+    def utilization(self, elapsed_ns: int) -> float:
+        """Fraction of capacity used over ``elapsed_ns`` (can exceed 1 briefly
+        when overheads dominate)."""
+        if elapsed_ns <= 0:
+            return 0.0
+        return self.busy_ns / (elapsed_ns * self.parallelism)
+
+    def reset_accounting(self) -> None:
+        self.bytes_transferred = 0
+        self.ops = 0
+        self.busy_ns = 0

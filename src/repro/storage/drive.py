@@ -1,0 +1,169 @@
+"""The NVMe drive model.
+
+A drive is a FIFO bandwidth server (optionally several parallel internal
+servers) with distinct read/write rates plus a fixed access latency per
+operation.  The access latency does *not* consume channel capacity — modern
+SSDs overlap NAND access with data transfer across dies — so sustained
+throughput equals the profile bandwidth while per-op latency is
+``queueing + transfer + access``.
+
+In *functional mode* (``capacity_bytes`` given at construction) the drive
+additionally keeps a real byte array, so reads return the actual stored
+bytes and the whole RAID stack can be validated for bit-exactness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.sim.core import Environment, Event
+from repro.sim.resources import NS_PER_S
+
+
+@dataclass
+class DriveStats:
+    """Running counters for one drive."""
+
+    read_ops: int = 0
+    write_ops: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+    busy_ns: int = 0
+    gc_events: int = 0
+
+    def reset(self) -> None:
+        self.read_ops = 0
+        self.write_ops = 0
+        self.bytes_read = 0
+        self.bytes_written = 0
+        self.busy_ns = 0
+        self.gc_events = 0
+
+
+class NvmeDrive:
+    """A simulated NVMe SSD.
+
+    ``read``/``write`` return events that fire at I/O completion.  In
+    functional mode the read event's value is the stored bytes (snapshotted
+    at submission, which is deterministic and adequate because the RAID
+    layers above serialize conflicting stripe access).
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        profile,
+        name: str = "nvme",
+        functional_capacity: int = 0,
+    ) -> None:
+        self.env = env
+        self.profile = profile
+        self.name = name
+        self.stats = DriveStats()
+        self.failed = False
+        self._free_at = [0] * profile.parallelism
+        self._gc_budget = profile.gc_after_bytes_written
+        self._data: Optional[np.ndarray] = None
+        if functional_capacity:
+            self._data = np.zeros(functional_capacity, dtype=np.uint8)
+
+    # -- internals ---------------------------------------------------------
+
+    @property
+    def functional(self) -> bool:
+        return self._data is not None
+
+    def _dispatch(self, work_ns: int) -> int:
+        """Queue ``work_ns`` on the earliest-free internal server; returns
+        the absolute completion time of the channel occupancy."""
+        idx = min(range(len(self._free_at)), key=self._free_at.__getitem__)
+        start = max(self.env.now, self._free_at[idx])
+        done = start + work_ns
+        self._free_at[idx] = done
+        self.stats.busy_ns += work_ns
+        return done
+
+    def _transfer_ns(self, nbytes: int, rate: float) -> int:
+        # internal servers each run at rate/parallelism
+        per_server = rate / self.profile.parallelism
+        return int(round(nbytes * NS_PER_S / per_server))
+
+    def _check(self, offset: int, nbytes: int) -> None:
+        if self.failed:
+            raise DriveFailedError(f"{self.name} has failed")
+        if nbytes <= 0:
+            raise ValueError(f"I/O size must be positive, got {nbytes}")
+        if offset < 0:
+            raise ValueError(f"negative offset {offset}")
+        if self._data is not None and offset + nbytes > len(self._data):
+            raise ValueError(
+                f"{self.name}: I/O [{offset}, {offset + nbytes}) exceeds "
+                f"functional capacity {len(self._data)}"
+            )
+
+    # -- public I/O interface -----------------------------------------------
+
+    def read(self, offset: int, nbytes: int) -> Event:
+        """Read ``nbytes`` at ``offset``; event value is the data (or None)."""
+        self._check(offset, nbytes)
+        self.stats.read_ops += 1
+        self.stats.bytes_read += nbytes
+        done = self._dispatch(self._transfer_ns(nbytes, self.profile.read_bw_bytes_per_s))
+        completion = done + self.profile.read_latency_ns - self.env.now
+        value = None
+        if self._data is not None:
+            value = self._data[offset : offset + nbytes].copy()
+        return self.env.timeout(completion, value=value)
+
+    def write(self, offset: int, nbytes: int, data=None) -> Event:
+        """Write ``nbytes`` at ``offset``; ``data`` required in functional mode."""
+        self._check(offset, nbytes)
+        self.stats.write_ops += 1
+        self.stats.bytes_written += nbytes
+        work_ns = self._transfer_ns(nbytes, self.profile.write_bw_bytes_per_s)
+        if self.profile.gc_after_bytes_written:
+            self._gc_budget -= nbytes
+            if self._gc_budget <= 0:
+                # garbage collection stalls every internal channel
+                self._gc_budget = self.profile.gc_after_bytes_written
+                self.stats.gc_events += 1
+                stall_until = max(self._free_at) + self.profile.gc_pause_ns
+                self._free_at = [max(f, stall_until) for f in self._free_at]
+        done = self._dispatch(work_ns)
+        completion = done + self.profile.write_latency_ns - self.env.now
+        if self._data is not None:
+            if data is None:
+                raise ValueError(f"{self.name}: functional-mode write requires data")
+            arr = np.frombuffer(data, dtype=np.uint8) if isinstance(data, (bytes, bytearray)) else np.asarray(data, dtype=np.uint8)
+            if len(arr) != nbytes:
+                raise ValueError(f"data length {len(arr)} != nbytes {nbytes}")
+            self._data[offset : offset + nbytes] = arr
+        return self.env.timeout(completion)
+
+    # -- failure injection ----------------------------------------------------
+
+    def fail(self) -> None:
+        """Mark the drive failed; subsequent I/O raises DriveFailedError."""
+        self.failed = True
+
+    def repair(self) -> None:
+        self.failed = False
+
+    # -- introspection ----------------------------------------------------------
+
+    def peek(self, offset: int, nbytes: int) -> np.ndarray:
+        """Direct (zero-time) access to stored bytes, for test assertions."""
+        if self._data is None:
+            raise RuntimeError(f"{self.name} is not in functional mode")
+        return self._data[offset : offset + nbytes].copy()
+
+    def backlog_ns(self) -> int:
+        now = self.env.now
+        return sum(max(0, f - now) for f in self._free_at)
+
+
+class DriveFailedError(RuntimeError):
+    """Raised when I/O is submitted to a failed drive."""

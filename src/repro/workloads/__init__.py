@@ -1,0 +1,21 @@
+"""Workload generators: FIO-style block workloads and YCSB key-value mixes."""
+
+from repro.workloads.fio import FioResult, FioWorkload
+from repro.workloads.generators import (
+    LatestGenerator,
+    UniformGenerator,
+    ZipfianGenerator,
+)
+from repro.workloads.ycsb import YCSB_WORKLOADS, YcsbResult, YcsbWorkload, YcsbSpec
+
+__all__ = [
+    "FioResult",
+    "FioWorkload",
+    "LatestGenerator",
+    "UniformGenerator",
+    "YCSB_WORKLOADS",
+    "YcsbResult",
+    "YcsbSpec",
+    "YcsbWorkload",
+    "ZipfianGenerator",
+]

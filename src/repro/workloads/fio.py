@@ -1,0 +1,116 @@
+"""A FIO-style closed-loop block workload (§9.1).
+
+``queue_depth`` worker loops each keep one I/O outstanding against the
+array (aggregate inflight = queue depth, like FIO's ``iodepth`` with
+``numjobs=1``).  Offsets are uniformly random, aligned to the I/O size, over
+the array capacity; the read fraction selects the op mix.
+
+``run`` executes warmup then a measurement window and reports bandwidth,
+IOPS and the latency distribution — the quantities the paper's figures
+plot.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.metrics.latency import LatencyRecorder, LatencySummary
+from repro.sim.core import Environment
+
+MB = 1_000_000
+
+
+@dataclass(frozen=True)
+class FioResult:
+    """Outcome of one measurement window."""
+
+    bandwidth_mb_s: float
+    iops: float
+    latency: LatencySummary
+    ops_completed: int
+    measured_ns: int
+
+    @property
+    def bandwidth_gbps(self) -> float:
+        return self.bandwidth_mb_s * 8 / 1000
+
+
+class FioWorkload:
+    """Closed-loop random read/write generator against a RAID array."""
+
+    def __init__(
+        self,
+        array,
+        io_size: int,
+        read_fraction: float = 0.0,
+        queue_depth: int = 32,
+        capacity: Optional[int] = None,
+        seed: int = 1234,
+    ) -> None:
+        if io_size <= 0:
+            raise ValueError(f"io_size must be positive, got {io_size}")
+        if not 0.0 <= read_fraction <= 1.0:
+            raise ValueError(f"read_fraction out of range: {read_fraction}")
+        if queue_depth < 1:
+            raise ValueError(f"queue_depth must be >= 1, got {queue_depth}")
+        self.array = array
+        self.env: Environment = array.env
+        self.io_size = io_size
+        self.read_fraction = read_fraction
+        self.queue_depth = queue_depth
+        geometry = array.geometry
+        default_cap = geometry.stripe_data_bytes * 4096
+        self.capacity = capacity if capacity is not None else default_cap
+        if self.capacity < io_size:
+            raise ValueError("capacity smaller than one I/O")
+        self._rng = random.Random(seed)
+        self._slots = max(1, self.capacity // io_size)
+        self.reads = LatencyRecorder()
+        self.writes = LatencyRecorder()
+        self._bytes_done = 0
+        self._measuring = False
+
+    def _worker(self, stop_event):
+        while not stop_event.triggered:
+            offset = self._rng.randrange(self._slots) * self.io_size
+            is_read = self._rng.random() < self.read_fraction
+            start = self.env.now
+            if is_read:
+                yield self.array.read(offset, self.io_size)
+            else:
+                yield self.array.write(offset, self.io_size)
+            if self._measuring:
+                latency = self.env.now - start
+                (self.reads if is_read else self.writes).record(latency)
+                self._bytes_done += self.io_size
+
+    def combined_latency(self) -> LatencySummary:
+        merged = LatencyRecorder()
+        merged._samples = self.reads._samples + self.writes._samples
+        return merged.summarize()
+
+    def run(self, warmup_ns: int = 2_000_000, measure_ns: int = 30_000_000) -> FioResult:
+        """Warm up, measure for ``measure_ns``, return windowed results."""
+        stop = self.env.event()
+        for _ in range(self.queue_depth):
+            self.env.process(self._worker(stop), name="fio")
+        self.env.run(until=self.env.now + warmup_ns)
+        self._measuring = True
+        self._bytes_done = 0
+        start = self.env.now
+        self.env.run(until=start + measure_ns)
+        self._measuring = False
+        elapsed = self.env.now - start
+        stop.succeed()
+        # let inflight I/Os drain so worker processes terminate cleanly
+        self.env.run(until=self.env.now + 1)
+        summary = self.combined_latency()
+        return FioResult(
+            bandwidth_mb_s=self._bytes_done * 1e9 / elapsed / MB,
+            iops=summary.count * 1e9 / elapsed,
+            latency=summary,
+            ops_completed=summary.count,
+            measured_ns=elapsed,
+        )

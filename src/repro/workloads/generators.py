@@ -1,0 +1,88 @@
+"""Key-choice distributions for YCSB-style workloads.
+
+Implements the standard YCSB generators: uniform, scrambled-less zipfian
+(Gray et al.'s algorithm, as in the YCSB reference implementation) and
+"latest" (zipfian over recency, favouring recently inserted keys).
+"""
+
+from __future__ import annotations
+
+import random
+
+
+class UniformGenerator:
+    """Uniformly random keys over [0, count)."""
+
+    def __init__(self, count: int, seed: int = 0) -> None:
+        if count < 1:
+            raise ValueError(f"count must be >= 1, got {count}")
+        self.count = count
+        self._rng = random.Random(seed)
+
+    def next(self) -> int:
+        return self._rng.randrange(self.count)
+
+
+class ZipfianGenerator:
+    """Zipfian-distributed keys over [0, count) (YCSB constant 0.99).
+
+    Uses the rejection-free inverse-CDF approximation from Gray et al.,
+    "Quickly Generating Billion-Record Synthetic Databases" — the same
+    algorithm the YCSB reference implementation uses.
+    """
+
+    def __init__(self, count: int, theta: float = 0.99, seed: int = 0) -> None:
+        if count < 1:
+            raise ValueError(f"count must be >= 1, got {count}")
+        if not 0 < theta < 1:
+            raise ValueError(f"theta must be in (0,1), got {theta}")
+        self.count = count
+        self.theta = theta
+        self._rng = random.Random(seed)
+        self._zetan = self._zeta(count, theta)
+        self._zeta2 = self._zeta(2, theta)
+        self._alpha = 1.0 / (1.0 - theta)
+        self._eta = (1 - (2.0 / count) ** (1 - theta)) / (1 - self._zeta2 / self._zetan)
+
+    @staticmethod
+    def _zeta(n: int, theta: float) -> float:
+        # exact for small n; integral approximation beyond a cutoff
+        cutoff = min(n, 10_000)
+        total = sum(1.0 / (i ** theta) for i in range(1, cutoff + 1))
+        if n > cutoff:
+            # integral of x^-theta from cutoff to n
+            total += (n ** (1 - theta) - cutoff ** (1 - theta)) / (1 - theta)
+        return total
+
+    def next(self) -> int:
+        u = self._rng.random()
+        uz = u * self._zetan
+        if uz < 1.0:
+            return 0
+        if uz < 1.0 + 0.5 ** self.theta:
+            return 1
+        return int(self.count * (self._eta * u - self._eta + 1) ** self._alpha)
+
+
+class LatestGenerator:
+    """YCSB's 'latest' distribution: zipfian over recency.
+
+    ``record_insert`` grows the keyspace; ``next`` favours the most
+    recently inserted keys (key = newest - zipf_offset).
+    """
+
+    def __init__(self, count: int, seed: int = 0) -> None:
+        self.count = count
+        self._zipf = ZipfianGenerator(count, seed=seed)
+
+    def record_insert(self) -> int:
+        self.count += 1
+        # keep the offset distribution in sync with the keyspace size
+        if self.count > self._zipf.count * 2:
+            self._zipf = ZipfianGenerator(self.count, seed=self._zipf._rng.randrange(1 << 30))
+        return self.count - 1
+
+    def next(self) -> int:
+        offset = self._zipf.next()
+        key = self.count - 1 - offset
+        return max(0, key)

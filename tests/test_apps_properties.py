@@ -1,0 +1,136 @@
+"""Model-based property tests for the application layer.
+
+The LSM store is checked against a plain set (membership semantics across
+memtable/flush/compaction must never lose or invent keys); BlobFS against
+shadow byte strings (append/read across cluster boundaries).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps import BlobFs, LsmConfig, LsmKvStore
+from repro.cluster import ClusterConfig, build_cluster
+from repro.draid import DraidArray
+from repro.raid.geometry import RaidGeometry, RaidLevel
+from repro.sim import Environment
+
+KB = 1024
+
+
+def make_array(functional=0):
+    env = Environment()
+    cluster = build_cluster(
+        env, ClusterConfig(num_servers=5, functional_capacity=functional)
+    )
+    array = DraidArray(cluster, RaidGeometry(RaidLevel.RAID5, 5, 16 * KB))
+    return env, array
+
+
+class TestLsmModelBased:
+    @given(
+        ops=st.lists(
+            st.tuples(st.sampled_from(["put", "get", "scan"]), st.integers(0, 300)),
+            min_size=5,
+            max_size=60,
+        )
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_membership_matches_set_model(self, ops):
+        env, array = make_array()
+        fs = BlobFs(array, cluster_bytes=256 * KB)
+        store = LsmKvStore(
+            fs,
+            LsmConfig(value_bytes=1024, memtable_bytes=32 * KB,
+                      level0_compaction_trigger=3,
+                      bloom_false_positive=0.0),
+        )
+        model = set()
+
+        def run():
+            for op, key in ops:
+                if op == "put":
+                    yield store.put(key)
+                    model.add(key)
+                elif op == "get":
+                    found = yield store.get(key)
+                    assert found == (key in model), (op, key)
+                else:
+                    found = yield store.scan(key, 20)
+                    expected = len(model & set(range(key, key + 20)))
+                    assert found == expected, (op, key)
+            # let background work settle, then verify every key again
+            yield env.timeout(100_000_000)
+            for key in sorted(model):
+                found = yield store.get(key)
+                assert found is True, key
+            missing = yield store.get(10_000)
+            assert missing is False
+
+        env.run(until=env.process(run()))
+
+    def test_no_keys_lost_across_many_compactions(self):
+        env, array = make_array()
+        fs = BlobFs(array, cluster_bytes=256 * KB)
+        store = LsmKvStore(
+            fs,
+            LsmConfig(value_bytes=1024, memtable_bytes=16 * KB,
+                      level0_compaction_trigger=2),
+        )
+
+        def run():
+            for key in range(500):
+                yield store.put(key % 120)  # heavy overwriting
+            yield env.timeout(300_000_000)
+
+        env.run(until=env.process(run()))
+        assert store.stats["compactions"] >= 2
+        everything = set(store._memtable)
+        for immutable in store._immutable:
+            everything |= immutable
+        for level in store._levels:
+            for sst in level:
+                everything |= sst.keys
+        assert everything == set(range(120))
+
+
+class TestBlobFsModelBased:
+    @given(
+        appends=st.lists(
+            st.tuples(st.integers(0, 2), st.integers(1, 40 * KB)),
+            min_size=1,
+            max_size=12,
+        ),
+        seed=st.integers(0, 2**31),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_appends_match_shadow_bytes(self, appends, seed):
+        env, array = make_array(functional=2048 * 16 * KB)
+        fs = BlobFs(array, cluster_bytes=64 * KB, capacity=1024 * 16 * KB)
+        rng = np.random.default_rng(seed)
+        shadow = {}
+        ids = {}
+
+        def run():
+            for name_index, nbytes in appends:
+                name = f"blob{name_index}"
+                if name not in ids:
+                    ids[name] = yield fs.create_blob(name)
+                    shadow[name] = np.zeros(0, dtype=np.uint8)
+                payload = rng.integers(0, 256, nbytes, dtype=np.uint8)
+                yield fs.append(ids[name], nbytes, data=payload)
+                shadow[name] = np.concatenate([shadow[name], payload])
+            for name, blob_id in ids.items():
+                size = fs.blob_size(blob_id)
+                assert size == len(shadow[name])
+                data = yield fs.read(blob_id, 0, size)
+                assert np.array_equal(data, shadow[name]), name
+                # random sub-range
+                if size > 2:
+                    start = int(rng.integers(0, size - 1))
+                    length = int(rng.integers(1, size - start))
+                    part = yield fs.read(blob_id, start, length)
+                    assert np.array_equal(part, shadow[name][start : start + length])
+
+        env.run(until=env.process(run()))

@@ -1,0 +1,167 @@
+"""Functional tests for the §7 generalization: dRAID over RS(k+m) codes."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.base import ArrayFailureError
+from repro.cluster import ClusterConfig, build_cluster
+from repro.draid.ec_array import EcDraidArray, EcGeometry
+from repro.sim import Environment
+
+KB = 1024
+CHUNK = 16 * KB
+
+
+def make_harness(drives=8, parity=3, stripes=16):
+    env = Environment()
+    cluster = build_cluster(
+        env, ClusterConfig(num_servers=drives, functional_capacity=stripes * CHUNK)
+    )
+    geometry = EcGeometry(drives, CHUNK, num_parity=parity)
+    array = EcDraidArray(cluster, geometry)
+    capacity = stripes * geometry.stripe_data_bytes
+    model = np.zeros(capacity, dtype=np.uint8)
+    return env, cluster, array, model, capacity
+
+
+def write(env, array, model, offset, data):
+    env.run(until=array.write(offset, len(data), data))
+    model[offset : offset + len(data)] = data
+
+
+def check(env, array, model, offset, nbytes):
+    got = env.run(until=array.read(offset, nbytes))
+    assert np.array_equal(got, model[offset : offset + nbytes])
+
+
+class TestEcGeometry:
+    def test_parities_rotate_and_balance(self):
+        g = EcGeometry(8, CHUNK, num_parity=3)
+        counts = {d: 0 for d in range(8)}
+        for stripe in range(80):
+            parities = g.parity_drives(stripe)
+            assert len(set(parities)) == 3
+            for p in parities:
+                counts[p] += 1
+        assert set(counts.values()) == {30}
+
+    def test_data_disjoint_from_parity(self):
+        g = EcGeometry(9, CHUNK, num_parity=4)
+        for stripe in range(18):
+            parity = set(g.parity_drives(stripe))
+            data = {g.data_drive(stripe, d) for d in range(g.data_per_stripe)}
+            assert parity | data == set(range(9))
+            assert not parity & data
+
+    def test_invalid_configs(self):
+        with pytest.raises(ValueError):
+            EcGeometry(4, CHUNK, num_parity=0)
+        with pytest.raises(ValueError):
+            EcGeometry(4, CHUNK, num_parity=3)
+
+    def test_requires_ec_geometry(self):
+        env = Environment()
+        cluster = build_cluster(env, ClusterConfig(num_servers=5))
+        from repro.raid.geometry import RaidGeometry, RaidLevel
+
+        with pytest.raises(TypeError):
+            EcDraidArray(cluster, RaidGeometry(RaidLevel.RAID5, 5, CHUNK))
+
+
+class TestEcWrites:
+    def test_full_stripe_roundtrip(self):
+        env, cluster, array, model, cap = make_harness()
+        rng = np.random.default_rng(1)
+        blob = rng.integers(0, 256, 3 * array.geometry.stripe_data_bytes, dtype=np.uint8)
+        write(env, array, model, 0, blob)
+        check(env, array, model, 0, len(blob))
+
+    def test_rmw_small_write(self):
+        env, cluster, array, model, cap = make_harness()
+        rng = np.random.default_rng(2)
+        write(env, array, model, 0,
+              rng.integers(0, 256, 2 * array.geometry.stripe_data_bytes, dtype=np.uint8))
+        write(env, array, model, 5000, rng.integers(0, 256, 3000, dtype=np.uint8))
+        check(env, array, model, 0, 2 * array.geometry.stripe_data_bytes)
+        assert array.stats.rmw_writes >= 1
+
+    def test_rcw_write(self):
+        env, cluster, array, model, cap = make_harness()
+        rng = np.random.default_rng(3)
+        size = array.geometry.stripe_data_bytes - CHUNK
+        write(env, array, model, 0, rng.integers(0, 256, size, dtype=np.uint8))
+        check(env, array, model, 0, size)
+        assert array.stats.rcw_writes >= 1
+
+    def test_random_workload(self):
+        env, cluster, array, model, cap = make_harness()
+        rng = np.random.default_rng(4)
+        for _ in range(25):
+            size = int(rng.integers(1, 2 * array.geometry.stripe_data_bytes))
+            offset = int(rng.integers(0, cap - size))
+            if rng.random() < 0.35:
+                check(env, array, model, offset, size)
+            else:
+                write(env, array, model, offset,
+                      rng.integers(0, 256, size, dtype=np.uint8))
+        check(env, array, model, 0, cap)
+
+
+class TestEcFailures:
+    def test_tolerates_m_failures(self):
+        env, cluster, array, model, cap = make_harness(drives=8, parity=3)
+        rng = np.random.default_rng(5)
+        blob = rng.integers(0, 256, cap, dtype=np.uint8)
+        write(env, array, model, 0, blob)
+        for drive in (0, 2, 5):  # three failures on an m=3 code
+            array.fail_drive(drive)
+        check(env, array, model, 0, cap)
+
+    def test_rejects_m_plus_one_failures(self):
+        env, cluster, array, model, cap = make_harness(drives=8, parity=2)
+        array.fail_drive(0)
+        array.fail_drive(1)
+        with pytest.raises(ArrayFailureError):
+            array.fail_drive(2)
+
+    def test_degraded_write_region_path(self):
+        env, cluster, array, model, cap = make_harness()
+        rng = np.random.default_rng(6)
+        write(env, array, model, 0, rng.integers(0, 256, cap, dtype=np.uint8))
+        failed = array.geometry.data_drive(0, 0)
+        array.fail_drive(failed)
+        write(env, array, model, 1000, rng.integers(0, 256, 2000, dtype=np.uint8))
+        check(env, array, model, 0, 2 * array.geometry.stripe_data_bytes)
+
+    def test_degraded_writes_under_double_failure(self):
+        env, cluster, array, model, cap = make_harness(drives=8, parity=3)
+        rng = np.random.default_rng(7)
+        write(env, array, model, 0, rng.integers(0, 256, cap, dtype=np.uint8))
+        array.fail_drive(1)
+        array.fail_drive(4)
+        write(env, array, model, 3000, rng.integers(0, 256, 40_000, dtype=np.uint8))
+        check(env, array, model, 0, cap)
+
+    def test_parity_consistency_via_decode(self):
+        """After a workload, every stripe must decode from ANY k shards."""
+        env, cluster, array, model, cap = make_harness(drives=7, parity=2, stripes=8)
+        rng = np.random.default_rng(8)
+        write(env, array, model, 0, rng.integers(0, 256, cap, dtype=np.uint8))
+        write(env, array, model, 777, rng.integers(0, 256, 9999, dtype=np.uint8))
+        g = array.geometry
+        for stripe in range(3):
+            shards = {}
+            for d in range(g.data_per_stripe):
+                drive = g.data_drive(stripe, d)
+                shards[d] = cluster.drives()[drive].peek(stripe * CHUNK, CHUNK)
+            for j, p in enumerate(g.parity_drives(stripe)):
+                shards[g.data_per_stripe + j] = cluster.drives()[p].peek(stripe * CHUNK, CHUNK)
+            # drop two arbitrary shards, decode, compare with data shards
+            import random
+
+            keep = dict(shards)
+            for victim in random.Random(stripe).sample(sorted(keep), 2):
+                del keep[victim]
+            recovered = array.code.decode(keep, length=CHUNK)
+            for d in range(g.data_per_stripe):
+                assert np.array_equal(recovered[d], shards[d]), f"stripe {stripe} shard {d}"

@@ -1,0 +1,193 @@
+"""Tests for NICs, the fabric and RDMA connections."""
+
+import pytest
+
+from repro.net import Fabric, Nic
+from repro.sim import Environment
+
+GB = 1_000_000_000  # 1 GB/s => 1 byte/ns
+
+
+def make_pair(env, rate_a=GB, rate_b=GB, prop=0, op=0, loopback=0):
+    fabric = Fabric(env, propagation_ns=prop, rdma_op_ns=op, loopback_ns=loopback)
+    nic_a = Nic(env, rate_a, name="a")
+    nic_b = Nic(env, rate_b, name="b")
+    conn = fabric.connect(nic_a, nic_b)
+    return fabric, nic_a, nic_b, conn
+
+
+class TestTransferTiming:
+    def test_send_takes_size_over_rate(self):
+        env = Environment()
+        _, _, _, conn = make_pair(env)
+
+        def proc():
+            yield conn.a.send("hello", payload_bytes=1000 - 192)
+            return env.now
+
+        assert env.run(until=env.process(proc())) == 1000
+
+    def test_propagation_and_op_overhead(self):
+        env = Environment()
+        _, _, _, conn = make_pair(env, prop=1500, op=3000)
+
+        def proc():
+            yield conn.a.send("x", payload_bytes=808)  # 1000 total
+            return env.now
+
+        assert env.run(until=env.process(proc())) == 1000 + 1500 + 3000
+
+    def test_slower_receiver_bottlenecks(self):
+        env = Environment()
+        _, _, _, conn = make_pair(env, rate_a=GB, rate_b=GB // 4)
+
+        def proc():
+            yield conn.a.rdma_write(1000)
+            return env.now
+
+        assert env.run(until=env.process(proc())) == 4000
+
+    def test_rdma_read_pulls_through_peer_tx(self):
+        env = Environment()
+        _, nic_a, nic_b, conn = make_pair(env)
+
+        def proc():
+            yield conn.a.rdma_read(5000)
+            return env.now
+
+        assert env.run(until=env.process(proc())) == 5000
+        assert nic_b.tx_bytes == 5000
+        assert nic_a.rx_bytes == 5000
+        assert nic_a.tx_bytes == 0
+
+    def test_rdma_write_direction_accounting(self):
+        env = Environment()
+        _, nic_a, nic_b, conn = make_pair(env)
+
+        def proc():
+            yield conn.a.rdma_write(3000)
+
+        env.run(until=env.process(proc()))
+        assert nic_a.tx_bytes == 3000
+        assert nic_b.rx_bytes == 3000
+        assert nic_b.tx_bytes == 0
+
+    def test_full_duplex_no_interference(self):
+        env = Environment()
+        _, _, _, conn = make_pair(env)
+        done = []
+
+        def writer():
+            yield conn.a.rdma_write(10_000)
+            done.append(("w", env.now))
+
+        def reader():
+            yield conn.a.rdma_read(10_000)
+            done.append(("r", env.now))
+
+        env.process(writer())
+        env.process(reader())
+        env.run()
+        # write uses a.tx/b.rx, read uses b.tx/a.rx: fully concurrent.
+        assert done == [("w", 10_000), ("r", 10_000)]
+
+    def test_shared_tx_serializes(self):
+        env = Environment()
+        fabric = Fabric(env, propagation_ns=0, rdma_op_ns=0)
+        hub = Nic(env, GB, name="hub")
+        spoke1 = Nic(env, GB, name="s1")
+        spoke2 = Nic(env, GB, name="s2")
+        c1 = fabric.connect(hub, spoke1)
+        c2 = fabric.connect(hub, spoke2)
+        done = []
+
+        def proc(conn, tag):
+            yield conn.end_for(hub).rdma_write(10_000)
+            done.append((tag, env.now))
+
+        env.process(proc(c1, "one"))
+        env.process(proc(c2, "two"))
+        env.run()
+        # Both flows share hub.tx: 20 kB at 1 B/ns total.
+        assert done == [("one", 10_000), ("two", 20_000)]
+
+
+class TestMessaging:
+    def test_message_delivered_to_peer_inbox(self):
+        env = Environment()
+        _, _, _, conn = make_pair(env)
+
+        def sender():
+            yield conn.a.send({"op": "read"}, payload_bytes=0)
+
+        def receiver():
+            msg = yield conn.b.recv()
+            return (env.now, msg)
+
+        env.process(sender())
+        t, msg = env.run(until=env.process(receiver()))
+        assert msg == {"op": "read"}
+        assert t == 192  # capsule bytes at 1 B/ns
+
+    def test_in_order_delivery(self):
+        env = Environment()
+        _, _, _, conn = make_pair(env)
+        received = []
+
+        def sender():
+            for i in range(5):
+                conn.a.send(i, payload_bytes=1000)
+            yield env.timeout(0)
+
+        def receiver():
+            for _ in range(5):
+                msg = yield conn.b.recv()
+                received.append(msg)
+
+        env.process(sender())
+        env.process(receiver())
+        env.run()
+        assert received == [0, 1, 2, 3, 4]
+
+    def test_loopback_bypasses_nic(self):
+        env = Environment()
+        fabric = Fabric(env, loopback_ns=500, rdma_op_ns=0)
+        nic = Nic(env, GB, name="solo")
+        conn = fabric.connect(nic, nic)
+
+        def proc():
+            yield conn.a.rdma_write(1 << 20)
+            return env.now
+
+        assert env.run(until=env.process(proc())) == 500
+        assert nic.tx_bytes == 0  # co-located: no wire traffic
+
+    def test_end_for_unknown_nic_rejected(self):
+        env = Environment()
+        _, _, _, conn = make_pair(env)
+        stranger = Nic(env, GB, name="stranger")
+        with pytest.raises(ValueError):
+            conn.end_for(stranger)
+
+
+class TestNic:
+    def test_available_bandwidth_decreases_with_backlog(self):
+        env = Environment()
+        nic = Nic(env, GB)
+        full = nic.available_bandwidth(window_ns=1_000_000)
+        nic.tx.reserve(500_000)  # 500 us of backlog
+        half = nic.available_bandwidth(window_ns=1_000_000)
+        assert half == pytest.approx(full * 0.5)
+
+    def test_available_bandwidth_floors_at_zero(self):
+        env = Environment()
+        nic = Nic(env, GB)
+        nic.tx.reserve(10_000_000)
+        assert nic.available_bandwidth(window_ns=1_000_000) == 0.0
+
+    def test_reset_accounting(self):
+        env = Environment()
+        nic = Nic(env, GB)
+        nic.tx.reserve(100)
+        nic.reset_accounting()
+        assert nic.tx_bytes == 0

@@ -1,0 +1,135 @@
+"""Tests for the §7 offloaded host-side controller."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import ClusterConfig, build_cluster
+from repro.draid import DraidArray
+from repro.draid.offload import OffloadedController, OffloadedDraidArray
+from repro.raid.geometry import RaidGeometry, RaidLevel
+from repro.sim import Environment
+from repro.workloads import FioWorkload
+
+KB = 1024
+CHUNK = 16 * KB
+
+
+def make_offloaded(servers=6, stripes=16, functional=True, controller=0):
+    env = Environment()
+    cluster = build_cluster(
+        env,
+        ClusterConfig(num_servers=servers,
+                      functional_capacity=stripes * CHUNK if functional else 0),
+    )
+    geometry = RaidGeometry(RaidLevel.RAID5, servers - 1, CHUNK)
+    array = OffloadedDraidArray(cluster, geometry, controller_server=controller)
+    return env, cluster, array, geometry
+
+
+class TestTopology:
+    def test_geometry_must_leave_room_for_controller(self):
+        env = Environment()
+        cluster = build_cluster(env, ClusterConfig(num_servers=6))
+        with pytest.raises(ValueError):
+            OffloadedController(cluster, RaidGeometry(RaidLevel.RAID5, 6, CHUNK), 0)
+
+    def test_drive_to_server_mapping_skips_controller(self):
+        env, cluster, array, geometry = make_offloaded(controller=2)
+        controller = array.controller
+        assert [controller._server_of(d) for d in range(5)] == [0, 1, 3, 4, 5]
+        assert controller._drive_of(4) == 3
+        with pytest.raises(ValueError):
+            controller._drive_of(2)
+
+
+class TestFunctional:
+    def test_roundtrip_through_proxy(self):
+        env, cluster, array, geometry = make_offloaded()
+        rng = np.random.default_rng(0)
+        blob = rng.integers(0, 256, 2 * geometry.stripe_data_bytes, dtype=np.uint8)
+        env.run(until=array.write(0, len(blob), blob))
+        data = env.run(until=array.read(0, len(blob)))
+        assert np.array_equal(data, blob)
+
+    def test_partial_writes_and_parity(self):
+        env, cluster, array, geometry = make_offloaded()
+        rng = np.random.default_rng(1)
+        blob = rng.integers(0, 256, 3 * geometry.stripe_data_bytes, dtype=np.uint8)
+        env.run(until=array.write(0, len(blob), blob))
+        patch = rng.integers(0, 256, 5000, dtype=np.uint8)
+        env.run(until=array.write(777, len(patch), patch))
+        blob[777 : 777 + len(patch)] = patch
+        data = env.run(until=array.read(0, len(blob)))
+        assert np.array_equal(data, blob)
+        assert array.stats.rmw_writes >= 1
+
+    def test_degraded_read_through_proxy(self):
+        env, cluster, array, geometry = make_offloaded()
+        rng = np.random.default_rng(2)
+        blob = rng.integers(0, 256, 2 * geometry.stripe_data_bytes, dtype=np.uint8)
+        env.run(until=array.write(0, len(blob), blob))
+        array.fail_drive(0)
+        data = env.run(until=array.read(0, len(blob)))
+        assert np.array_equal(data, blob)
+        assert array.degraded
+
+    def test_random_workload(self):
+        env, cluster, array, geometry = make_offloaded(stripes=24)
+        rng = np.random.default_rng(3)
+        capacity = 24 * geometry.stripe_data_bytes
+        model = np.zeros(capacity, dtype=np.uint8)
+        for _ in range(20):
+            size = int(rng.integers(1, 2 * geometry.stripe_data_bytes))
+            offset = int(rng.integers(0, capacity - size))
+            if rng.random() < 0.4:
+                data = env.run(until=array.read(offset, size))
+                assert np.array_equal(data, model[offset : offset + size])
+            else:
+                payload = rng.integers(0, 256, size, dtype=np.uint8)
+                env.run(until=array.write(offset, size, payload))
+                model[offset : offset + size] = payload
+
+
+class TestTradeoffs:
+    def test_host_resources_nearly_idle(self):
+        """§7: 'a full offloading further reduces resource usage on the
+        host side' — host CPU does ~nothing; the controller's core works."""
+        env, cluster, array, geometry = make_offloaded(functional=False)
+        fio = FioWorkload(array, 32 * KB, read_fraction=0.0, queue_depth=8)
+        fio.run(measure_ns=10_000_000)
+        host_busy = sum(core.busy_ns for core in cluster.host.cores)
+        controller_busy = cluster.servers[0].cpu.busy_ns
+        assert host_busy < controller_busy / 10
+
+    def test_extra_hop_costs_latency(self):
+        """§7: offloading 'may slightly increase the latency with another
+        NVMe-oF abstraction layer and additional I/O overlay'."""
+
+        def write_latency(offloaded: bool) -> float:
+            env = Environment()
+            if offloaded:
+                cluster = build_cluster(env, ClusterConfig(num_servers=6))
+                array = OffloadedDraidArray(
+                    cluster, RaidGeometry(RaidLevel.RAID5, 5, CHUNK)
+                )
+            else:
+                cluster = build_cluster(env, ClusterConfig(num_servers=5))
+                array = DraidArray(cluster, RaidGeometry(RaidLevel.RAID5, 5, CHUNK))
+            fio = FioWorkload(array, 32 * KB, read_fraction=0.0, queue_depth=1)
+            return fio.run(measure_ns=10_000_000).latency.mean_ns
+
+        direct = write_latency(offloaded=False)
+        offloaded = write_latency(offloaded=True)
+        assert offloaded > direct * 1.05
+        assert offloaded < direct * 2.0  # "slightly" — not catastrophically
+
+    def test_write_payload_hops_through_controller(self):
+        env, cluster, array, geometry = make_offloaded(functional=False)
+        cluster.reset_accounting()
+        size = 32 * KB
+        env.run(until=array.write(0, size))
+        controller_nic = cluster.servers[0].nic
+        # the payload entered the controller (host->controller) and left it
+        # again (controller->data bdev): the §7 "additional I/O overlay"
+        assert controller_nic.rx_bytes >= size
+        assert controller_nic.tx_bytes >= size

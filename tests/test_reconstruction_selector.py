@@ -1,0 +1,144 @@
+"""Tests for reducer selection: the §6.2 max-min solver and selectors."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import ClusterConfig, build_cluster
+from repro.draid.reconstruction import (
+    BandwidthAwareSelector,
+    RandomReducerSelector,
+    solve_reducer_probabilities,
+)
+from repro.sim import Environment
+
+GB = 1e9
+
+
+class TestSolver:
+    @given(
+        bandwidths=st.lists(st.floats(0, 100 * GB), min_size=1, max_size=20),
+        load=st.floats(0, 10 * GB),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_valid_distribution(self, bandwidths, load):
+        probs = solve_reducer_probabilities(bandwidths, load)
+        assert len(probs) == len(bandwidths)
+        assert all(p >= 0 for p in probs)
+        assert sum(probs) == pytest.approx(1.0)
+
+    def test_homogeneous_is_uniform(self):
+        probs = solve_reducer_probabilities([10 * GB] * 5, load=1 * GB)
+        assert probs == pytest.approx([0.2] * 5)
+
+    def test_starved_bdev_gets_zero(self):
+        # one bdev has almost no headroom: it should not be picked
+        probs = solve_reducer_probabilities([10 * GB, 10 * GB, 0.01 * GB], load=2 * GB)
+        assert probs[2] == pytest.approx(0.0, abs=1e-9)
+        assert probs[0] == pytest.approx(probs[1])
+
+    def test_heterogeneous_prefers_fat_pipe(self):
+        # 100G vs 25G NICs (the paper's Fig 17b setup)
+        probs = solve_reducer_probabilities([11.5 * GB, 2.875 * GB], load=1 * GB)
+        assert probs[0] > probs[1]
+
+    @given(
+        bandwidths=st.lists(st.floats(0.1 * GB, 50 * GB), min_size=2, max_size=10),
+        load=st.floats(0.1 * GB, 5 * GB),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_maximizes_minimum_remaining_bandwidth(self, bandwidths, load):
+        """Cross-check against scipy linprog on the same LP."""
+        from scipy.optimize import linprog
+
+        n = len(bandwidths)
+        demand = (n - 1) * load
+        # variables: P_1..P_n, t ; maximize t
+        # constraints: B_i - P_i * demand >= t  =>  P_i * demand + t <= B_i
+        a_ub = np.zeros((n, n + 1))
+        for i in range(n):
+            a_ub[i, i] = demand
+            a_ub[i, n] = 1.0
+        b_ub = np.array(bandwidths)
+        a_eq = np.zeros((1, n + 1))
+        a_eq[0, :n] = 1.0
+        c = np.zeros(n + 1)
+        c[n] = -1.0
+        bounds = [(0, 1)] * n + [(None, None)]
+        lp = linprog(c, A_ub=a_ub, b_ub=b_ub, A_eq=a_eq, b_eq=[1.0], bounds=bounds)
+        assert lp.success
+        optimal_t = -lp.fun
+        probs = solve_reducer_probabilities(bandwidths, load)
+        ours_t = min(b - p * demand for b, p in zip(bandwidths, probs))
+        assert ours_t >= optimal_t - max(1.0, abs(optimal_t)) * 1e-6
+
+    def test_zero_load_proportional(self):
+        probs = solve_reducer_probabilities([3 * GB, 1 * GB], load=0)
+        assert probs == pytest.approx([0.75, 0.25])
+
+    def test_all_zero_bandwidth_uniform(self):
+        probs = solve_reducer_probabilities([0, 0, 0], load=1 * GB)
+        assert probs == pytest.approx([1 / 3] * 3)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            solve_reducer_probabilities([], load=1)
+        with pytest.raises(ValueError):
+            solve_reducer_probabilities([-1.0], load=1)
+
+
+class TestSelectors:
+    def test_random_selector_uniformity(self):
+        sel = RandomReducerSelector(seed=0)
+        counts = {i: 0 for i in range(4)}
+        for _ in range(4000):
+            counts[sel.pick([0, 1, 2, 3], 4096)] += 1
+        for c in counts.values():
+            assert 800 < c < 1200
+
+    def test_bandwidth_aware_avoids_slow_nic(self):
+        env = Environment()
+        cluster = build_cluster(
+            env,
+            ClusterConfig(num_servers=4, server_nic_rates=[11.5 * GB] * 3 + [0.5 * GB]),
+        )
+        sel = BandwidthAwareSelector(cluster, seed=1)
+        # reconstruction load comparable to the wimpy NIC's bandwidth
+        sel._load_ewma = 1e9
+        probs = sel.probabilities([0, 1, 2, 3])
+        # the wimpy NIC gets (almost) no reducer traffic
+        assert probs[3] < 0.01
+        assert probs[0] == pytest.approx(probs[1])
+        # and sampling respects the distribution
+        counts = {i: 0 for i in range(4)}
+        for _ in range(400):
+            counts[sel._rng.choices([0, 1, 2, 3], weights=probs, k=1)[0]] += 1
+        assert counts[3] < 10
+
+    def test_bandwidth_aware_tracks_backlog(self):
+        env = Environment()
+        cluster = build_cluster(env, ClusterConfig(num_servers=3))
+        sel = BandwidthAwareSelector(cluster, seed=2)
+        sel._load_ewma = 1 * GB
+        # server 0 has a huge TX backlog
+        cluster.servers[0].nic.tx.reserve(50_000_000)
+        probs = sel.probabilities([0, 1, 2])
+        assert probs[0] < probs[1]
+        assert probs[1] == pytest.approx(probs[2])
+
+    def test_ewma_updates(self):
+        env = Environment()
+        cluster = build_cluster(env, ClusterConfig(num_servers=3))
+        sel = BandwidthAwareSelector(cluster, seed=3, alpha=0.5)
+        assert sel.load_estimate == 0.0
+        sel.pick([0, 1, 2], 128 * 1024)
+        env.run(until=env.now + 100_000)
+        sel.pick([0, 1, 2], 128 * 1024)
+        assert sel.load_estimate > 0
+
+    def test_invalid_alpha(self):
+        env = Environment()
+        cluster = build_cluster(env, ClusterConfig(num_servers=2))
+        with pytest.raises(ValueError):
+            BandwidthAwareSelector(cluster, alpha=0)

@@ -1,0 +1,260 @@
+"""Unit tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.sim import AllOf, AnyOf, Environment, Interrupt, SimulationError
+
+
+def test_timeout_advances_clock():
+    env = Environment()
+
+    def proc():
+        yield env.timeout(100)
+        return env.now
+
+    p = env.process(proc())
+    assert env.run(until=p) == 100
+    assert env.now == 100
+
+
+def test_timeout_value_passthrough():
+    env = Environment()
+
+    def proc():
+        got = yield env.timeout(5, value="hello")
+        return got
+
+    assert env.run(until=env.process(proc())) == "hello"
+
+
+def test_negative_delay_rejected():
+    env = Environment()
+    with pytest.raises(ValueError):
+        env.timeout(-1)
+
+
+def test_events_fire_in_time_order():
+    env = Environment()
+    order = []
+
+    def proc(delay, tag):
+        yield env.timeout(delay)
+        order.append((env.now, tag))
+
+    env.process(proc(30, "c"))
+    env.process(proc(10, "a"))
+    env.process(proc(20, "b"))
+    env.run()
+    assert order == [(10, "a"), (20, "b"), (30, "c")]
+
+
+def test_fifo_order_for_simultaneous_events():
+    env = Environment()
+    order = []
+
+    def proc(tag):
+        yield env.timeout(7)
+        order.append(tag)
+
+    for tag in "abcd":
+        env.process(proc(tag))
+    env.run()
+    assert order == list("abcd")
+
+
+def test_process_waits_on_process():
+    env = Environment()
+
+    def child():
+        yield env.timeout(42)
+        return "done"
+
+    def parent():
+        result = yield env.process(child())
+        return (env.now, result)
+
+    assert env.run(until=env.process(parent())) == (42, "done")
+
+
+def test_yield_already_completed_event():
+    env = Environment()
+
+    def child():
+        yield env.timeout(5)
+        return 99
+
+    def parent(c):
+        yield env.timeout(50)  # child finished long ago
+        value = yield c
+        return (env.now, value)
+
+    c = env.process(child())
+    assert env.run(until=env.process(parent(c))) == (50, 99)
+
+
+def test_event_succeed_manually():
+    env = Environment()
+    gate = env.event()
+
+    def opener():
+        yield env.timeout(10)
+        gate.succeed("open")
+
+    def waiter():
+        value = yield gate
+        return (env.now, value)
+
+    env.process(opener())
+    assert env.run(until=env.process(waiter())) == (10, "open")
+
+
+def test_event_double_trigger_rejected():
+    env = Environment()
+    ev = env.event()
+    ev.succeed(1)
+    with pytest.raises(SimulationError):
+        ev.succeed(2)
+
+
+def test_failure_propagates_into_waiter():
+    env = Environment()
+    gate = env.event()
+
+    def failer():
+        yield env.timeout(1)
+        gate.fail(ValueError("boom"))
+
+    def waiter():
+        try:
+            yield gate
+        except ValueError as exc:
+            return f"caught {exc}"
+
+    env.process(failer())
+    assert env.run(until=env.process(waiter())) == "caught boom"
+
+
+def test_unhandled_failure_raises_at_run():
+    env = Environment()
+
+    def failer():
+        yield env.timeout(1)
+        raise RuntimeError("unhandled")
+
+    env.process(failer())
+    with pytest.raises(RuntimeError, match="unhandled"):
+        env.run()
+
+
+def test_all_of_waits_for_everything():
+    env = Environment()
+
+    def proc():
+        results = yield AllOf(env, [env.timeout(10, "a"), env.timeout(30, "b")])
+        return (env.now, sorted(results.values()))
+
+    assert env.run(until=env.process(proc())) == (30, ["a", "b"])
+
+
+def test_any_of_returns_on_first():
+    env = Environment()
+
+    def proc():
+        yield AnyOf(env, [env.timeout(10, "fast"), env.timeout(99, "slow")])
+        return env.now
+
+    assert env.run(until=env.process(proc())) == 10
+
+
+def test_all_of_empty_is_immediate():
+    env = Environment()
+
+    def proc():
+        yield AllOf(env, [])
+        return env.now
+
+    assert env.run(until=env.process(proc())) == 0
+
+
+def test_interrupt_wakes_process():
+    env = Environment()
+
+    def sleeper():
+        try:
+            yield env.timeout(1_000_000)
+            return "slept"
+        except Interrupt as intr:
+            return ("interrupted", env.now, intr.cause)
+
+    def interrupter(target):
+        yield env.timeout(25)
+        target.interrupt("wake up")
+
+    target = env.process(sleeper())
+    env.process(interrupter(target))
+    assert env.run(until=target) == ("interrupted", 25, "wake up")
+
+
+def test_interrupt_dead_process_rejected():
+    env = Environment()
+
+    def quick():
+        yield env.timeout(1)
+
+    p = env.process(quick())
+    env.run()
+    with pytest.raises(SimulationError):
+        p.interrupt()
+
+
+def test_run_until_time_stops_clock():
+    env = Environment()
+    ticks = []
+
+    def ticker():
+        while True:
+            yield env.timeout(10)
+            ticks.append(env.now)
+
+    env.process(ticker())
+    env.run(until=105)
+    assert env.now == 105
+    assert ticks == [10, 20, 30, 40, 50, 60, 70, 80, 90, 100]
+
+
+def test_run_until_untriggerable_event_raises():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        env.run(until=env.event())
+
+
+def test_nested_processes_deep_chain():
+    env = Environment()
+
+    def level(n):
+        if n == 0:
+            yield env.timeout(1)
+            return 0
+        result = yield env.process(level(n - 1))
+        return result + 1
+
+    assert env.run(until=env.process(level(50))) == 50
+    assert env.now == 1
+
+
+def test_determinism_two_runs_identical():
+    def build():
+        env = Environment()
+        log = []
+
+        def proc(seed):
+            for i in range(5):
+                yield env.timeout((seed * 7 + i * 13) % 29 + 1)
+                log.append((env.now, seed, i))
+
+        for seed in range(4):
+            env.process(proc(seed))
+        env.run()
+        return log
+
+    assert build() == build()

@@ -1,0 +1,154 @@
+"""Property-based tests of the simulation kernel and network model.
+
+These pin down the conservation laws the whole evaluation rests on:
+FIFO bandwidth channels never create or destroy capacity, event ordering
+is deterministic, and transfers account bytes exactly once per direction.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net import Fabric, Nic
+from repro.sim import BandwidthChannel, Environment
+from repro.sim.resources import NS_PER_S
+
+
+class TestChannelConservation:
+    @given(
+        sizes=st.lists(st.integers(1, 1_000_000), min_size=1, max_size=30),
+        gaps=st.lists(st.integers(0, 10_000), min_size=1, max_size=30),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_busy_time_equals_total_work(self, sizes, gaps):
+        """Whatever the arrival pattern, total channel busy time equals the
+        sum of service times (work conservation)."""
+        env = Environment()
+        channel = BandwidthChannel(env, rate_bytes_per_s=NS_PER_S)
+
+        def submitter():
+            for size, gap in zip(sizes, gaps + [0] * len(sizes)):
+                channel.transfer(size)
+                if gap:
+                    yield env.timeout(gap)
+            if True:
+                yield env.timeout(0)
+
+        env.process(submitter())
+        env.run()
+        assert channel.busy_ns == sum(sizes[: channel.ops])
+        assert channel.bytes_transferred == sum(sizes[: channel.ops])
+
+    @given(sizes=st.lists(st.integers(1, 500_000), min_size=1, max_size=20))
+    @settings(max_examples=60, deadline=None)
+    def test_makespan_lower_bounded_by_work(self, sizes):
+        """All-at-once submission finishes exactly at total work / rate."""
+        env = Environment()
+        channel = BandwidthChannel(env, rate_bytes_per_s=NS_PER_S)
+        events = [channel.transfer(s) for s in sizes]
+
+        def waiter():
+            for event in events:
+                yield event
+            return env.now
+
+        makespan = env.run(until=env.process(waiter()))
+        assert makespan == sum(sizes)
+
+    @given(
+        sizes=st.lists(st.integers(1, 200_000), min_size=2, max_size=16),
+        parallelism=st.integers(1, 4),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_parallel_servers_conserve_aggregate_rate(self, sizes, parallelism):
+        env = Environment()
+        channel = BandwidthChannel(
+            env, rate_bytes_per_s=NS_PER_S, parallelism=parallelism
+        )
+        events = [channel.transfer(s) for s in sizes]
+
+        def waiter():
+            for event in events:
+                yield event
+            return env.now
+
+        makespan = env.run(until=env.process(waiter()))
+        total = sum(sizes)
+        # aggregate throughput cannot exceed the channel rate, and with
+        # enough work the makespan is within one max-job of optimal
+        assert makespan >= total
+        assert makespan <= total + max(sizes) * parallelism
+
+
+class TestNetworkConservation:
+    @given(
+        sizes=st.lists(st.integers(64, 500_000), min_size=1, max_size=20),
+        seed=st.integers(0, 1000),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_bytes_accounted_once_per_direction(self, sizes, seed):
+        import random
+
+        env = Environment()
+        fabric = Fabric(env, propagation_ns=0, rdma_op_ns=0)
+        a = Nic(env, 1e9, name="a")
+        b = Nic(env, 1e9, name="b")
+        conn = fabric.connect(a, b)
+        rng = random.Random(seed)
+        sent_a = sent_b = 0
+        for size in sizes:
+            if rng.random() < 0.5:
+                conn.a.rdma_write(size)
+                sent_a += size
+            else:
+                conn.b.rdma_write(size)
+                sent_b += size
+        env.run()
+        assert a.tx_bytes == sent_a
+        assert b.rx_bytes == sent_a
+        assert b.tx_bytes == sent_b
+        assert a.rx_bytes == sent_b
+
+    @given(sizes=st.lists(st.integers(1_000, 200_000), min_size=2, max_size=12))
+    @settings(max_examples=40, deadline=None)
+    def test_slow_receiver_is_the_bottleneck(self, sizes):
+        env = Environment()
+        fabric = Fabric(env, propagation_ns=0, rdma_op_ns=0)
+        fast = Nic(env, 4e9, name="fast")
+        slow = Nic(env, 1e9, name="slow")
+        conn = fabric.connect(fast, slow)
+        events = [conn.a.rdma_write(s) for s in sizes]
+
+        def waiter():
+            for event in events:
+                yield event
+            return env.now
+
+        makespan = env.run(until=env.process(waiter()))
+        # the 1 GB/s receiver bounds the flow: 1 byte per ns
+        assert makespan >= sum(sizes)
+
+
+class TestDeterminism:
+    @given(seed=st.integers(0, 100))
+    @settings(max_examples=20, deadline=None)
+    def test_identical_runs_identical_schedules(self, seed):
+        def run():
+            import random
+
+            env = Environment()
+            channel = BandwidthChannel(env, rate_bytes_per_s=NS_PER_S)
+            rng = random.Random(seed)
+            log = []
+
+            def worker(tag):
+                for _ in range(5):
+                    yield channel.transfer(rng.randrange(1, 10_000))
+                    log.append((tag, env.now))
+
+            for tag in range(4):
+                env.process(worker(tag))
+            env.run()
+            return log
+
+        assert run() == run()

@@ -1,0 +1,188 @@
+"""Tests for the NVMe drive model."""
+
+import numpy as np
+import pytest
+
+from repro.sim import Environment
+from repro.storage import DELL_AGN_MU, DriveProfile, NvmeDrive
+from repro.storage.drive import DriveFailedError
+
+MB = 1_000_000
+
+
+def make_drive(env, read_bw=1000 * MB, write_bw=500 * MB, rlat=0, wlat=0, par=1, cap=0):
+    profile = DriveProfile(
+        name="test",
+        read_bw_bytes_per_s=read_bw,
+        write_bw_bytes_per_s=write_bw,
+        read_latency_ns=rlat,
+        write_latency_ns=wlat,
+        parallelism=par,
+    )
+    return NvmeDrive(env, profile, functional_capacity=cap)
+
+
+class TestTiming:
+    def test_read_service_time(self):
+        env = Environment()
+        drive = make_drive(env, read_bw=1000 * MB)  # 1 B/ns
+
+        def proc():
+            yield drive.read(0, 128_000)
+            return env.now
+
+        assert env.run(until=env.process(proc())) == 128_000
+
+    def test_access_latency_added_but_not_capacity(self):
+        env = Environment()
+        drive = make_drive(env, read_bw=1000 * MB, rlat=80_000)
+        done = []
+
+        def proc(i):
+            yield drive.read(0, 100_000)
+            done.append(env.now)
+
+        env.process(proc(0))
+        env.process(proc(1))
+        env.run()
+        # FIFO channel: transfers at 100k and 200k; +80k latency each.
+        # Latency overlaps across ops (does not serialize throughput).
+        assert done == [180_000, 280_000]
+
+    def test_write_slower_than_read(self):
+        env = Environment()
+        drive = make_drive(env, read_bw=1000 * MB, write_bw=500 * MB)
+        times = {}
+
+        def proc():
+            yield drive.read(0, 100_000)
+            times["read"] = env.now
+            yield drive.write(0, 100_000)
+            times["write"] = env.now - times["read"]
+
+        env.run(until=env.process(proc()))
+        assert times["read"] == 100_000
+        assert times["write"] == 200_000
+
+    def test_mixed_read_write_share_channel(self):
+        """Reads and writes serialize on the same internal channel, giving
+        the harmonic-mean behaviour the paper's drive-bound RMW shows."""
+        env = Environment()
+        drive = make_drive(env, read_bw=1000 * MB, write_bw=500 * MB)
+
+        def proc():
+            r = drive.read(0, 100_000)
+            w = drive.write(0, 100_000)
+            yield r
+            yield w
+            return env.now
+
+        # read occupies 100k, write 200k, FIFO => total 300k
+        assert env.run(until=env.process(proc())) == 300_000
+
+    def test_parallelism_aggregate(self):
+        env = Environment()
+        drive = make_drive(env, read_bw=1000 * MB, par=4)
+        done = []
+
+        def proc(i):
+            yield drive.read(0, 100_000)
+            done.append(env.now)
+
+        for i in range(4):
+            env.process(proc(i))
+        env.run()
+        # 4 servers at 250 MB/s each: all finish at 400k
+        assert done == [400_000] * 4
+
+    def test_stats_accounting(self):
+        env = Environment()
+        drive = make_drive(env)
+
+        def proc():
+            yield drive.read(0, 1000)
+            yield drive.write(0, 2000)
+
+        env.run(until=env.process(proc()))
+        assert drive.stats.read_ops == 1
+        assert drive.stats.write_ops == 1
+        assert drive.stats.bytes_read == 1000
+        assert drive.stats.bytes_written == 2000
+        drive.stats.reset()
+        assert drive.stats.bytes_read == 0
+
+
+class TestFunctionalMode:
+    def test_write_then_read_roundtrip(self):
+        env = Environment()
+        drive = make_drive(env, cap=1 << 20)
+        payload = bytes(range(256))
+
+        def proc():
+            yield drive.write(4096, 256, payload)
+            data = yield drive.read(4096, 256)
+            return bytes(data)
+
+        assert env.run(until=env.process(proc())) == payload
+
+    def test_unwritten_reads_zero(self):
+        env = Environment()
+        drive = make_drive(env, cap=4096)
+
+        def proc():
+            data = yield drive.read(0, 16)
+            return bytes(data)
+
+        assert env.run(until=env.process(proc())) == b"\x00" * 16
+
+    def test_functional_write_requires_data(self):
+        env = Environment()
+        drive = make_drive(env, cap=4096)
+        with pytest.raises(ValueError):
+            drive.write(0, 16)
+
+    def test_out_of_range_io_rejected(self):
+        env = Environment()
+        drive = make_drive(env, cap=4096)
+        with pytest.raises(ValueError):
+            drive.read(4090, 16)
+
+    def test_peek(self):
+        env = Environment()
+        drive = make_drive(env, cap=4096)
+
+        def proc():
+            yield drive.write(8, 4, b"\x01\x02\x03\x04")
+
+        env.run(until=env.process(proc()))
+        assert drive.peek(8, 4).tolist() == [1, 2, 3, 4]
+
+    def test_peek_requires_functional(self):
+        env = Environment()
+        drive = make_drive(env)
+        with pytest.raises(RuntimeError):
+            drive.peek(0, 1)
+
+
+class TestFailure:
+    def test_failed_drive_rejects_io(self):
+        env = Environment()
+        drive = make_drive(env)
+        drive.fail()
+        with pytest.raises(DriveFailedError):
+            drive.read(0, 16)
+        drive.repair()
+        drive.read(0, 16)  # no raise
+
+    def test_invalid_io(self):
+        env = Environment()
+        drive = make_drive(env)
+        with pytest.raises(ValueError):
+            drive.read(0, 0)
+        with pytest.raises(ValueError):
+            drive.read(-1, 16)
+
+
+def test_default_profile_sanity():
+    assert DELL_AGN_MU.write_bw_bytes_per_s == pytest.approx(2375 * MB)
+    assert DELL_AGN_MU.read_bw_bytes_per_s > DELL_AGN_MU.write_bw_bytes_per_s

@@ -1,0 +1,97 @@
+"""Tests for windowed throughput timelines."""
+
+import pytest
+
+from repro.cluster import ClusterConfig, build_cluster
+from repro.draid import DraidArray
+from repro.metrics.timeline import ThroughputTimeline, TimelineSample
+from repro.raid.geometry import RaidGeometry, RaidLevel
+from repro.sim import Environment
+from repro.workloads import FioWorkload
+
+KB = 1024
+
+
+class TestTimelineSample:
+    def test_rate(self):
+        sample = TimelineSample(0, 1_000_000, 5_000_000)
+        assert sample.rate_mb_s == pytest.approx(5000.0)
+
+    def test_zero_window(self):
+        assert TimelineSample(5, 5, 100).rate_mb_s == 0.0
+
+
+class TestThroughputTimeline:
+    def test_tracks_synthetic_counter(self):
+        env = Environment()
+        state = {"bytes": 0}
+
+        def producer():
+            # offset so increments never collide with sampling instants
+            yield env.timeout(250_000)
+            for _ in range(10):
+                state["bytes"] += 1_000_000
+                yield env.timeout(500_000)
+
+        timeline = ThroughputTimeline(env, lambda: state["bytes"], window_ns=1_000_000)
+        env.process(producer())
+        env.run(until=5_000_001)
+        timeline.stop()
+        assert len(timeline.samples) == 5
+        # 2 MB per 1 ms window = 2000 MB/s
+        assert timeline.mean_mb_s() == pytest.approx(2000.0)
+        assert timeline.peak_mb_s() == pytest.approx(2000.0)
+
+    def test_detects_throughput_dip(self):
+        env = Environment()
+        state = {"bytes": 0}
+
+        def producer():
+            for window in range(10):
+                rate = 0 if window == 5 else 1_000_000
+                yield env.timeout(1_000_000)
+                state["bytes"] += rate
+
+        timeline = ThroughputTimeline(env, lambda: state["bytes"], window_ns=1_000_000)
+        env.process(producer())
+        env.run(until=10_000_001)
+        timeline.stop()
+        assert timeline.trough_mb_s() == 0.0
+        assert timeline.peak_mb_s() > 900.0
+
+    def test_against_real_workload(self):
+        env = Environment()
+        cluster = build_cluster(env, ClusterConfig(num_servers=5))
+        array = DraidArray(cluster, RaidGeometry(RaidLevel.RAID5, 5, 256 * KB))
+        timeline = ThroughputTimeline(
+            env, lambda: cluster.host.nic.rx_bytes, window_ns=2_000_000
+        )
+        fio = FioWorkload(array, 128 * KB, read_fraction=1.0, queue_depth=16)
+        fio.run(warmup_ns=1_000_000, measure_ns=10_000_000)
+        timeline.stop()
+        assert timeline.peak_mb_s() > 1000
+        assert len(timeline.samples) >= 5
+
+    def test_sparkline_shapes(self):
+        env = Environment()
+        state = {"bytes": 0}
+
+        def producer():
+            for window in range(20):
+                yield env.timeout(1_000_000)
+                state["bytes"] += window * 100_000
+
+        timeline = ThroughputTimeline(env, lambda: state["bytes"], window_ns=1_000_000)
+        env.process(producer())
+        env.run(until=20_000_001)
+        timeline.stop()
+        line = timeline.sparkline(buckets=10)
+        assert len(line) == 10
+        # monotone-increasing rate => last glyph denser than first
+        glyphs = " .:-=+*#%@"
+        assert glyphs.index(line[-1]) > glyphs.index(line[0])
+
+    def test_invalid_window(self):
+        env = Environment()
+        with pytest.raises(ValueError):
+            ThroughputTimeline(env, lambda: 0, window_ns=0)

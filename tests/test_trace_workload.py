@@ -1,0 +1,132 @@
+"""Tests for open-loop trace replay and synthetic trace builders."""
+
+import io
+
+import pytest
+
+from repro.cluster import ClusterConfig, build_cluster
+from repro.draid import DraidArray
+from repro.raid.geometry import RaidGeometry, RaidLevel
+from repro.sim import Environment
+from repro.workloads.trace import (
+    TraceRecord,
+    TraceWorkload,
+    bursty_trace,
+    read_csv,
+    scan_trace,
+    steady_trace,
+    write_csv,
+)
+
+KB = 1024
+
+
+def make_array(drives=5):
+    env = Environment()
+    cluster = build_cluster(env, ClusterConfig(num_servers=drives))
+    return DraidArray(cluster, RaidGeometry(RaidLevel.RAID5, drives, 64 * KB))
+
+
+class TestTraceRecord:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TraceRecord(0, "erase", 0, 4096)
+        with pytest.raises(ValueError):
+            TraceRecord(-1, "read", 0, 4096)
+        with pytest.raises(ValueError):
+            TraceRecord(0, "read", 0, 0)
+
+
+class TestReplay:
+    def test_open_loop_timing_respected(self):
+        array = make_array()
+        records = [
+            TraceRecord(0, "read", 0, 64 * KB),
+            TraceRecord(5_000_000, "read", 64 * KB, 64 * KB),
+        ]
+        result = TraceWorkload(array, records).run()
+        assert result.completed == 2
+        # makespan dominated by the second submission time
+        assert result.makespan_ns >= 5_000_000
+
+    def test_burst_overlaps_in_flight(self):
+        array = make_array()
+        # 16 simultaneous arrivals: all in flight together
+        records = [TraceRecord(0, "read", i * 64 * KB, 64 * KB) for i in range(16)]
+        workload = TraceWorkload(array, records)
+        result = workload.run()
+        assert result.peak_inflight == 16
+        assert result.completed == 16
+
+    def test_records_sorted_by_timestamp(self):
+        array = make_array()
+        records = [
+            TraceRecord(9_000_000, "read", 0, 4 * KB),
+            TraceRecord(0, "read", 0, 4 * KB),
+        ]
+        result = TraceWorkload(array, records).run()
+        assert result.completed == 2
+
+    def test_latency_grows_under_burst(self):
+        """Open-loop bursts queue: later I/Os in a burst see higher latency
+        than a lone I/O — the effect closed-loop FIO cannot show."""
+        lone = TraceWorkload(make_array(), [TraceRecord(0, "write", 0, 128 * KB)]).run()
+        burst_records = [
+            TraceRecord(0, "write", i * 128 * KB, 128 * KB) for i in range(64)
+        ]
+        burst = TraceWorkload(make_array(), burst_records).run()
+        assert burst.latency.p99_ns > 3 * lone.latency.p99_ns
+
+
+class TestBuilders:
+    def test_steady_trace_rate(self):
+        records = steady_trace(
+            duration_ns=100_000_000, iops=10_000, io_bytes=4096,
+            capacity=1 << 30, seed=1,
+        )
+        # ~1000 arrivals expected for 100 ms at 10 kIOPS
+        assert 800 < len(records) < 1200
+        assert all(r.timestamp_ns < 100_000_000 for r in records)
+
+    def test_steady_trace_mix(self):
+        records = steady_trace(
+            duration_ns=50_000_000, iops=20_000, io_bytes=4096,
+            capacity=1 << 30, read_fraction=0.25, seed=2,
+        )
+        reads = sum(1 for r in records if r.op == "read")
+        assert 0.15 < reads / len(records) < 0.35
+
+    def test_bursty_trace_structure(self):
+        records = bursty_trace(
+            num_bursts=3, burst_iops=100_000, burst_ns=1_000_000,
+            gap_ns=9_000_000, io_bytes=4096, capacity=1 << 30, seed=3,
+        )
+        assert records
+        # no arrivals inside the gaps
+        for r in records:
+            phase = r.timestamp_ns % 10_000_000
+            assert phase < 1_000_000
+
+    def test_scan_trace_sequential(self):
+        records = scan_trace(capacity=1 << 20, io_bytes=256 * KB, interarrival_ns=1000)
+        assert [r.offset for r in records] == [0, 256 * KB, 512 * KB, 768 * KB]
+        assert all(r.op == "read" for r in records)
+
+
+class TestCsv:
+    def test_roundtrip(self):
+        records = steady_trace(10_000_000, 5_000, 4096, 1 << 24, seed=4)
+        buffer = io.StringIO()
+        write_csv(records, buffer)
+        buffer.seek(0)
+        parsed = read_csv(buffer)
+        assert parsed == records
+
+    def test_header_optional(self):
+        parsed = read_csv(io.StringIO("100,read,0,4096\n200,write,4096,4096\n"))
+        assert len(parsed) == 2
+        assert parsed[1].op == "write"
+
+    def test_malformed_line_rejected(self):
+        with pytest.raises(ValueError):
+            read_csv(io.StringIO("1,read,0\n"))

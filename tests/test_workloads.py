@@ -1,0 +1,206 @@
+"""Tests for workload generators (FIO, YCSB, distributions) and metrics."""
+
+import math
+
+import pytest
+
+from repro.cluster import ClusterConfig, build_cluster
+from repro.draid import DraidArray
+from repro.metrics import LatencyRecorder
+from repro.raid.geometry import RaidGeometry, RaidLevel
+from repro.sim import Environment
+from repro.workloads import (
+    FioWorkload,
+    LatestGenerator,
+    UniformGenerator,
+    YCSB_WORKLOADS,
+    YcsbSpec,
+    YcsbWorkload,
+    ZipfianGenerator,
+)
+
+KB = 1024
+
+
+def make_array(drives=5, chunk=64 * KB):
+    env = Environment()
+    cluster = build_cluster(env, ClusterConfig(num_servers=drives))
+    return DraidArray(cluster, RaidGeometry(RaidLevel.RAID5, drives, chunk))
+
+
+class TestLatencyRecorder:
+    def test_summary_statistics(self):
+        rec = LatencyRecorder()
+        for v in [100, 200, 300, 400, 500]:
+            rec.record(v)
+        s = rec.summarize()
+        assert s.count == 5
+        assert s.mean_ns == 300
+        assert s.p50_ns == 300
+        assert s.max_ns == 500
+        assert s.mean_us == pytest.approx(0.3)
+
+    def test_percentile_interpolation(self):
+        rec = LatencyRecorder()
+        rec.record(0)
+        rec.record(100)
+        s = rec.summarize()
+        assert s.p50_ns == 50
+        assert s.p90_ns == 90
+
+    def test_empty_summary(self):
+        s = LatencyRecorder().summarize()
+        assert s.count == 0
+        assert s.mean_ns == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyRecorder().record(-1)
+
+    def test_reset(self):
+        rec = LatencyRecorder()
+        rec.record(5)
+        rec.reset()
+        assert len(rec) == 0
+
+
+class TestGenerators:
+    def test_uniform_bounds(self):
+        gen = UniformGenerator(100, seed=1)
+        values = [gen.next() for _ in range(1000)]
+        assert min(values) >= 0
+        assert max(values) < 100
+
+    def test_zipfian_is_skewed(self):
+        gen = ZipfianGenerator(10_000, seed=2)
+        values = [gen.next() for _ in range(20_000)]
+        assert all(0 <= v < 10_000 for v in values)
+        # YCSB zipfian(0.99): the head of the keyspace dominates
+        head = sum(1 for v in values if v < 100)
+        assert head > len(values) * 0.3
+
+    def test_zipfian_determinism(self):
+        a = ZipfianGenerator(1000, seed=3)
+        b = ZipfianGenerator(1000, seed=3)
+        assert [a.next() for _ in range(100)] == [b.next() for _ in range(100)]
+
+    def test_latest_prefers_recent(self):
+        gen = LatestGenerator(1000, seed=4)
+        values = [gen.next() for _ in range(5000)]
+        recent = sum(1 for v in values if v > 900)
+        assert recent > len(values) * 0.3
+
+    def test_latest_insert_grows_keyspace(self):
+        gen = LatestGenerator(10, seed=5)
+        new_key = gen.record_insert()
+        assert new_key == 10
+        assert gen.count == 11
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            UniformGenerator(0)
+        with pytest.raises(ValueError):
+            ZipfianGenerator(100, theta=1.5)
+
+
+class TestFio:
+    def test_measures_bandwidth_and_latency(self):
+        array = make_array()
+        fio = FioWorkload(array, 64 * KB, read_fraction=1.0, queue_depth=8)
+        result = fio.run(warmup_ns=1_000_000, measure_ns=5_000_000)
+        assert result.bandwidth_mb_s > 0
+        assert result.latency.count == result.ops_completed
+        assert result.ops_completed > 10
+        assert result.bandwidth_gbps == pytest.approx(result.bandwidth_mb_s * 8 / 1000)
+
+    def test_read_write_mix_recorded_separately(self):
+        array = make_array()
+        fio = FioWorkload(array, 64 * KB, read_fraction=0.5, queue_depth=8)
+        fio.run(warmup_ns=500_000, measure_ns=5_000_000)
+        assert len(fio.reads) > 0
+        assert len(fio.writes) > 0
+
+    def test_deterministic_given_seed(self):
+        def run():
+            array = make_array()
+            fio = FioWorkload(array, 64 * KB, read_fraction=0.3, queue_depth=4, seed=7)
+            return fio.run(warmup_ns=500_000, measure_ns=3_000_000).ops_completed
+
+        assert run() == run()
+
+    def test_higher_qd_more_throughput_until_saturation(self):
+        def bw(qd):
+            array = make_array()
+            fio = FioWorkload(array, 128 * KB, read_fraction=1.0, queue_depth=qd)
+            return fio.run(warmup_ns=500_000, measure_ns=5_000_000).bandwidth_mb_s
+
+        assert bw(8) > 1.5 * bw(1)
+
+    def test_invalid_parameters(self):
+        array = make_array()
+        with pytest.raises(ValueError):
+            FioWorkload(array, 0)
+        with pytest.raises(ValueError):
+            FioWorkload(array, 4096, read_fraction=2.0)
+        with pytest.raises(ValueError):
+            FioWorkload(array, 4096, queue_depth=0)
+
+
+class _CountingStore:
+    """KV stub recording which ops the YCSB driver issued."""
+
+    def __init__(self, env):
+        self.env = env
+        self.ops = {"get": 0, "put": 0}
+
+    def get(self, key):
+        self.ops["get"] += 1
+        return self.env.timeout(1000)
+
+    def put(self, key):
+        self.ops["put"] += 1
+        return self.env.timeout(1000)
+
+
+class TestYcsb:
+    def test_workload_definitions_sum_to_one(self):
+        for spec in YCSB_WORKLOADS.values():
+            total = spec.read + spec.update + spec.insert + spec.rmw + spec.scan
+            assert total == pytest.approx(1.0)
+
+    def test_invalid_mix_rejected(self):
+        with pytest.raises(ValueError):
+            YcsbSpec("bad", read=0.5)
+
+    def test_workload_a_mix(self):
+        env = Environment()
+        store = _CountingStore(env)
+        ycsb = YcsbWorkload(store, YCSB_WORKLOADS["A"], num_keys=100, clients=4)
+        result = ycsb.run(warmup_ns=10_000, measure_ns=2_000_000)
+        assert result.ops_completed > 100
+        total = store.ops["get"] + store.ops["put"]
+        # A is 50/50 read/update
+        assert 0.35 < store.ops["get"] / total < 0.65
+
+    def test_workload_c_read_only(self):
+        env = Environment()
+        store = _CountingStore(env)
+        ycsb = YcsbWorkload(store, YCSB_WORKLOADS["C"], num_keys=100, clients=4)
+        ycsb.run(warmup_ns=10_000, measure_ns=1_000_000)
+        assert store.ops["put"] == 0
+
+    def test_workload_f_rmw_pairs(self):
+        env = Environment()
+        store = _CountingStore(env)
+        ycsb = YcsbWorkload(store, YCSB_WORKLOADS["F"], num_keys=100, clients=2)
+        ycsb.run(warmup_ns=10_000, measure_ns=1_000_000)
+        # F: 50% read, 50% read-modify-write => gets ~ 3x puts
+        assert store.ops["get"] > 2 * store.ops["put"]
+
+    def test_kiops_accounting(self):
+        env = Environment()
+        store = _CountingStore(env)
+        ycsb = YcsbWorkload(store, YCSB_WORKLOADS["C"], num_keys=10, clients=1)
+        result = ycsb.run(warmup_ns=0, measure_ns=1_000_000)
+        # each op takes 1 us => ~1000 ops in 1 ms => ~1000 KIOPS
+        assert result.kiops == pytest.approx(1000, rel=0.1)
