@@ -1,0 +1,41 @@
+"""Kernel microbenchmark: events/sec on the canonical benchkit workloads.
+
+Runs the same fixed workloads as ``scripts/bench_wallclock.py`` (ping-pong,
+timeout churn, parallel bandwidth channel), saves the numbers under
+``benchmarks/results/BENCH_kernel.json`` and asserts only a generous floor
+— absolute throughput is hardware-dependent; the trajectory is tracked in
+``BENCH_wallclock.json`` at the repository root.
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.sim.benchkit import KERNEL_WORKLOADS, run_workload
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: Generous floors (events/s) — an order of magnitude below the measured
+#: optimized-kernel numbers, so the assertion only catches catastrophic
+#: regressions (e.g. an accidental O(n) scan in the dispatch loop).
+FLOORS = {
+    "pingpong": 100_000,
+    "timeout_churn": 80_000,
+    "bandwidth_sweep": 40_000,
+}
+
+
+@pytest.mark.parametrize("name", sorted(KERNEL_WORKLOADS))
+def test_kernel_events_per_second(name):
+    events_per_s, ops = run_workload(name, repeats=2)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / "BENCH_kernel.json"
+    recorded = json.loads(path.read_text()) if path.exists() else {}
+    recorded[name] = {"events_per_s": round(events_per_s, 1), "operations": ops}
+    path.write_text(json.dumps(recorded, indent=2, sort_keys=True) + "\n")
+    print(f"{name}: {events_per_s:,.0f} events/s")
+    assert events_per_s > FLOORS[name], (
+        f"{name} fell below the catastrophic-regression floor: "
+        f"{events_per_s:,.0f} < {FLOORS[name]:,} events/s"
+    )

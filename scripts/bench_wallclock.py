@@ -1,0 +1,123 @@
+#!/usr/bin/env python
+"""Wall-clock benchmark harness: kernel events/sec + figure sweep seconds.
+
+Writes ``BENCH_wallclock.json`` so every PR has a perf trajectory to track::
+
+    PYTHONPATH=src python scripts/bench_wallclock.py                 # default set
+    PYTHONPATH=src python scripts/bench_wallclock.py --figures fig11,fig13
+    PYTHONPATH=src python scripts/bench_wallclock.py --jobs 8        # parallel sweeps
+    PYTHONPATH=src python scripts/bench_wallclock.py --serial-too    # record speedup
+
+The kernel section times the canonical microbench workloads in
+``repro.sim.benchkit`` (simulated operations per wall-clock second); the
+figures section times whole sweep regenerations, serially and (optionally)
+with the parallel executor, recording the measured speedup.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import platform
+import sys
+import time
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
+from repro.experiments.registry import EXPERIMENTS  # noqa: E402
+from repro.experiments.runner import JOBS_ENV_VAR, resolve_jobs  # noqa: E402
+from repro.sim.benchkit import KERNEL_WORKLOADS, run_workload  # noqa: E402
+
+DEFAULT_FIGURES = ("fig11", "fig13")
+
+
+def time_figure(exp_id: str, jobs: int) -> float:
+    """Seconds to regenerate one figure with ``jobs`` sweep workers."""
+    previous = os.environ.get(JOBS_ENV_VAR)
+    os.environ[JOBS_ENV_VAR] = str(jobs)
+    try:
+        start = time.perf_counter()
+        EXPERIMENTS[exp_id](True)
+        return time.perf_counter() - start
+    finally:
+        if previous is None:
+            os.environ.pop(JOBS_ENV_VAR, None)
+        else:
+            os.environ[JOBS_ENV_VAR] = previous
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--figures", default=",".join(DEFAULT_FIGURES),
+        help="comma-separated experiment ids to time (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=None,
+        help="sweep worker processes (default: REPRO_JOBS or all cores)",
+    )
+    parser.add_argument(
+        "--serial-too", action="store_true",
+        help="also time each figure with jobs=1 and record the speedup",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=3,
+        help="kernel microbench repeats, best-of (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--output", default="BENCH_wallclock.json",
+        help="output path (default: %(default)s)",
+    )
+    args = parser.parse_args(argv)
+
+    figures = [f for f in args.figures.split(",") if f]
+    unknown = [f for f in figures if f not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown figures: {', '.join(unknown)}", file=sys.stderr)
+        return 2
+    jobs = resolve_jobs(args.jobs)
+
+    suite_start = time.perf_counter()
+    report = {
+        "host": {
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+            "cpus": os.cpu_count(),
+        },
+        "kernel": {},
+        "figures": {},
+    }
+
+    print("== kernel microbenchmarks ==")
+    for name in KERNEL_WORKLOADS:
+        events_per_s, ops = run_workload(name, repeats=args.repeats)
+        report["kernel"][name] = {
+            "events_per_s": round(events_per_s, 1),
+            "operations": ops,
+        }
+        print(f"  {name:<18} {events_per_s:>12,.0f} events/s")
+
+    print(f"== figure sweeps (jobs={jobs}) ==")
+    for exp_id in figures:
+        entry = {"jobs": jobs, "seconds": round(time_figure(exp_id, jobs), 3)}
+        if args.serial_too and jobs > 1:
+            entry["serial_seconds"] = round(time_figure(exp_id, 1), 3)
+            entry["speedup"] = round(entry["serial_seconds"] / entry["seconds"], 2)
+        report["figures"][exp_id] = entry
+        extra = (
+            f"  (serial {entry['serial_seconds']:.2f}s, {entry['speedup']}x)"
+            if "serial_seconds" in entry else ""
+        )
+        print(f"  {exp_id:<8} {entry['seconds']:>8.2f}s{extra}")
+
+    report["suite_total_s"] = round(time.perf_counter() - suite_start, 3)
+    out = pathlib.Path(args.output)
+    out.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {out} (suite total {report['suite_total_s']:.1f}s)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

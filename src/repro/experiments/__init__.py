@@ -13,12 +13,24 @@ from repro.experiments.common import (
     nic_goodput_mb_s,
 )
 from repro.experiments.registry import EXPERIMENTS, run_experiment
+from repro.experiments.runner import (
+    JOBS_ENV_VAR,
+    SweepPoint,
+    SweepSpec,
+    resolve_jobs,
+    run_points,
+)
 
 __all__ = [
     "EXPERIMENTS",
+    "JOBS_ENV_VAR",
     "SYSTEMS",
+    "SweepPoint",
+    "SweepSpec",
     "build_array",
     "fio_point",
     "nic_goodput_mb_s",
+    "resolve_jobs",
     "run_experiment",
+    "run_points",
 ]

@@ -4,18 +4,25 @@ Usage::
 
     python -m repro.experiments fig10            # one figure, fast windows
     python -m repro.experiments fig10 --full     # longer measurement windows
+    python -m repro.experiments fig10 -j 8       # sweep points on 8 processes
     python -m repro.experiments --list           # what is available
     python -m repro.experiments --all            # everything (takes minutes)
+
+Sweep points fan out over worker processes (``-j``/``REPRO_JOBS``, default:
+all cores); results are byte-identical to ``-j 1`` because every point owns
+its own simulated testbed and seed.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import pathlib
 import sys
 import time
 
 from repro.experiments.registry import EXPERIMENTS, run_experiment
+from repro.experiments.runner import JOBS_ENV_VAR
 from repro.metrics.report import rows_to_csv
 
 
@@ -35,7 +42,19 @@ def main(argv=None) -> int:
         "--csv", metavar="DIR", default=None,
         help="also write each experiment's rows as <DIR>/<id>.csv",
     )
+    parser.add_argument(
+        "-j", "--jobs", type=int, default=None, metavar="N",
+        help="worker processes for sweep points (default: REPRO_JOBS or all "
+             "cores; 1 = serial in-process)",
+    )
     args = parser.parse_args(argv)
+
+    if args.jobs is not None:
+        if args.jobs < 1:
+            print(f"--jobs must be >= 1, got {args.jobs}", file=sys.stderr)
+            return 2
+        # the figure runners read REPRO_JOBS at sweep time
+        os.environ[JOBS_ENV_VAR] = str(args.jobs)
 
     if args.list:
         for exp_id in EXPERIMENTS:

@@ -1,11 +1,18 @@
-"""Application-level figure sweeps (§9.6: Figures 19, 20, 21)."""
+"""Application-level figure sweeps (§9.6: Figures 19, 20, 21).
+
+Like the FIO sweeps, every (workload, system) cell is an independent
+simulated testbed, declared as a :class:`SweepPoint` and executed through
+:func:`repro.experiments.runner.run_points` so the cells can run on worker
+processes without changing any result.
+"""
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 from repro.apps import BlobFs, HashObjectStore, LsmConfig, LsmKvStore
 from repro.experiments.common import build_array, measure_window_ns
+from repro.experiments.runner import SweepPoint, run_points
 from repro.metrics.report import Row
 from repro.raid.geometry import RaidLevel
 from repro.workloads import YCSB_WORKLOADS, YcsbWorkload
@@ -32,6 +39,7 @@ def objectstore_ycsb(
     workloads: Sequence[str] = PAPER_WORKLOADS,
     systems: Sequence[str] = APP_SYSTEMS,
     fast: bool = True,
+    jobs: Optional[int] = None,
 ) -> List[Row]:
     """Figures 20 / 21: the hash object store under YCSB.
 
@@ -40,25 +48,33 @@ def objectstore_ycsb(
     throughput of the object store can be observed"), on normal or
     degraded RAID-5.
     """
-    rows = []
-    for workload in workloads:
-        for system in systems:
-            array = build_array(
-                system,
-                level=RaidLevel.RAID5,
-                failed_drives=(0,) if degraded else (),
-            )
-            store = HashObjectStore(array, object_size=128 * KB, num_objects=200_000)
-            ycsb = YcsbWorkload(
-                store,
-                YCSB_WORKLOADS[workload],
-                num_keys=store.num_objects,
-                clients=32,
-                uniform=True,
-            )
-            result = ycsb.run(measure_ns=measure_window_ns(fast))
-            rows.append(_row(workload, system, result))
-    return rows
+    points = [
+        SweepPoint(
+            _objectstore_row,
+            dict(workload=workload, system=system, degraded=degraded, fast=fast),
+        )
+        for workload in workloads
+        for system in systems
+    ]
+    return run_points(points, jobs=jobs)
+
+
+def _objectstore_row(workload: str, system: str, degraded: bool, fast: bool) -> Row:
+    array = build_array(
+        system,
+        level=RaidLevel.RAID5,
+        failed_drives=(0,) if degraded else (),
+    )
+    store = HashObjectStore(array, object_size=128 * KB, num_objects=200_000)
+    ycsb = YcsbWorkload(
+        store,
+        YCSB_WORKLOADS[workload],
+        num_keys=store.num_objects,
+        clients=32,
+        uniform=True,
+    )
+    result = ycsb.run(measure_ns=measure_window_ns(fast))
+    return _row(workload, system, result)
 
 
 def lsm_ycsb(
@@ -66,6 +82,7 @@ def lsm_ycsb(
     workloads: Sequence[str] = PAPER_WORKLOADS,
     systems: Sequence[str] = APP_SYSTEMS,
     fast: bool = True,
+    jobs: Optional[int] = None,
 ) -> List[Row]:
     """Figure 19: the LSM KV store (RocksDB stand-in) on BlobFS under YCSB.
 
@@ -74,36 +91,44 @@ def lsm_ycsb(
     memory structures and the gains are capped by instance-internal
     serialization, as the paper observes.
     """
-    rows = []
-    for workload in workloads:
-        for system in systems:
-            array = build_array(
-                system,
-                level=RaidLevel.RAID5,
-                failed_drives=(0,) if degraded else (),
-            )
-            fs = BlobFs(array, cluster_bytes=1024 * KB)
-            # cache sized below the dataset so a realistic fraction of
-            # lookups reaches the array (RocksDB uses <5% of array
-            # bandwidth in the paper, but not zero); the keyspace spans
-            # enough stripes that block reads do not artificially convoy
-            # on a handful of stripe locks
-            store = LsmKvStore(
-                fs,
-                LsmConfig(memtable_bytes=16 * 1024 * KB,
-                          block_cache_bytes=48 * 1024 * KB),
-            )
-            preload = store.env.process(_preload(store, keys=150_000))
-            store.env.run(until=preload)
-            ycsb = YcsbWorkload(
-                store,
-                YCSB_WORKLOADS[workload],
-                num_keys=150_000,
-                clients=16,
-            )
-            result = ycsb.run(measure_ns=measure_window_ns(fast))
-            rows.append(_row(workload, system, result))
-    return rows
+    points = [
+        SweepPoint(
+            _lsm_row,
+            dict(workload=workload, system=system, degraded=degraded, fast=fast),
+        )
+        for workload in workloads
+        for system in systems
+    ]
+    return run_points(points, jobs=jobs)
+
+
+def _lsm_row(workload: str, system: str, degraded: bool, fast: bool) -> Row:
+    array = build_array(
+        system,
+        level=RaidLevel.RAID5,
+        failed_drives=(0,) if degraded else (),
+    )
+    fs = BlobFs(array, cluster_bytes=1024 * KB)
+    # cache sized below the dataset so a realistic fraction of
+    # lookups reaches the array (RocksDB uses <5% of array
+    # bandwidth in the paper, but not zero); the keyspace spans
+    # enough stripes that block reads do not artificially convoy
+    # on a handful of stripe locks
+    store = LsmKvStore(
+        fs,
+        LsmConfig(memtable_bytes=16 * 1024 * KB,
+                  block_cache_bytes=48 * 1024 * KB),
+    )
+    preload = store.env.process(_preload(store, keys=150_000))
+    store.env.run(until=preload)
+    ycsb = YcsbWorkload(
+        store,
+        YCSB_WORKLOADS[workload],
+        num_keys=150_000,
+        clients=16,
+    )
+    result = ycsb.run(measure_ns=measure_window_ns(fast))
+    return _row(workload, system, result)
 
 
 def _preload(store: LsmKvStore, keys: int):

@@ -3,11 +3,17 @@
 Every function returns a list of :class:`repro.metrics.report.Row` whose
 x-axis and metrics match the corresponding paper figure: bandwidth in MB/s
 and average latency in microseconds.
+
+Each sweep is declared as a list of :class:`SweepPoint` and executed by
+:func:`repro.experiments.runner.run_points`, which fans independent points
+out over worker processes (``REPRO_JOBS`` / ``-j``) with results identical
+to the serial order.  Point functions must stay module-level so they pickle
+across the process boundary.
 """
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 from repro.metrics.report import Row
 from repro.experiments.common import (
@@ -17,6 +23,7 @@ from repro.experiments.common import (
     SYSTEMS,
     fio_point,
 )
+from repro.experiments.runner import SweepPoint, run_points
 from repro.net.nic import GOODPUT_100G, GOODPUT_25G
 from repro.raid.geometry import RaidLevel
 
@@ -36,6 +43,11 @@ def _row(x, system, result) -> Row:
     )
 
 
+def _fio_row(x, system, **kwargs) -> Row:
+    """One sweep point: a fresh testbed, one FIO run, one result row."""
+    return _row(x, system, fio_point(system, **kwargs))
+
+
 def sweep_io_size(
     level: RaidLevel,
     read_fraction: float,
@@ -44,22 +56,27 @@ def sweep_io_size(
     failed_drives: Sequence[int] = (),
     systems: Sequence[str] = ALL_SYSTEMS,
     fast: bool = True,
+    jobs: Optional[int] = None,
 ) -> List[Row]:
     """Figures 9/10/15/18 (RAID-5) and 22/23/28/30 (RAID-6)."""
-    rows = []
-    for size_kb in sizes_kb:
-        for system in systems:
-            result = fio_point(
-                system,
+    points = [
+        SweepPoint(
+            _fio_row,
+            dict(
+                x=f"{size_kb}KB",
+                system=system,
                 io_size=size_kb * KB,
                 read_fraction=read_fraction,
                 servers=servers,
                 level=level,
-                failed_drives=failed_drives,
+                failed_drives=tuple(failed_drives),
                 fast=fast,
-            )
-            rows.append(_row(f"{size_kb}KB", system, result))
-    return rows
+            ),
+        )
+        for size_kb in sizes_kb
+        for system in systems
+    ]
+    return run_points(points, jobs=jobs)
 
 
 def sweep_chunk_size(
@@ -67,21 +84,26 @@ def sweep_chunk_size(
     chunks_kb: Sequence[int],
     systems: Sequence[str] = ALL_SYSTEMS,
     fast: bool = True,
+    jobs: Optional[int] = None,
 ) -> List[Row]:
     """Figures 11 / 24: 128 KiB writes across chunk sizes."""
-    rows = []
-    for chunk_kb in chunks_kb:
-        for system in systems:
-            result = fio_point(
-                system,
+    points = [
+        SweepPoint(
+            _fio_row,
+            dict(
+                x=f"{chunk_kb}KB",
+                system=system,
                 io_size=DEFAULT_IO,
                 read_fraction=0.0,
                 chunk=chunk_kb * KB,
                 level=level,
                 fast=fast,
-            )
-            rows.append(_row(f"{chunk_kb}KB", system, result))
-    return rows
+            ),
+        )
+        for chunk_kb in chunks_kb
+        for system in systems
+    ]
+    return run_points(points, jobs=jobs)
 
 
 def sweep_stripe_width(
@@ -91,21 +113,26 @@ def sweep_stripe_width(
     failed: bool = False,
     systems: Sequence[str] = ALL_SYSTEMS,
     fast: bool = True,
+    jobs: Optional[int] = None,
 ) -> List[Row]:
     """Figures 12/16 (RAID-5) and 25/29 (RAID-6)."""
-    rows = []
-    for width in widths:
-        for system in systems:
-            result = fio_point(
-                system,
+    points = [
+        SweepPoint(
+            _fio_row,
+            dict(
+                x=width,
+                system=system,
                 read_fraction=read_fraction,
                 servers=width,
                 level=level,
                 failed_drives=(0,) if failed else (),
                 fast=fast,
-            )
-            rows.append(_row(width, system, result))
-    return rows
+            ),
+        )
+        for width in widths
+        for system in systems
+    ]
+    return run_points(points, jobs=jobs)
 
 
 def sweep_read_ratio(
@@ -113,14 +140,24 @@ def sweep_read_ratio(
     ratios: Sequence[float],
     systems: Sequence[str] = ALL_SYSTEMS,
     fast: bool = True,
+    jobs: Optional[int] = None,
 ) -> List[Row]:
     """Figures 13 / 26: mixed read/write ratios."""
-    rows = []
-    for ratio in ratios:
-        for system in systems:
-            result = fio_point(system, read_fraction=ratio, level=level, fast=fast)
-            rows.append(_row(f"{int(ratio * 100)}%", system, result))
-    return rows
+    points = [
+        SweepPoint(
+            _fio_row,
+            dict(
+                x=f"{int(ratio * 100)}%",
+                system=system,
+                read_fraction=ratio,
+                level=level,
+                fast=fast,
+            ),
+        )
+        for ratio in ratios
+        for system in systems
+    ]
+    return run_points(points, jobs=jobs)
 
 
 def latency_curve(
@@ -130,21 +167,26 @@ def latency_curve(
     servers: int = 18,
     systems: Sequence[str] = ("SPDK", "dRAID", "Linux"),
     fast: bool = True,
+    jobs: Optional[int] = None,
 ) -> List[Row]:
     """Figures 14 / 27: latency vs bandwidth under increasing load."""
-    rows = []
-    for qd in queue_depths:
-        for system in systems:
-            result = fio_point(
-                system,
+    points = [
+        SweepPoint(
+            _fio_row,
+            dict(
+                x=qd,
+                system=system,
                 read_fraction=read_fraction,
                 servers=servers,
                 level=level,
                 queue_depth=qd,
                 fast=fast,
-            )
-            rows.append(_row(qd, system, result))
-    return rows
+            ),
+        )
+        for qd in queue_depths
+        for system in systems
+    ]
+    return run_points(points, jobs=jobs)
 
 
 def reconstruction_scalability(
@@ -152,6 +194,7 @@ def reconstruction_scalability(
     widths: Sequence[int],
     systems: Sequence[str] = ("SPDK", "dRAID"),
     fast: bool = True,
+    jobs: Optional[int] = None,
 ) -> List[Row]:
     """Figure 17a: every read hits the failed drive (rebuild read stream).
 
@@ -159,12 +202,19 @@ def reconstruction_scalability(
     target the failed drive's chunks (remapped via RebuildView below), so
     every I/O pays the reconstruction path.
     """
-    rows = []
-    for width in widths:
-        for system in systems:
-            result = _rebuild_point(system, width, level, fast)
-            rows.append(_row(width, system, result))
-    return rows
+    points = [
+        SweepPoint(
+            _rebuild_row,
+            dict(x=width, system=system, width=width, level=level, fast=fast),
+        )
+        for width in widths
+        for system in systems
+    ]
+    return run_points(points, jobs=jobs)
+
+
+def _rebuild_row(x, system, width, level, fast) -> Row:
+    return _row(x, system, _rebuild_point(system, width, level, fast))
 
 
 def _rebuild_point(system: str, width: int, level: RaidLevel, fast: bool):
@@ -189,6 +239,7 @@ def bandwidth_aware_comparison(
     load_points: Sequence[int] = (4, 8, 16, 32, 64),
     width: int = 8,
     fast: bool = True,
+    jobs: Optional[int] = None,
 ) -> List[Row]:
     """Figure 17b: random vs bandwidth-aware reducer on heterogeneous NICs.
 
@@ -200,35 +251,43 @@ def bandwidth_aware_comparison(
     exactly the load the §6.2 algorithm avoids.  The x axis ramps load via
     queue depth (the paper plots latency vs bandwidth).
     """
+    points = [
+        SweepPoint(
+            _bw_aware_row,
+            dict(x=qd, name=name, qd=qd, width=width, fast=fast),
+        )
+        for qd in load_points
+        for name in ("Random", "BW-Aware")
+    ]
+    return run_points(points, jobs=jobs)
+
+
+def _bw_aware_row(x, name, qd, width, fast) -> Row:
     from repro.draid.reconstruction import BandwidthAwareSelector, RandomReducerSelector
     from repro.experiments.common import build_array, measure_window_ns
     from repro.workloads import FioWorkload
 
     rates = [GOODPUT_25G if i % 2 else GOODPUT_100G for i in range(width)]
-    rows = []
-    for qd in load_points:
-        for name in ("Random", "BW-Aware"):
-            array = build_array(
-                "dRAID",
-                servers=width,
-                server_nic_rates=rates,
-                failed_drives=(0,),
-            )
-            if name == "BW-Aware":
-                array.selector = BandwidthAwareSelector(array.cluster, seed=3)
-            else:
-                array.selector = RandomReducerSelector(seed=3)
-            view = _FailedChunkView(array)
-            fio = FioWorkload(
-                view,
-                io_size=DEFAULT_IO,
-                read_fraction=1.0,
-                queue_depth=qd,
-                capacity=array.geometry.chunk_bytes * 2048,
-            )
-            result = fio.run(measure_ns=measure_window_ns(fast))
-            rows.append(_row(qd, name, result))
-    return rows
+    array = build_array(
+        "dRAID",
+        servers=width,
+        server_nic_rates=rates,
+        failed_drives=(0,),
+    )
+    if name == "BW-Aware":
+        array.selector = BandwidthAwareSelector(array.cluster, seed=3)
+    else:
+        array.selector = RandomReducerSelector(seed=3)
+    view = _FailedChunkView(array)
+    fio = FioWorkload(
+        view,
+        io_size=DEFAULT_IO,
+        read_fraction=1.0,
+        queue_depth=qd,
+        capacity=array.geometry.chunk_bytes * 2048,
+    )
+    result = fio.run(measure_ns=measure_window_ns(fast))
+    return _row(x, name, result)
 
 
 class _FailedChunkView:

@@ -86,7 +86,12 @@ class Event:
             raise SimulationError(f"{self!r} has already been triggered")
         self._ok = True
         self._value = value
-        self.env._schedule(self)
+        # inlined self.env._schedule(self) — succeed is a kernel hot path
+        if not self._scheduled:
+            self._scheduled = True
+            env = self.env
+            env._eid += 1
+            heapq.heappush(env._queue, (env.now, env._eid, self))
         return self
 
     def fail(self, exception: BaseException) -> "Event":
@@ -114,11 +119,17 @@ class Timeout(Event):
     def __init__(self, env: "Environment", delay: int, value: Any = None) -> None:
         if delay < 0:
             raise ValueError(f"negative delay {delay}")
-        super().__init__(env)
-        self.delay = delay
-        self._ok = True
+        # Timeouts are the kernel's most common event; initialize and
+        # schedule inline rather than through Event.__init__/_schedule.
+        self.env = env
+        self.callbacks = []
         self._value = value
-        env._schedule(self, delay)
+        self._ok = True
+        self._defused = False
+        self._scheduled = True
+        self.delay = delay
+        env._eid += 1
+        heapq.heappush(env._queue, (env.now + delay, env._eid, self))
 
 
 class Initialize(Event):
@@ -183,40 +194,41 @@ class Process(Event):
         self.env._schedule(interrupt_event)
 
     def _resume(self, event: Event) -> None:
-        self.env._active_process = self
+        env = self.env
+        env._active_process = self
+        generator = self._generator
         while True:
             try:
                 if event is None or event._ok:
-                    target = self._generator.send(None if event is None else event._value)
+                    target = generator.send(None if event is None else event._value)
                 else:
                     event._defused = True
-                    target = self._generator.throw(event._value)
+                    target = generator.throw(event._value)
+                while not isinstance(target, Event):
+                    # Throw into the generator so the process terminates (or
+                    # recovers) through the normal paths below — the Process
+                    # event must still succeed or fail, or waiters leak.
+                    target = generator.throw(
+                        SimulationError(f"process yielded a non-event: {target!r}")
+                    )
             except StopIteration as stop:
                 self._target = None
-                self.env._active_process = None
+                env._active_process = None
                 self.succeed(stop.value)
                 return
             except BaseException as exc:
                 self._target = None
-                self.env._active_process = None
+                env._active_process = None
                 self.fail(exc)
                 return
 
-            if not isinstance(target, Event):
-                self.env._active_process = None
-                self._generator.throw(
-                    SimulationError(f"process yielded a non-event: {target!r}")
-                )
-                return
-            if target.processed:
+            if target.callbacks is None:
                 # Already processed: resume immediately with its outcome.
                 event = target
                 continue
-            if target.callbacks is None:
-                raise SimulationError("event callbacks missing")  # pragma: no cover
             self._target = target
             target.callbacks.append(self._resume)
-            self.env._active_process = None
+            env._active_process = None
             return
 
 
@@ -326,8 +338,6 @@ class Environment:
 
     def _step(self) -> None:
         time, _, event = heapq.heappop(self._queue)
-        if time < self.now:  # pragma: no cover - guarded by heap order
-            raise SimulationError("time went backwards")
         self.now = time
         callbacks, event.callbacks = event.callbacks, None
         for callback in callbacks:
@@ -341,12 +351,31 @@ class Environment:
         ``until`` may be ``None`` (run until no events remain), an integer
         time, or an :class:`Event` (run until it triggers and return its
         value).
+
+        Integer-horizon semantics (locked by ``tests/test_sim_core.py``):
+        every event with timestamp ``<= until`` is processed before ``run``
+        returns — including zero-delay cascades spawned *at* the horizon —
+        and the clock is left exactly at ``until``.  Events scheduled after
+        the horizon stay queued for the next ``run`` call.  This boundary
+        is deterministic: two runs split at any horizon process the same
+        events in the same order as one uninterrupted run.
+
+        The event dispatch loop is inlined here (rather than calling
+        :meth:`_step`) because it is the hottest code in the repository.
         """
+        queue = self._queue
+        pop = heapq.heappop
         if isinstance(until, Event):
             stop_event = until
-            while self._queue and not stop_event.triggered:
-                self._step()
-            if not stop_event.triggered:
+            while queue and stop_event._ok is None:
+                time, _, event = pop(queue)
+                self.now = time
+                callbacks, event.callbacks = event.callbacks, None
+                for callback in callbacks:
+                    callback(event)
+                if event._ok is False and not event._defused:
+                    raise event._value
+            if stop_event._ok is None:
                 raise SimulationError(
                     f"simulation ran out of events before {stop_event!r} triggered"
                 )
@@ -358,12 +387,24 @@ class Environment:
             horizon = int(until)
             if horizon < self.now:
                 raise ValueError(f"until={horizon} is in the past (now={self.now})")
-            while self._queue and self._queue[0][0] <= horizon:
-                self._step()
+            while queue and queue[0][0] <= horizon:
+                time, _, event = pop(queue)
+                self.now = time
+                callbacks, event.callbacks = event.callbacks, None
+                for callback in callbacks:
+                    callback(event)
+                if event._ok is False and not event._defused:
+                    raise event._value
             self.now = horizon
             return None
-        while self._queue:
-            self._step()
+        while queue:
+            time, _, event = pop(queue)
+            self.now = time
+            callbacks, event.callbacks = event.callbacks, None
+            for callback in callbacks:
+                callback(event)
+            if event._ok is False and not event._defused:
+                raise event._value
         return None
 
     def peek(self) -> Optional[int]:

@@ -14,8 +14,9 @@ Three primitives cover every piece of hardware this repository models:
 
 from __future__ import annotations
 
+import heapq
 from collections import deque
-from typing import Any, Deque
+from typing import Any, Deque, List, Tuple
 
 from repro.sim.core import Environment, Event
 
@@ -46,10 +47,19 @@ class Store:
         self._items.append(item)
 
     def get(self) -> Event:
-        """Event that succeeds with the next item (FIFO order)."""
-        event = self.env.event()
+        """Event that succeeds with the next item (FIFO order).
+
+        When an item is already available the returned event is *processed*
+        (not merely triggered): a process yielding it resumes inline without
+        a trip through the event calendar.  Getters that must wait are woken
+        through the calendar as before, preserving FIFO fairness.
+        """
+        event = Event(self.env)
         if self._items:
-            event.succeed(self._items.popleft())
+            event._ok = True
+            event._value = self._items.popleft()
+            event.callbacks = None
+            event._scheduled = True
         else:
             self._getters.append(event)
         return event
@@ -76,11 +86,19 @@ class CapacityResource:
         return len(self._waiters)
 
     def request(self) -> Event:
-        """Event that succeeds once a slot is available (slot is then held)."""
-        event = self.env.event()
+        """Event that succeeds once a slot is available (slot is then held).
+
+        Uncontended requests return a *processed* event so a yielding
+        process continues inline without touching the event calendar;
+        contended requests queue and are woken FIFO through the calendar.
+        """
+        event = Event(self.env)
         if self._in_use < self.capacity:
             self._in_use += 1
-            event.succeed(self)
+            event._ok = True
+            event._value = self
+            event.callbacks = None
+            event._scheduled = True
         else:
             self._waiters.append(event)
         return event
@@ -131,6 +149,11 @@ class BandwidthChannel:
         self.parallelism = parallelism
         self._rate = float(rate_bytes_per_s)
         self._free_at = [0] * parallelism
+        # (free_at, idx) min-heap mirror of _free_at: earliest-free server
+        # selection in O(log k) instead of an O(k) min() scan per reserve.
+        # Only consulted when parallelism > 1; ties break on lowest index,
+        # exactly like min() over the list.
+        self._free_heap: List[Tuple[int, int]] = [(0, i) for i in range(parallelism)]
         # accounting
         self.bytes_transferred = 0
         self.ops = 0
@@ -153,7 +176,10 @@ class BandwidthChannel:
 
     def queue_delay_ns(self) -> int:
         """Wait a transfer submitted now would incur before service starts."""
-        free_at = min(self._free_at)
+        if self.parallelism == 1:
+            free_at = self._free_at[0]
+        else:
+            free_at = self._free_heap[0][0]
         return max(0, free_at - self.env.now)
 
     def backlog_ns(self) -> int:
@@ -172,11 +198,19 @@ class BandwidthChannel:
         if nbytes < 0:
             raise ValueError(f"negative transfer size {nbytes}")
         service = self.service_ns(nbytes) + int(extra_ns)
-        # earliest-free internal server
-        idx = min(range(self.parallelism), key=self._free_at.__getitem__)
-        start = max(self.env.now, self._free_at[idx])
-        done = start + service
-        self._free_at[idx] = done
+        now = self.env.now
+        if self.parallelism == 1:
+            free = self._free_at[0]
+            start = free if free > now else now
+            done = start + service
+            self._free_at[0] = done
+        else:
+            # earliest-free internal server via the heap mirror
+            free, idx = heapq.heappop(self._free_heap)
+            start = free if free > now else now
+            done = start + service
+            self._free_at[idx] = done
+            heapq.heappush(self._free_heap, (done, idx))
         self.bytes_transferred += nbytes
         self.ops += 1
         self.busy_ns += service

@@ -14,6 +14,7 @@ bytes and the whole RAID stack can be validated for bit-exactness.
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass
 from typing import Optional
 
@@ -65,6 +66,9 @@ class NvmeDrive:
         self.stats = DriveStats()
         self.failed = False
         self._free_at = [0] * profile.parallelism
+        # (free_at, idx) min-heap mirror of _free_at (see BandwidthChannel):
+        # consulted only when the profile has internal parallelism > 1.
+        self._free_heap = [(0, i) for i in range(profile.parallelism)]
         self._gc_budget = profile.gc_after_bytes_written
         self._data: Optional[np.ndarray] = None
         if functional_capacity:
@@ -79,10 +83,18 @@ class NvmeDrive:
     def _dispatch(self, work_ns: int) -> int:
         """Queue ``work_ns`` on the earliest-free internal server; returns
         the absolute completion time of the channel occupancy."""
-        idx = min(range(len(self._free_at)), key=self._free_at.__getitem__)
-        start = max(self.env.now, self._free_at[idx])
-        done = start + work_ns
-        self._free_at[idx] = done
+        now = self.env.now
+        if len(self._free_at) == 1:
+            free = self._free_at[0]
+            start = free if free > now else now
+            done = start + work_ns
+            self._free_at[0] = done
+        else:
+            free, idx = heapq.heappop(self._free_heap)
+            start = free if free > now else now
+            done = start + work_ns
+            self._free_at[idx] = done
+            heapq.heappush(self._free_heap, (done, idx))
         self.stats.busy_ns += work_ns
         return done
 
@@ -132,6 +144,9 @@ class NvmeDrive:
                 self.stats.gc_events += 1
                 stall_until = max(self._free_at) + self.profile.gc_pause_ns
                 self._free_at = [max(f, stall_until) for f in self._free_at]
+                self._free_heap = sorted(
+                    (f, i) for i, f in enumerate(self._free_at)
+                )
         done = self._dispatch(work_ns)
         completion = done + self.profile.write_latency_ns - self.env.now
         if self._data is not None:

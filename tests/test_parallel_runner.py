@@ -1,0 +1,151 @@
+"""Parallel sweep executor: determinism and plumbing.
+
+The load-bearing property is that fanning sweep points over worker
+processes yields *byte-identical* rows to the serial path, because every
+point owns its own Environment and seed.  These tests pin that for two
+figure sweeps (the acceptance bar) plus seed stability of a single point.
+"""
+
+import os
+from unittest import mock
+
+import pytest
+
+from repro.experiments import fio_figures
+from repro.experiments.common import fio_point
+from repro.experiments.runner import (
+    JOBS_ENV_VAR,
+    SweepPoint,
+    SweepSpec,
+    resolve_jobs,
+    run_points,
+)
+from repro.metrics.report import Row
+from repro.raid.geometry import RaidLevel
+
+
+def _double(x):
+    return x * 2
+
+
+def _make_row(x, system):
+    return Row(x=x, system=system, metrics={"v": float(x)})
+
+
+class TestRunPoints:
+    def test_serial_path_preserves_order(self):
+        points = [SweepPoint(_double, dict(x=i)) for i in range(5)]
+        assert run_points(points, jobs=1) == [0, 2, 4, 6, 8]
+
+    def test_parallel_path_preserves_order(self):
+        points = [SweepPoint(_double, dict(x=i)) for i in range(7)]
+        assert run_points(points, jobs=3) == [i * 2 for i in range(7)]
+
+    def test_rows_cross_process_boundary(self):
+        points = [SweepPoint(_make_row, dict(x=i, system="s")) for i in range(4)]
+        rows = run_points(points, jobs=2)
+        assert rows == [_make_row(i, "s") for i in range(4)]
+
+    def test_empty_points(self):
+        assert run_points([], jobs=4) == []
+
+    def test_single_point_runs_in_process(self):
+        assert run_points([SweepPoint(_double, dict(x=21))], jobs=8) == [42]
+
+    def test_sweep_spec_wrapper(self):
+        spec = SweepSpec("demo", tuple(SweepPoint(_double, dict(x=i)) for i in range(3)))
+        assert spec.run(jobs=1) == [0, 2, 4]
+
+
+class TestResolveJobs:
+    def test_explicit_wins(self):
+        with mock.patch.dict(os.environ, {JOBS_ENV_VAR: "7"}):
+            assert resolve_jobs(3) == 3
+
+    def test_env_var(self):
+        with mock.patch.dict(os.environ, {JOBS_ENV_VAR: "5"}):
+            assert resolve_jobs() == 5
+
+    def test_default_is_cpu_count(self):
+        with mock.patch.dict(os.environ, {}, clear=False):
+            os.environ.pop(JOBS_ENV_VAR, None)
+            assert resolve_jobs() == (os.cpu_count() or 1)
+
+    def test_capped_by_point_count(self):
+        assert resolve_jobs(16, num_points=3) == 3
+
+    def test_invalid_values_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_jobs(0)
+        with mock.patch.dict(os.environ, {JOBS_ENV_VAR: "banana"}):
+            with pytest.raises(ValueError):
+                resolve_jobs()
+
+
+class TestSweepDeterminism:
+    """REPRO_JOBS=1 and REPRO_JOBS=4 must produce identical Row lists."""
+
+    def _assert_rows_identical(self, serial, parallel):
+        assert len(serial) == len(parallel)
+        for a, b in zip(serial, parallel):
+            assert a.x == b.x
+            assert a.system == b.system
+            assert set(a.metrics) == set(b.metrics)
+            for key in a.metrics:
+                # bit-for-bit, not approx: parallelism must be exact
+                assert a.metrics[key] == b.metrics[key], (a.x, a.system, key)
+
+    def test_io_size_sweep_parallel_identical(self):
+        kwargs = dict(
+            level=RaidLevel.RAID5,
+            read_fraction=0.0,
+            sizes_kb=[4, 128],
+            servers=4,
+            systems=("SPDK", "dRAID"),
+            fast=True,
+        )
+        serial = fio_figures.sweep_io_size(jobs=1, **kwargs)
+        parallel = fio_figures.sweep_io_size(jobs=4, **kwargs)
+        self._assert_rows_identical(serial, parallel)
+
+    def test_read_ratio_sweep_parallel_identical(self):
+        kwargs = dict(
+            level=RaidLevel.RAID5,
+            ratios=[0.0, 1.0],
+            systems=("dRAID",),
+            fast=True,
+        )
+        serial = fio_figures.sweep_read_ratio(jobs=1, **kwargs)
+        parallel = fio_figures.sweep_read_ratio(jobs=4, **kwargs)
+        self._assert_rows_identical(serial, parallel)
+
+    def test_jobs_env_var_drives_sweeps(self):
+        kwargs = dict(
+            level=RaidLevel.RAID5,
+            ratios=[1.0],
+            systems=("dRAID",),
+            fast=True,
+        )
+        with mock.patch.dict(os.environ, {JOBS_ENV_VAR: "2"}):
+            via_env = fio_figures.sweep_read_ratio(**kwargs)
+        explicit = fio_figures.sweep_read_ratio(jobs=1, **kwargs)
+        self._assert_rows_identical(explicit, via_env)
+
+
+class TestSeedStability:
+    def test_fio_point_two_serial_runs_match_exactly(self):
+        kwargs = dict(servers=4, queue_depth=8, fast=True, seed=1234)
+        a = fio_point("dRAID", **kwargs)
+        b = fio_point("dRAID", **kwargs)
+        assert a.bandwidth_mb_s == b.bandwidth_mb_s
+        assert a.iops == b.iops
+        assert a.ops_completed == b.ops_completed
+        assert a.measured_ns == b.measured_ns
+        assert a.latency == b.latency
+
+    def test_different_seeds_differ(self):
+        kwargs = dict(servers=4, queue_depth=8, fast=True)
+        a = fio_point("dRAID", seed=1, **kwargs)
+        b = fio_point("dRAID", seed=2, **kwargs)
+        # same workload shape, different offsets: latencies should differ
+        assert a.latency != b.latency

@@ -242,6 +242,128 @@ def test_nested_processes_deep_chain():
     assert env.now == 1
 
 
+def test_yield_non_event_fails_process_and_wakes_waiters():
+    # Regression: the non-event-yield path used to throw into the generator
+    # but discard the outcome, so the Process event never triggered and
+    # waiters leaked silently.
+    env = Environment()
+
+    def bad():
+        yield "not an event"
+
+    def parent():
+        try:
+            yield env.process(bad())
+        except SimulationError as exc:
+            return f"caught {exc}"
+        return "not raised"
+
+    result = env.run(until=env.process(parent()))
+    assert result.startswith("caught")
+    assert "non-event" in result
+
+
+def test_yield_non_event_unwaited_still_raises():
+    env = Environment()
+
+    def bad():
+        yield env.timeout(1)
+        yield 42
+
+    env.process(bad())
+    with pytest.raises(SimulationError, match="non-event"):
+        env.run()
+
+
+def test_yield_non_event_process_can_recover():
+    env = Environment()
+
+    def sloppy():
+        try:
+            yield "oops"
+        except SimulationError:
+            yield env.timeout(10)
+            return "recovered"
+
+    assert env.run(until=env.process(sloppy())) == "recovered"
+    assert env.now == 10
+
+
+def test_yield_non_event_return_value_propagates():
+    env = Environment()
+
+    def stops_cleanly():
+        try:
+            yield object()
+        except SimulationError:
+            return "clean exit"
+
+    assert env.run(until=env.process(stops_cleanly())) == "clean exit"
+
+
+def test_horizon_drains_same_timestamp_events():
+    # run(until=t) must process every event with timestamp <= t, including
+    # zero-delay cascades spawned at the horizon itself.
+    env = Environment()
+    fired = []
+
+    def chain():
+        yield env.timeout(100)
+        fired.append("first")
+        yield env.timeout(0)
+        fired.append("second")
+        yield env.timeout(0)
+        fired.append("third")
+        yield env.timeout(1)
+        fired.append("past-horizon")
+
+    env.process(chain())
+    env.run(until=100)
+    assert fired == ["first", "second", "third"]
+    assert env.now == 100
+    env.run(until=101)
+    assert fired == ["first", "second", "third", "past-horizon"]
+
+
+def test_horizon_split_matches_uninterrupted_run():
+    # Splitting a run at any horizon must not reorder events.
+    def build(split):
+        env = Environment()
+        log = []
+
+        def proc(seed):
+            for i in range(6):
+                yield env.timeout((seed * 5 + i * 3) % 17 + 1)
+                log.append((env.now, seed, i))
+
+        for seed in range(4):
+            env.process(proc(seed))
+        if split is None:
+            env.run()
+        else:
+            env.run(until=split)
+            env.run()
+        return log
+
+    uninterrupted = build(None)
+    for split in (1, 7, 13, 40):
+        assert build(split) == uninterrupted
+
+
+def test_horizon_equal_to_now_drains_pending():
+    env = Environment()
+    fired = []
+
+    def proc():
+        yield env.timeout(0)
+        fired.append(env.now)
+
+    env.process(proc())
+    env.run(until=0)
+    assert fired == [0]
+    assert env.now == 0
+
+
 def test_determinism_two_runs_identical():
     def build():
         env = Environment()
