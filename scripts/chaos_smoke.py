@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""CI chaos smoke: a fixed grid of seeded fault schedules, printed as
+deterministic one-line outcomes.
+
+Every line is fully determined by the (system, seed) pair — fault times,
+workload, retry jitter and recovery all key off seeded RNGs and the sim
+clock — so two runs of this script must be byte-identical, and both must
+match the committed golden (``tests/golden/chaos_smoke.golden``).  A diff
+means the datapath lost determinism (or the golden needs a deliberate
+regeneration via ``--write-golden``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.faults.chaos import CHAOS_SYSTEMS, run_chaos_schedule  # noqa: E402
+
+SMOKE_SEEDS = (1, 2, 3, 4)
+GOLDEN = Path(__file__).resolve().parent.parent / "tests" / "golden" / "chaos_smoke.golden"
+
+
+def smoke_report() -> str:
+    lines = []
+    for seed in SMOKE_SEEDS:
+        for system in CHAOS_SYSTEMS:
+            outcome = run_chaos_schedule(system, seed)
+            lines.append(outcome.row())
+            lines.append(f"      {outcome.fault_summary}")
+            if not outcome.ok:
+                raise SystemExit(f"chaos schedule failed:\n{outcome.row()}")
+    return "\n".join(lines) + "\n"
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--write-golden",
+        action="store_true",
+        help=f"regenerate {GOLDEN} instead of printing to stdout",
+    )
+    args = parser.parse_args()
+    report = smoke_report()
+    if args.write_golden:
+        GOLDEN.parent.mkdir(parents=True, exist_ok=True)
+        GOLDEN.write_text(report)
+        print(f"wrote {GOLDEN}")
+        return 0
+    sys.stdout.write(report)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

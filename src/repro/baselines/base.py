@@ -19,6 +19,7 @@ reconstructions are bit-exact, which the whole-array tests verify.
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
@@ -27,13 +28,16 @@ import numpy as np
 from repro.cluster.builder import Cluster
 from repro.ec import raid5_reconstruct, raid6_reconstruct, xor_blocks
 from repro.ec.gf import GF
+from repro.faults.backoff import BackoffPolicy
+from repro.metrics.faults import FaultStats
 from repro.nvmeof.initiator import RemoteBdev
+from repro.nvmeof.messages import IoError
 from repro.nvmeof.target import NvmeOfTarget
 from repro.raid.bitmap import WriteIntentBitmap
 from repro.raid.geometry import ChunkSegment, RaidGeometry, RaidLevel, StripeExtent
 from repro.raid.locks import StripeLockManager
 from repro.raid.modes import WriteMode, classify_write
-from repro.sim.core import AllOf, Environment, Event
+from repro.sim.core import AllOf, AnyOf, Environment, Event, Interrupt, _defuse_on_failure
 
 
 @dataclass
@@ -68,6 +72,11 @@ class HostCentricRaid:
     submit_ns = 2_000
     #: Whether normal reads take the stripe lock (the SPDK POC does, §8).
     lock_reads = True
+    #: Retry budget per extent operation on the resilient datapath (§5.4).
+    max_retries = 3
+    #: After a write attempt times out, wait ``drain_factor x timeout`` for
+    #: its straggling mutations to land before fencing and retrying.
+    drain_factor = 10
     #: Subclasses whose member set is not 1:1 with the cluster's servers
     #: (e.g. the §7 offloaded controller) relax the size check.
     _require_full_cluster = True
@@ -77,6 +86,7 @@ class HostCentricRaid:
         cluster: Cluster,
         geometry: RaidGeometry,
         name: str = "raid",
+        timeout_ns: Optional[int] = None,
     ) -> None:
         if self._require_full_cluster and geometry.num_drives != cluster.num_servers:
             raise ValueError(
@@ -95,6 +105,17 @@ class HostCentricRaid:
         #: drive -> first stripe NOT yet rebuilt (see :meth:`drive_failed`)
         self.rebuild_watermark: Dict[int, int] = {}
         self.functional = cluster.config.functional_capacity > 0
+        #: §5.4 hardening: I/O deadline (escalates per retry attempt) and
+        #: fault bookkeeping.  ``timeout_ns`` may be reassigned on the
+        #: instance (tests do); everything reads it at use time.
+        self.timeout_ns = (
+            timeout_ns if timeout_ns is not None else cluster.config.io_timeout_ns
+        )
+        self.backoff = BackoffPolicy(self.timeout_ns)
+        self.fault_stats = FaultStats()
+        self.failslow_detector = None
+        self._retry_rng = random.Random(f"repro.backoff:{name}")
+        self._force_resilient = False
         self._attach_transport()
 
     def _attach_transport(self) -> None:
@@ -127,10 +148,22 @@ class HostCentricRaid:
         self.failed.discard(index)
         self.rebuild_watermark.pop(index, None)
         self.cluster.servers[index].drive.repair()
+        if self.failslow_detector is not None:
+            self.failslow_detector.forget(index)
 
     @property
     def degraded(self) -> bool:
         return bool(self.failed)
+
+    @property
+    def resilient(self) -> bool:
+        """Whether the timeout/retry datapath is active.
+
+        Armed automatically when a :class:`repro.faults.FaultInjector`
+        attaches to the cluster; arrays without one keep the exact event
+        sequence of the healthy paths (committed figures unchanged).
+        """
+        return self._force_resilient or self.cluster.fault_injection is not None
 
     def drive_failed(self, drive: int, stripe: int) -> bool:
         """Whether ``drive`` should be treated as failed for ``stripe``.
@@ -148,6 +181,128 @@ class HostCentricRaid:
     def failed_in_stripe(self, stripe: int) -> set:
         """The member drives to treat as failed for ``stripe``."""
         return {d for d in self.failed if self.drive_failed(d, stripe)}
+
+    # -- §5.4 resilience machinery ---------------------------------------------
+
+    def _gather(self, events):
+        """Collect the values of ``events`` in order.
+
+        On the healthy path this yields them one by one (the seed's exact
+        event sequence).  On the resilient path it subscribes all of them
+        at once through :class:`AllOf`, so an error completion on any
+        member surfaces as :class:`IoError` here instead of crashing the
+        simulation as an unhandled failed event.
+        """
+        if not self.resilient:
+            results = []
+            for event in events:
+                results.append((yield event))
+            return results
+        if not events:
+            return []
+        outcome = yield AllOf(self.env, events)
+        return [outcome[event] for event in events]
+
+    def _subscribe_early(self, events) -> Optional[AllOf]:
+        """An :class:`AllOf` over ``events``, safe to yield *later*.
+
+        Built before an intervening CPU charge so error completions find a
+        subscriber; the failure sink keeps a late error from crashing the
+        simulation if the surrounding attempt is interrupted before the
+        condition is ever yielded.
+        """
+        if not (self.resilient and events):
+            return None
+        gathered = AllOf(self.env, events)
+        gathered.callbacks.append(_defuse_on_failure)
+        return gathered
+
+    def _check_tolerance(self, stripe: int) -> None:
+        if len(self.failed_in_stripe(stripe)) > self.geometry.num_parity:
+            self.fault_stats.io_errors += 1
+            raise IoError(
+                f"{self.name}: stripe {stripe} has more failures than "
+                f"{self.geometry.level.name} tolerates"
+            )
+
+    def _run_attempt(self, body, timeout_ns: int, drain: bool):
+        """Run one attempt generator under a deadline.
+
+        Returns True if the attempt succeeded.  A timed-out *write*
+        attempt is given a drain window (``drain_factor x timeout``) for
+        its straggling mutations to land — §5.4: a retry must never race
+        the attempt it replaces — after which unresponsive members are
+        fenced as prolonged failures and the attempt is abandoned.
+        """
+        attempt = self.env.process(body, name=f"{self.name}.attempt")
+        deadline = self.env.timeout(timeout_ns)
+        try:
+            yield AnyOf(self.env, [attempt, deadline])
+        except IoError:
+            return False
+        if attempt.triggered:
+            return bool(attempt._ok)
+        self.fault_stats.timeouts += 1
+        if drain:
+            drain_deadline = self.env.timeout(self.drain_factor * timeout_ns)
+            try:
+                yield AnyOf(self.env, [attempt, drain_deadline])
+            except IoError:
+                return False
+            if attempt.triggered:
+                return bool(attempt._ok)
+            self._fence_stragglers(timeout_ns)
+        if attempt.is_alive:
+            attempt.interrupt("attempt timed out")
+            try:
+                yield attempt
+            except (Interrupt, IoError):
+                pass
+        return False
+
+    def _fence_stragglers(self, timeout_ns: int) -> None:
+        """Fail members still holding commands after a drain window.
+
+        Liveness is judged by completion recency, not queue depth: a busy
+        member under concurrent load always has commands outstanding, but
+        only a dead one stops completing them.
+        """
+        now = self.env.now
+        for i, bdev in enumerate(self.bdevs):
+            if i in self.failed or not bdev.outstanding:
+                continue
+            if now - bdev.last_completion_ns < timeout_ns:
+                continue
+            if len(self.failed) >= self.geometry.num_parity:
+                # fencing past redundancy converts a stall into data loss;
+                # leave the member in and let the retry budget bound the op
+                break
+            self.failed.add(i)
+            self.cluster.servers[i].drive.fail()
+            self.fault_stats.prolonged_failures += 1
+            self.fault_stats.degraded_transitions += 1
+
+    def _retry_loop(self, make_body, stripe: int, kind: str, drain: bool):
+        """Attempt/backoff loop shared by resilient reads and pre-reads."""
+        attempts = 0
+        while True:
+            self._check_tolerance(stripe)
+            timeout_ns = self.backoff.timeout_for(attempts, self.timeout_ns)
+            ok = yield from self._run_attempt(make_body(), timeout_ns, drain)
+            if ok:
+                return
+            attempts += 1
+            if attempts > self.max_retries:
+                self.fault_stats.io_errors += 1
+                raise IoError(
+                    f"{self.name}: {kind} on stripe {stripe} failed after "
+                    f"{attempts} attempts"
+                )
+            self.stats.retries += 1
+            self.fault_stats.retries += 1
+            pause = self.backoff.backoff_ns(attempts, self._retry_rng)
+            if pause:
+                yield self.env.timeout(pause)
 
     # -- public block interface -----------------------------------------------
 
@@ -238,28 +393,47 @@ class HostCentricRaid:
         if lock:
             yield self.locks.acquire(ext.stripe)
         try:
-            failed = self.failed_in_stripe(ext.stripe)
-            healthy = [s for s in ext.segments if s.drive not in failed]
-            lost = [s for s in ext.segments if s.drive in failed]
-            events = [self.bdevs[s.drive].read(s.drive_offset, s.length) for s in healthy]
-            if lost:
-                events += [
-                    self.env.process(self._reconstruct_segment(ext, s))
-                    for s in lost
-                ]
-            if self.degraded and healthy:
-                yield self._charge_degraded_read_staging(
-                    sum(s.length for s in healthy), ext
+            if self.resilient:
+                # reads are idempotent: on timeout or member error, retry
+                # with an escalated deadline (reconstructing around any
+                # member that has been fenced in the meantime)
+                yield from self._retry_loop(
+                    lambda: self._read_extent_once(ext, buffer),
+                    ext.stripe,
+                    "read",
+                    drain=False,
                 )
-            results = []
-            for event in events:
-                results.append((yield event))
-            if buffer is not None:
-                for seg, data in zip(list(healthy) + list(lost), results):
-                    buffer[seg.io_offset : seg.io_offset + seg.length] = data
+            else:
+                yield from self._read_extent_once(ext, buffer)
         finally:
             if lock:
                 self.locks.release(ext.stripe)
+
+    def _read_extent_once(self, ext: StripeExtent, buffer):
+        failed = self.failed_in_stripe(ext.stripe)
+        healthy = [s for s in ext.segments if s.drive not in failed]
+        lost = [s for s in ext.segments if s.drive in failed]
+        events = [self.bdevs[s.drive].read(s.drive_offset, s.length) for s in healthy]
+        if lost:
+            events += [
+                self.env.process(self._reconstruct_segment(ext, s))
+                for s in lost
+            ]
+        # subscribe before the staging charge so an error completion
+        # arriving mid-charge is handled, not an unhandled failed event
+        gathered = self._subscribe_early(events)
+        if self.degraded and healthy:
+            yield self._charge_degraded_read_staging(
+                sum(s.length for s in healthy), ext
+            )
+        if gathered is not None:
+            outcome = yield gathered
+            results = [outcome[event] for event in events]
+        else:
+            results = yield from self._gather(events)
+        if buffer is not None:
+            for seg, data in zip(list(healthy) + list(lost), results):
+                buffer[seg.io_offset : seg.io_offset + seg.length] = data
 
     def _reconstruct_segment(self, ext: StripeExtent, seg: ChunkSegment):
         """Rebuild one lost data segment on the host from all survivors."""
@@ -286,9 +460,7 @@ class HostCentricRaid:
             )
         for p in needed_parities:
             events.append(self.bdevs[p].read(ext.stripe * g.chunk_bytes + region[0], region[1]))
-        blocks = []
-        for event in events:
-            blocks.append((yield event))
+        blocks = yield from self._gather(events)
         total_source_bytes = region[1] * len(events)
         yield self._charge_reconstruct_staging(total_source_bytes, ext)
         yield self._charge_xor(len(events), region[1])
@@ -316,41 +488,168 @@ class HostCentricRaid:
         self.bitmap.mark(ext.stripe)
         yield self.locks.acquire(ext.stripe)
         try:
-            failed = self.failed_in_stripe(ext.stripe)
-            failed_parities = [p for p in ext.parity_drives if p in failed]
-            failed_touched = [s for s in ext.segments if s.drive in failed]
-            failed_untouched_data = [
-                d for d in failed
-                if d not in ext.parity_drives
-                and d not in {s.drive for s in ext.segments}
-            ]
-            mode = classify_write(self.geometry, ext)
-            if failed_touched:
-                self.stats.degraded_writes += 1
-                only_failed_chunk = (
-                    len(failed_touched) == len(ext.segments) == 1
-                    and len(failed - set(ext.parity_drives)) == 1
-                )
-                if only_failed_chunk:
-                    yield from self._write_degraded_region(ext, io_data, failed_touched[0])
-                else:
-                    yield from self._write_degraded_data(ext, io_data, failed_touched)
-            elif mode is WriteMode.FULL_STRIPE:
-                self.stats.full_stripe_writes += 1
-                yield from self._write_full(ext, io_data)
-            elif mode is WriteMode.RECONSTRUCT_WRITE and not failed_untouched_data:
-                self.stats.rcw_writes += 1
-                yield from self._write_rcw(ext, io_data)
+            if self.resilient:
+                yield from self._write_resilient(ext, io_data)
             else:
-                # RMW; also the fallback when an untouched data drive is
-                # failed (its chunk cannot be read for RCW).
-                self.stats.rmw_writes += 1
-                if failed_untouched_data or failed_parities:
-                    self.stats.degraded_writes += 1
-                yield from self._write_rmw(ext, io_data)
+                yield from self._write_stripe_once(ext, io_data)
         finally:
             self.locks.release(ext.stripe)
             self.bitmap.clear(ext.stripe)
+
+    def _write_stripe_once(self, ext: StripeExtent, io_data):
+        """One pass of the normal write dispatch (caller holds the lock)."""
+        failed = self.failed_in_stripe(ext.stripe)
+        failed_parities = [p for p in ext.parity_drives if p in failed]
+        failed_touched = [s for s in ext.segments if s.drive in failed]
+        failed_untouched_data = [
+            d for d in failed
+            if d not in ext.parity_drives
+            and d not in {s.drive for s in ext.segments}
+        ]
+        mode = classify_write(self.geometry, ext)
+        if failed_touched:
+            self.stats.degraded_writes += 1
+            only_failed_chunk = (
+                len(failed_touched) == len(ext.segments) == 1
+                and len(failed - set(ext.parity_drives)) == 1
+            )
+            if only_failed_chunk:
+                yield from self._write_degraded_region(ext, io_data, failed_touched[0])
+            else:
+                yield from self._write_degraded_data(ext, io_data, failed_touched)
+        elif mode is WriteMode.FULL_STRIPE:
+            self.stats.full_stripe_writes += 1
+            yield from self._write_full(ext, io_data)
+        elif mode is WriteMode.RECONSTRUCT_WRITE and not failed_untouched_data:
+            self.stats.rcw_writes += 1
+            yield from self._write_rcw(ext, io_data)
+        else:
+            # RMW; also the fallback when an untouched data drive is
+            # failed (its chunk cannot be read for RCW).
+            self.stats.rmw_writes += 1
+            if failed_untouched_data or failed_parities:
+                self.stats.degraded_writes += 1
+            yield from self._write_rmw(ext, io_data)
+
+    # resilient write path (§5.4) --------------------------------------------
+
+    def _data_drives_in(self, stripe: int, members) -> bool:
+        g = self.geometry
+        return any(
+            g.data_drive(stripe, d) in members for d in range(g.data_per_stripe)
+        )
+
+    def _write_resilient(self, ext: StripeExtent, io_data):
+        """Timeout/retry write with the §5.4 idempotent-retry invariant.
+
+        The first attempt on a stripe with no failed data member uses the
+        normal dispatch.  Every retry — and every attempt on a degraded
+        stripe — writes from a *pinned* full-stripe image whose gap
+        regions were read exactly once, before any mutation, so replays
+        are idempotent no matter which of a previous attempt's writes
+        landed.
+        """
+        g = self.geometry
+        pinned = None
+        failed = self.failed_in_stripe(ext.stripe)
+        if self._data_drives_in(ext.stripe, failed):
+            self._check_tolerance(ext.stripe)
+            self.stats.degraded_writes += 1
+            pinned = yield from self._pin_with_retries(ext)
+        attempts = 0
+        while True:
+            self._check_tolerance(ext.stripe)
+            if pinned is None and attempts > 0:
+                failed = self.failed_in_stripe(ext.stripe)
+                gaps = self._stripe_gaps(ext)
+                if any(g.data_drive(ext.stripe, d) in failed for d, _, _ in gaps):
+                    # Write hole: the first attempt may have torn parity,
+                    # and a gap chunk now lives on a failed member — its
+                    # content cannot be trusted from parity.  Surface a
+                    # terminal error; the stripe is repaired by resync
+                    # once the member returns.
+                    self.fault_stats.io_errors += 1
+                    raise IoError(
+                        f"{self.name}: write hole on stripe {ext.stripe}"
+                    )
+                pinned = yield from self._pin_with_retries(ext)
+            if pinned is None:
+                body = self._write_stripe_once(ext, io_data)
+            else:
+                body = self._write_pinned(ext, io_data, *pinned)
+            timeout_ns = self.backoff.timeout_for(attempts, self.timeout_ns)
+            ok = yield from self._run_attempt(body, timeout_ns, drain=True)
+            if ok:
+                return
+            attempts += 1
+            if attempts > self.max_retries:
+                self.fault_stats.io_errors += 1
+                raise IoError(
+                    f"{self.name}: write to stripe {ext.stripe} failed after "
+                    f"{attempts} attempts"
+                )
+            self.stats.retries += 1
+            self.fault_stats.retries += 1
+            pause = self.backoff.backoff_ns(attempts, self._retry_rng)
+            if pause:
+                yield self.env.timeout(pause)
+
+    def _pin_with_retries(self, ext: StripeExtent):
+        """Degraded-aware read of every stripe region the write will not
+        cover, retried like any read; returns ``(gaps, blocks)``."""
+        out = {}
+        yield from self._retry_loop(
+            lambda: self._pin_stripe_image(ext, out),
+            ext.stripe,
+            "stripe pre-read",
+            drain=False,
+        )
+        return out["gaps"], out["blocks"]
+
+    def _pin_stripe_image(self, ext: StripeExtent, out: dict):
+        g = self.geometry
+        gaps = self._stripe_gaps(ext)
+        stripe_base = ext.stripe * g.stripe_data_bytes
+        blocks = []
+        for d, off, length in gaps:
+            buffer = np.zeros(length, dtype=np.uint8) if self.functional else None
+            gap_ext, = g.map_extent(stripe_base + d * g.chunk_bytes + off, length)
+            yield from self._read_extent_once(gap_ext, buffer)
+            blocks.append(buffer)
+        out["gaps"] = gaps
+        out["blocks"] = blocks
+
+    def _write_pinned(self, ext: StripeExtent, io_data, gaps, gap_blocks):
+        """Write the stripe from the pinned image: touched segments from
+        the user data, full parity recomputed from image + user data."""
+        g = self.geometry
+        chunk = g.chunk_bytes
+        yield self._charge_xor(g.data_per_stripe, chunk)
+        p_block = q_block = None
+        if self.functional:
+            stripe_img = self._assemble_stripe(ext, io_data, gaps, gap_blocks)
+            p_block = xor_blocks(stripe_img)
+            if g.level is RaidLevel.RAID6:
+                q_block = np.zeros(chunk, dtype=np.uint8)
+                for i, blk in enumerate(stripe_img):
+                    GF.mul_bytes_inplace_xor(q_block, GF.gen_pow(i), blk)
+        if g.level is RaidLevel.RAID6:
+            yield self._charge_gf(g.data_per_stripe, chunk)
+        staged = ext.touched_bytes + len(ext.parity_drives) * chunk
+        yield self._charge_write_staging(staged, ext)
+        failed = self.failed_in_stripe(ext.stripe)
+        events = [
+            self.bdevs[s.drive].write(s.drive_offset, s.length, self._seg_data(io_data, s))
+            for s in ext.segments
+            if s.drive not in failed
+        ]
+        for p in ext.parity_drives:
+            if p in failed:
+                continue
+            block = p_block if self._parity_index(ext, p) == 0 else q_block
+            events.append(self.bdevs[p].write(ext.parity_offset, chunk, block))
+        if events:
+            yield AllOf(self.env, events)
 
     # data helpers -----------------------------------------------------------
 
@@ -408,9 +707,7 @@ class HostCentricRaid:
         ]
         for p in parities:
             read_events.append(self.bdevs[p].read(ext.parity_offset + span_off, span_len))
-        old_blocks = []
-        for event in read_events:
-            old_blocks.append((yield event))
+        old_blocks = yield from self._gather(read_events)
         old_data = old_blocks[: len(ext.segments)]
         old_parity = old_blocks[len(ext.segments):]
         # phase 2: compute deltas and new parities
@@ -461,9 +758,7 @@ class HostCentricRaid:
             )
             for d, off, length in gaps
         ]
-        gap_blocks = []
-        for event in read_events:
-            gap_blocks.append((yield event))
+        gap_blocks = yield from self._gather(read_events)
         yield self._charge_xor(g.data_per_stripe, chunk)
         p_block = q_block = None
         if self.functional:
@@ -511,9 +806,7 @@ class HostCentricRaid:
             )
             for d in survivors
         ]
-        blocks = []
-        for event in read_events:
-            blocks.append((yield event))
+        blocks = yield from self._gather(read_events)
         yield self._charge_reconstruct_staging(region_len * len(blocks), ext)
         yield self._charge_xor(len(blocks) + 1, region_len)
         new_data = self._seg_data(io_data, seg)
@@ -535,9 +828,10 @@ class HostCentricRaid:
                     ext.parity_offset + region_offset, region_len, block
                 )
             )
+        finish = self._subscribe_early(write_events)
         if self.geometry.level is RaidLevel.RAID6 and len(write_events) > 1:
             yield self._charge_gf(len(survivors) + 1, region_len)
-        yield AllOf(self.env, write_events)
+        yield finish if finish is not None else AllOf(self.env, write_events)
 
     def _write_degraded_data(self, ext: StripeExtent, io_data, failed_touched):
         """Write when a touched data chunk lives on a failed drive.
@@ -571,9 +865,7 @@ class HostCentricRaid:
         parities_to_read = self._alive_parities(ext)[: len(failed_indices)] if partial_failed else []
         for p in parities_to_read:
             read_events.append(self.bdevs[p].read(ext.parity_offset, chunk))
-        blocks = []
-        for event in read_events:
-            blocks.append((yield event))
+        blocks = yield from self._gather(read_events)
         survivor_blocks = blocks[: len(survivors)]
         for p, blk in zip(parities_to_read, blocks[len(survivors):]):
             parity_blocks[p] = blk

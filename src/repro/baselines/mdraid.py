@@ -48,8 +48,10 @@ class MdRaid(HostCentricRaid):
     #: Per-row, per-member stripe-head bookkeeping on reconstruction.
     recon_head_ns = 800
 
-    def __init__(self, cluster: Cluster, geometry: RaidGeometry, name: str = "md") -> None:
-        super().__init__(cluster, geometry, name=name)
+    def __init__(
+        self, cluster: Cluster, geometry: RaidGeometry, name: str = "md", **kwargs
+    ) -> None:
+        super().__init__(cluster, geometry, name=name, **kwargs)
         #: The single md/raidX kernel thread everything serializes on.
         self.md_thread = CpuCore(self.env, f"{name}.raid-thread")
 

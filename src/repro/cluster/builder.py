@@ -39,6 +39,10 @@ class ClusterConfig:
     functional_capacity: int = 0
     propagation_ns: int = 1_500
     rdma_op_ns: int = 3_000
+    #: Per-attempt I/O timeout for the RAID controllers built on this
+    #: cluster (§5.4 prolonged-failure detection).  Controllers may override
+    #: it per array via their ``timeout_ns`` constructor parameter.
+    io_timeout_ns: int = 50_000_000
 
 
 class Cluster:
@@ -61,6 +65,9 @@ class Cluster:
         self.host_connections = host_connections
         self._peer_connections = peer_connections
         self.config = config
+        #: Armed by :class:`repro.faults.FaultInjector`; when set, the RAID
+        #: controllers enable their resilient (timeout/retry) datapaths.
+        self.fault_injection = None
 
     @property
     def num_servers(self) -> int:

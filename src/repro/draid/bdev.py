@@ -114,15 +114,39 @@ class DraidBdevServer:
         self._parity_states: Dict[int, _ParityReduceState] = {}
         self._recon_states: Dict[int, _ReconReduceState] = {}
         self.commands_served = 0
+        self.down_until = 0
+        self.crashes = 0
         self.env.process(self._serve(self.host_end), name=f"{self.server.name}.draid")
         for end in self.peer_ends.values():
             self.env.process(self._serve(end), name=f"{self.server.name}.peer")
+
+    # -- fault injection -----------------------------------------------------
+
+    def crash(self, down_ns: int) -> None:
+        """Crash/restart this storage server.
+
+        Everything volatile is lost: queued command capsules and — crucially
+        for §5.4 — the in-flight partial-parity and reconstruction reduce
+        state.  Commands arriving while down are dropped without completion;
+        the host recovers via timeout + idempotent full-stripe retry.
+        """
+        if down_ns <= 0:
+            raise ValueError(f"crash duration must be positive, got {down_ns}")
+        self.down_until = max(self.down_until, self.env.now + down_ns)
+        self.crashes += 1
+        self._parity_states.clear()
+        self._recon_states.clear()
+        self.host_end.inbox.clear()
+        for end in self.peer_ends.values():
+            end.inbox.clear()
 
     # -- dispatch ---------------------------------------------------------
 
     def _serve(self, end):
         while True:
             message = yield end.recv()
+            if self.env.now < self.down_until:
+                continue  # crashed: message lost, no completion ever sent
             self.commands_served += 1
             if isinstance(message, NvmeOfCommand):
                 handler = self._handle_plain(message, end)

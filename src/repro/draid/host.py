@@ -52,11 +52,16 @@ class _OpWaiter:
     followed by a full-stripe retry is safe — §5.4).
     """
 
-    def __init__(self, env, expected: Dict[str, int]) -> None:
+    def __init__(self, env, expected: Dict[str, int], participants=()) -> None:
         self.event: Event = env.event()
         self.remaining = {k: v for k, v in expected.items() if v > 0}
         self.completions: List[DraidCompletion] = []
         self.errors: List[DraidCompletion] = []
+        #: members expected to answer directly / seen answering (§5.4
+        #: prolonged-failure fencing keys off the difference)
+        self.participants = set(participants)
+        self.responded: set = set()
+        self.start_ns = env.now
         if not self.remaining:
             self.event.succeed(self)
 
@@ -95,11 +100,15 @@ class DraidArray(HostCentricRaid):
         selector=None,
         pipeline: bool = True,
         blocking_reduce: bool = False,
+        timeout_ns: Optional[int] = None,
+        failslow_detector=None,
     ) -> None:
         self.pipeline = pipeline
         self.blocking_reduce = blocking_reduce
         self.selector = selector or RandomReducerSelector(seed=17)
-        super().__init__(cluster, geometry, name=name)
+        super().__init__(cluster, geometry, name=name, timeout_ns=timeout_ns)
+        if failslow_detector is not None:
+            self.failslow_detector = failslow_detector
 
     # -- transport --------------------------------------------------------
 
@@ -116,45 +125,104 @@ class DraidArray(HostCentricRaid):
             self.cluster.host_end(i) for i in range(self.cluster.num_servers)
         ]
         self._waiters: Dict[int, _OpWaiter] = {}
-        for end in self.host_ends:
-            self.env.process(self._receive(end), name=f"{self.name}.cq")
+        for member, end in enumerate(self.host_ends):
+            self.env.process(self._receive(end, member), name=f"{self.name}.cq")
 
-    def _receive(self, end):
+    def _receive(self, end, member: int):
         while True:
             comp: DraidCompletion = yield end.recv()
             waiter = self._waiters.get(comp.cid)
-            if waiter is not None:
-                waiter.on_completion(comp)
+            if waiter is None:
+                continue
+            waiter.responded.add(member)
+            if comp.ok and self.failslow_detector is not None:
+                self.failslow_detector.observe(
+                    member, self.env.now - waiter.start_ns
+                )
+                self._maybe_eject_failslow(member)
+            waiter.on_completion(comp)
 
-    def _register(self, cid: int, expected: Dict[str, int]) -> _OpWaiter:
-        waiter = _OpWaiter(self.env, expected)
+    def _maybe_eject_failslow(self, member: int) -> None:
+        """EWMA fail-slow detection (§5.4): a member whose completion
+        latency dwarfs its peers' is proactively transitioned to degraded
+        so reads reconstruct around it instead of waiting on it."""
+        if member in self.failed or len(self.failed) >= self.geometry.num_parity:
+            return
+        if self.failslow_detector.suspect(member, exclude=self.failed):
+            self.failed.add(member)
+            self.fault_stats.fail_slow_ejections += 1
+            self.fault_stats.degraded_transitions += 1
+
+    def _register(
+        self, cid: int, expected: Dict[str, int], participants=()
+    ) -> _OpWaiter:
+        waiter = _OpWaiter(self.env, expected, participants)
         self._waiters[cid] = waiter
         return waiter
 
-    def _await_op(self, cid: int, waiter: _OpWaiter):
-        """Wait for all final states; flag expiry past the §5.4 deadline."""
-        deadline = self.env.timeout(self.timeout_ns)
+    def _await_op(self, cid: int, waiter: _OpWaiter, attempt: int = 0, drain: bool = True):
+        """Wait for all final states; flag expiry past the §5.4 deadline.
+
+        On the resilient datapath the deadline escalates with the attempt
+        number and a timed-out mutation gets a bounded drain window
+        (``drain_factor x timeout``) before unresponsive participants are
+        fenced; without fault injection the original unbounded wait is
+        kept so healthy-path runs are bit-identical.
+        """
+        if self.resilient:
+            timeout_ns = self.backoff.timeout_for(attempt, self.timeout_ns)
+        else:
+            timeout_ns = self.timeout_ns
+        deadline = self.env.timeout(timeout_ns)
         yield AnyOf(self.env, [waiter.event, deadline])
         expired = not waiter.event.triggered
         if expired:
-            # §5.4: never retry until every sub-operation reached a final
-            # state (concurrent writes on a stripe are forbidden).
-            yield waiter.event
+            if not self.resilient:
+                # §5.4: never retry until every sub-operation reached a
+                # final state (concurrent writes on a stripe are forbidden).
+                yield waiter.event
+            else:
+                self.fault_stats.timeouts += 1
+                if drain:
+                    # bounded §5.4 drain: one window for stragglers to
+                    # land, then fence whoever never answered so their
+                    # queued mutations can never race the retry
+                    drain_deadline = self.env.timeout(self.drain_factor * timeout_ns)
+                    yield AnyOf(self.env, [waiter.event, drain_deadline])
+                    if not waiter.event.triggered:
+                        self._fence_unresponsive(waiter)
         del self._waiters[cid]
         return expired
 
+    def _fence_unresponsive(self, waiter: _OpWaiter) -> None:
+        for member in sorted(waiter.participants - waiter.responded):
+            if member in self.failed:
+                continue
+            if len(self.failed) >= self.geometry.num_parity:
+                # never fence past redundancy: that converts a stall into
+                # data loss; the retry budget bounds the op instead
+                break
+            self.failed.add(member)
+            self.cluster.servers[self._server_of(member)].drive.fail()
+            self.fault_stats.prolonged_failures += 1
+            self.fault_stats.degraded_transitions += 1
+
     def _mark_prolonged_failures(self, waiter: _OpWaiter) -> None:
         """§5.4 prolonged failure: faulty drives detected via error status."""
-        for comp in waiter.errors:
-            for i, server in enumerate(self.cluster.servers):
-                if server.drive.failed:
-                    self.failed.add(i)
+        if not waiter.errors:
+            return
+        for i, server in enumerate(self.cluster.servers):
+            if server.drive.failed and i not in self.failed:
+                self.failed.add(i)
+                self.fault_stats.degraded_transitions += 1
 
     # -- reads -----------------------------------------------------------------
 
     def _read_extent(self, ext: StripeExtent, buffer, io_base: int, take_locks: bool = True):
         # dRAID reads are lock-free (§8); take_locks is part of the shared
         # controller interface and has nothing to suppress here.
+        if self.resilient:
+            self._check_tolerance(ext.stripe)
         failed = self.failed_in_stripe(ext.stripe)
         healthy = [s for s in ext.segments if s.drive not in failed]
         lost = [s for s in ext.segments if s.drive in failed]
@@ -171,19 +239,36 @@ class DraidArray(HostCentricRaid):
             submitted = []
             for seg in pending:
                 cid = next_cid()
-                waiter = self._register(cid, {"read": 1})
+                waiter = self._register(cid, {"read": 1}, participants={seg.drive})
                 self.host_ends[seg.drive].send(
                     NvmeOfCommand(cid, Opcode.READ, seg.drive_offset, seg.length)
                 )
                 submitted.append((cid, seg, waiter))
             retry = []
             for cid, seg, waiter in submitted:
-                expired = yield from self._await_op(cid, waiter)
+                expired = yield from self._await_op(
+                    cid, waiter, attempt=attempts, drain=False
+                )
                 if waiter.errors or expired:
                     # NVMe-oF reads are idempotent: resend expired ones
                     # (§5.4); errors mean a prolonged failure, handled by
                     # the degraded path on the retry round.
                     self._mark_prolonged_failures(waiter)
+                    if (
+                        self.resilient
+                        and expired
+                        and not waiter.errors
+                        and attempts >= 2
+                        and seg.drive not in self.failed
+                        and len(self.failed) < self.geometry.num_parity
+                    ):
+                        # silent across escalating deadlines: prolonged
+                        # failure — fence the member so the degraded path
+                        # serves the read instead of burning the budget
+                        self.failed.add(seg.drive)
+                        self.cluster.servers[self._server_of(seg.drive)].drive.fail()
+                        self.fault_stats.prolonged_failures += 1
+                        self.fault_stats.degraded_transitions += 1
                     retry.append(seg)
                     continue
                 if buffer is not None:
@@ -192,7 +277,14 @@ class DraidArray(HostCentricRaid):
             if retry:
                 attempts += 1
                 if attempts > self.max_retries:
+                    if self.resilient:
+                        self.fault_stats.io_errors += 1
                     raise IoError(f"{self.name}: read failed on stripe {ext.stripe}")
+                if self.resilient:
+                    self.fault_stats.retries += 1
+                    pause = self.backoff.backoff_ns(attempts, self._retry_rng)
+                    if pause:
+                        yield self.env.timeout(pause)
                 failed = self.failed_in_stripe(ext.stripe)
                 still_healthy = [s for s in retry if s.drive not in failed]
                 lost = [s for s in retry if s.drive in failed]
@@ -212,12 +304,14 @@ class DraidArray(HostCentricRaid):
             lost_index = g.data_index_of_drive(ext.stripe, seg.drive)
             participants = self._recon_participants(ext)
             region = (seg.chunk_offset, seg.length)
-            reducer = self._server_of(
-                self.selector.pick([d for d, _ in participants], seg.length)
+            reducer_member = self.selector.pick(
+                [d for d, _ in participants], seg.length
             )
+            reducer = self._server_of(reducer_member)
             cid = next_cid()
             also_read = 0
             folded = []
+            responders = {reducer_member}
             for drive, source in participants:
                 read_segment = None
                 if order == 0 and drive in remaining_healthy:
@@ -225,6 +319,7 @@ class DraidArray(HostCentricRaid):
                     read_segment = (h.chunk_offset, h.length, h.io_offset)
                     folded.append(h)
                     also_read += 1
+                    responders.add(drive)
                 cmd = self._recon_cmd(
                     cid,
                     subtype=Subtype.ALSO_READ if read_segment else Subtype.NO_READ,
@@ -240,8 +335,10 @@ class DraidArray(HostCentricRaid):
                     lost_io_offset=seg.io_offset,
                 )
                 self.host_ends[drive].send(cmd)
-            waiter = self._register(cid, {"recon": 1, "read": also_read})
-            expired = yield from self._await_op(cid, waiter)
+            waiter = self._register(
+                cid, {"recon": 1, "read": also_read}, participants=responders
+            )
+            expired = yield from self._await_op(cid, waiter, drain=False)
             if waiter.errors or expired:
                 # reconstruction reads are idempotent too: retry once with
                 # a fresh broadcast before giving up
@@ -257,11 +354,14 @@ class DraidArray(HostCentricRaid):
                 missing = [h for h in folded if h.io_offset not in received]
                 if missing:
                     yield from self._plain_reads(ext, missing, buffer)
+                if self.resilient:
+                    self.fault_stats.retries += 1
                 cid2 = next_cid()
                 participants = self._recon_participants(ext)
-                reducer = self._server_of(
-                    self.selector.pick([d for d, _ in participants], seg.length)
+                reducer_member = self.selector.pick(
+                    [d for d, _ in participants], seg.length
                 )
+                reducer = self._server_of(reducer_member)
                 for drive, source in participants:
                     self.host_ends[drive].send(
                         self._recon_cmd(
@@ -278,9 +378,15 @@ class DraidArray(HostCentricRaid):
                             lost_io_offset=seg.io_offset,
                         )
                     )
-                waiter = self._register(cid2, {"recon": 1})
-                expired = yield from self._await_op(cid2, waiter)
+                waiter = self._register(
+                    cid2, {"recon": 1}, participants={reducer_member}
+                )
+                expired = yield from self._await_op(
+                    cid2, waiter, attempt=1, drain=False
+                )
                 if waiter.errors or expired:
+                    if self.resilient:
+                        self.fault_stats.io_errors += 1
                     raise IoError(
                         f"{self.name}: degraded read failed on stripe {ext.stripe}"
                     )
@@ -332,15 +438,25 @@ class DraidArray(HostCentricRaid):
         self.bitmap.mark(ext.stripe)
         yield self.locks.acquire(ext.stripe)
         try:
+            if self.resilient:
+                self._check_tolerance(ext.stripe)
             ok = yield from self._write_extent_once(ext, io_data)
             attempts = 0
             while not ok:
                 # §5.4: explicit full-stripe retry after timeout/failure.
                 attempts += 1
                 if attempts > self.max_retries:
+                    if self.resilient:
+                        self.fault_stats.io_errors += 1
                     raise IoError(f"{self.name}: write failed on stripe {ext.stripe}")
                 self.stats.retries += 1
-                ok = yield from self._write_host_fallback(ext, io_data)
+                if self.resilient:
+                    self.fault_stats.retries += 1
+                    self._check_tolerance(ext.stripe)
+                    pause = self.backoff.backoff_ns(attempts, self._retry_rng)
+                    if pause:
+                        yield self.env.timeout(pause)
+                ok = yield from self._write_host_fallback(ext, io_data, attempt=attempts)
         finally:
             self.locks.release(ext.stripe)
             self.bitmap.clear(ext.stripe)
@@ -390,6 +506,7 @@ class DraidArray(HostCentricRaid):
         failed = self.failed_in_stripe(ext.stripe)
         cid = next_cid()
         writes = 0
+        writers = set()
         for seg in ext.segments:
             if seg.drive in failed:
                 continue
@@ -398,6 +515,7 @@ class DraidArray(HostCentricRaid):
                               data=self._seg_data(io_data, seg))
             )
             writes += 1
+            writers.add(seg.drive)
         for idx, p in enumerate(ext.parity_drives):
             if p in failed:
                 continue
@@ -406,7 +524,8 @@ class DraidArray(HostCentricRaid):
                 NvmeOfCommand(cid, Opcode.WRITE, ext.parity_offset, chunk, data=block)
             )
             writes += 1
-        waiter = self._register(cid, {"write": writes})
+            writers.add(p)
+        waiter = self._register(cid, {"write": writes}, participants=writers)
         expired = yield from self._await_op(cid, waiter)
         if waiter.errors:
             self._mark_prolonged_failures(waiter)
@@ -444,6 +563,7 @@ class DraidArray(HostCentricRaid):
             next_dest2 = self._server_of(alive_parities[1][1])
             next_dest2_parity = alive_parities[1][0]
         writers = 0
+        responders = set()
         for d in contributors:
             seg = touched.get(d)
             drive = g.data_drive(ext.stripe, d)
@@ -473,6 +593,7 @@ class DraidArray(HostCentricRaid):
             self.host_ends[drive].send(cmd)
             if seg is not None:
                 writers += 1
+                responders.add(drive)
         for idx, p in alive_parities:
             self.host_ends[p].send(
                 ParityCmd(
@@ -486,7 +607,11 @@ class DraidArray(HostCentricRaid):
                     key=cid,
                 )
             )
-        waiter = self._register(cid, {"data": writers, "parity": len(alive_parities)})
+            responders.add(p)
+        waiter = self._register(
+            cid, {"data": writers, "parity": len(alive_parities)},
+            participants=responders,
+        )
         expired = yield from self._await_op(cid, waiter)
         if waiter.errors:
             self._mark_prolonged_failures(waiter)
@@ -495,6 +620,7 @@ class DraidArray(HostCentricRaid):
     def _plain_segment_writes(self, ext: StripeExtent, io_data):
         cid = next_cid()
         writes = 0
+        writers = set()
         failed = self.failed_in_stripe(ext.stripe)
         for seg in ext.segments:
             if seg.drive in failed:
@@ -504,7 +630,8 @@ class DraidArray(HostCentricRaid):
                               data=self._seg_data(io_data, seg))
             )
             writes += 1
-        waiter = self._register(cid, {"write": writes})
+            writers.add(seg.drive)
+        waiter = self._register(cid, {"write": writes}, participants=writers)
         expired = yield from self._await_op(cid, waiter)
         if waiter.errors:
             self._mark_prolonged_failures(waiter)
@@ -597,7 +724,10 @@ class DraidArray(HostCentricRaid):
                           fwd_offset=region_offset, fwd_length=region_len,
                           wait_num=contributors + 1, parity_index=idx, key=cid)
             )
-        waiter = self._register(cid, {"parity": len(alive_parities)})
+        waiter = self._register(
+            cid, {"parity": len(alive_parities)},
+            participants={p for _, p in alive_parities},
+        )
         expired = yield from self._await_op(cid, waiter)
         if waiter.errors:
             self._mark_prolonged_failures(waiter)
@@ -605,7 +735,7 @@ class DraidArray(HostCentricRaid):
 
     # .. §5.4 full-stripe retry / host fallback ...............................
 
-    def _write_host_fallback(self, ext: StripeExtent, io_data):
+    def _write_host_fallback(self, ext: StripeExtent, io_data, attempt: int = 0):
         """Degraded-aware full-stripe write executed by the host.
 
         Reads every stripe region the write does not cover (through the
@@ -638,6 +768,7 @@ class DraidArray(HostCentricRaid):
             yield self._charge_gf(g.data_per_stripe, chunk)
         cid = next_cid()
         writes = 0
+        writers = set()
         failed = self.failed_in_stripe(ext.stripe)
         for d in range(g.data_per_stripe):
             drive = g.data_drive(ext.stripe, d)
@@ -648,6 +779,7 @@ class DraidArray(HostCentricRaid):
                 NvmeOfCommand(cid, Opcode.WRITE, ext.stripe * chunk, chunk, data=block)
             )
             writes += 1
+            writers.add(drive)
         for idx, p in enumerate(ext.parity_drives):
             if p in failed:
                 continue
@@ -656,8 +788,9 @@ class DraidArray(HostCentricRaid):
                 NvmeOfCommand(cid, Opcode.WRITE, ext.parity_offset, chunk, data=block)
             )
             writes += 1
-        waiter = self._register(cid, {"write": writes})
-        expired = yield from self._await_op(cid, waiter)
+            writers.add(p)
+        waiter = self._register(cid, {"write": writes}, participants=writers)
+        expired = yield from self._await_op(cid, waiter, attempt=attempt)
         if waiter.errors:
             self._mark_prolonged_failures(waiter)
         return not (waiter.errors or expired)

@@ -106,10 +106,12 @@ class OffloadedController(DraidArray):
         # NOTE: peer queue-pair traffic from bdevs back to the controller is
         # consumed here; bdev-to-bdev partials never touch these ends
         # because PeerMsg handling lives in the bdev servers' own loops.
-        for end in self.host_ends:
-            self.env.process(self._receive_controller(end), name=f"{self.name}.cq")
+        for member, end in enumerate(self.host_ends):
+            self.env.process(
+                self._receive_controller(end, member), name=f"{self.name}.cq"
+            )
 
-    def _receive_controller(self, end):
+    def _receive_controller(self, end, member: int):
         from repro.draid.protocol import DraidCompletion
 
         while True:
@@ -117,6 +119,7 @@ class OffloadedController(DraidArray):
             if isinstance(message, DraidCompletion):
                 waiter = self._waiters.get(message.cid)
                 if waiter is not None:
+                    waiter.responded.add(member)
                     waiter.on_completion(message)
             # any other message type on these ends belongs to the bdev
             # servers' loops; they hold the other end of each pair.

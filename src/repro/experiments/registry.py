@@ -196,6 +196,16 @@ def run_fig30(fast: bool = True):
     return "Figure 30: RAID-6 degraded write vs I/O size", rows
 
 
+def run_reliability(fast: bool = True):
+    from repro.experiments.reliability import reliability_rows
+
+    rows = reliability_rows(fast=fast)
+    return (
+        "Reliability: fault-storm phases and fail-slow detection (§5.4)",
+        rows,
+    )
+
+
 EXPERIMENTS: Dict[str, Callable[[bool], Tuple[str, List[Row]]]] = {
     "table1": run_table1,
     "fig09": run_fig09,
@@ -220,6 +230,7 @@ EXPERIMENTS: Dict[str, Callable[[bool], Tuple[str, List[Row]]]] = {
     "fig28": run_fig28,
     "fig29": run_fig29,
     "fig30": run_fig30,
+    "reliability": run_reliability,
 }
 
 

@@ -1,0 +1,44 @@
+"""Unified deterministic fault injection (§5.4 robustness subsystem).
+
+Compose a :class:`FaultPlan` from typed events (or let :func:`chaos_plan`
+roll one from a seed), hand it to a :class:`FaultInjector`, and run the
+simulation: drives die, slow down and spew transient errors, NICs flap,
+RDMA connections stall, storage servers crash losing in-flight parity
+state — all on the sim clock, bit-identically replayable.
+
+The chaos harness lives in :mod:`repro.faults.chaos` (imported lazily to
+keep this package free of controller dependencies).
+"""
+
+from repro.faults.backoff import BackoffPolicy
+from repro.faults.detect import FailSlowDetector
+from repro.faults.events import (
+    DriveErrorBurst,
+    DriveFail,
+    DriveFailSlow,
+    DriveHeal,
+    FaultEvent,
+    LinkStall,
+    NetJitter,
+    NicDegrade,
+    ServerCrash,
+)
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan, chaos_plan
+
+__all__ = [
+    "BackoffPolicy",
+    "DriveErrorBurst",
+    "DriveFail",
+    "DriveFailSlow",
+    "DriveHeal",
+    "FailSlowDetector",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "LinkStall",
+    "NetJitter",
+    "NicDegrade",
+    "ServerCrash",
+    "chaos_plan",
+]

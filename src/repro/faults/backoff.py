@@ -1,0 +1,49 @@
+"""Adaptive timeout / retry backoff policy (§5.4 hardening).
+
+Timeouts escalate exponentially per attempt so a retry is given more slack
+than the attempt it replaces; retry delays use exponential backoff with
+deterministic, seeded jitter (full-jitter style, but driven by a
+``random.Random`` stream owned by the array so replays are bit-identical).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+
+class BackoffPolicy:
+    """Per-array retry/backoff policy.
+
+    ``timeout_for(attempt)`` — deadline for attempt N (0-based); doubles
+    each attempt starting from the array's base timeout.
+
+    ``backoff_ns(attempt, rng)`` — sleep before launching attempt N >= 1:
+    ``base * 2**(attempt-1)`` plus up to 50% seeded jitter.
+    """
+
+    def __init__(
+        self,
+        base_timeout_ns: int,
+        base_backoff_ns: int = 2_000_000,
+        multiplier: float = 2.0,
+        max_timeout_ns: int = 1_000_000_000,
+    ) -> None:
+        if base_timeout_ns <= 0:
+            raise ValueError(f"base timeout must be positive, got {base_timeout_ns}")
+        self.base_timeout_ns = int(base_timeout_ns)
+        self.base_backoff_ns = int(base_backoff_ns)
+        self.multiplier = float(multiplier)
+        self.max_timeout_ns = int(max_timeout_ns)
+
+    def timeout_for(self, attempt: int, base_ns: Optional[int] = None) -> int:
+        base = self.base_timeout_ns if base_ns is None else base_ns
+        timeout = base * self.multiplier ** attempt
+        return int(min(timeout, self.max_timeout_ns))
+
+    def backoff_ns(self, attempt: int, rng: random.Random) -> int:
+        if attempt <= 0:
+            return 0
+        base = self.base_backoff_ns * self.multiplier ** (attempt - 1)
+        jitter = rng.random() * 0.5 * base
+        return int(base + jitter)

@@ -1,0 +1,226 @@
+"""Chaos schedules: seeded fault storms with model-checked verification.
+
+:func:`run_chaos_schedule` builds a small functional-mode array, arms a
+:class:`~repro.faults.injector.FaultInjector` with a :func:`chaos_plan`,
+drives a seeded workload *through* the fault storm, then runs the
+recovery playbook a production operator would (heal, rebuild, resync)
+and verifies the end state:
+
+* every byte the workload successfully wrote reads back exactly;
+* stripes torn by terminal ``IoError`` (the §5.4 write hole) are
+  resynchronized and their bytes adopted — self-consistent, not lost;
+* a full parity scrub comes back clean.
+
+Everything — fault times, workload offsets, retry backoff — keys off the
+seed and the sim clock, so the same ``(system, seed)`` replays
+bit-identically whether schedules run serially or in parallel worker
+processes.  The CI golden file and the determinism-guard test rely on
+exactly that.
+
+The module lives under ``src`` (not ``tests``) so the experiments
+runner and the CI smoke script can import it; it is deliberately *not*
+re-exported from :mod:`repro.faults` to keep controller imports lazy.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import List, Optional, Set
+
+import numpy as np
+
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan, chaos_plan
+
+KB = 1024
+MS = 1_000_000
+
+#: Chaos runs want fast failure detection; production default is 50 ms.
+CHAOS_TIMEOUT_NS = 2 * MS
+
+
+def _make_controller(system: str, cluster, geometry):
+    """Lazy controller factory (keeps repro.faults free of heavy imports)."""
+    if system == "md":
+        from repro.baselines.mdraid import MdRaid
+
+        return MdRaid(cluster, geometry)
+    if system == "spdk":
+        from repro.baselines.spdkraid import SpdkRaid
+
+        return SpdkRaid(cluster, geometry)
+    if system == "draid":
+        from repro.draid.host import DraidArray
+
+        return DraidArray(cluster, geometry)
+    raise ValueError(f"unknown chaos system {system!r}")
+
+
+CHAOS_SYSTEMS = ("md", "spdk", "draid")
+
+
+@dataclass(frozen=True)
+class ChaosOutcome:
+    """Picklable result of one chaos schedule (one parallel-sweep row)."""
+
+    system: str
+    seed: int
+    plan_events: int
+    applied: int
+    ops: int
+    op_errors: int  #: workload ops that ended in terminal IoError
+    torn_stripes: int  #: stripes repaired by the recovery resync
+    rebuilds: int  #: rebuild jobs run (injector heals + recovery)
+    verified: bool  #: every non-torn byte matched the shadow model
+    scrub_clean: bool  #: post-recovery parity scrub found nothing
+    data_sha256: str  #: digest of the final virtual-device image
+    fault_summary: str  #: ``FaultStats.summary()`` of the array
+
+    @property
+    def ok(self) -> bool:
+        return self.verified and self.scrub_clean
+
+    def row(self) -> str:
+        """One deterministic log/golden line."""
+        return (
+            f"{self.system:>5s} seed={self.seed:<4d} events={self.applied} "
+            f"ops={self.ops} errors={self.op_errors} torn={self.torn_stripes} "
+            f"rebuilds={self.rebuilds} scrub={'clean' if self.scrub_clean else 'DIRTY'} "
+            f"verified={'yes' if self.verified else 'NO'} "
+            f"sha={self.data_sha256[:12]}"
+        )
+
+
+def run_chaos_schedule(
+    system: str,
+    seed: int,
+    drives: int = 5,
+    stripes: int = 12,
+    chunk: int = 16 * KB,
+    ops: int = 18,
+    horizon_ns: int = 60 * MS,
+    timeout_ns: int = CHAOS_TIMEOUT_NS,
+    plan: Optional[FaultPlan] = None,
+) -> ChaosOutcome:
+    """Run one seeded fault storm against ``system`` and verify recovery."""
+    import random
+
+    from repro.cluster import ClusterConfig, build_cluster
+    from repro.nvmeof.messages import IoError
+    from repro.raid.geometry import RaidGeometry, RaidLevel
+    from repro.raid.rebuild import RebuildJob
+    from repro.raid.resync import resync_stripes
+    from repro.raid.scrub import scrub_array
+    from repro.sim import Environment
+
+    env = Environment()
+    config = ClusterConfig(
+        num_servers=drives,
+        functional_capacity=stripes * chunk,
+        io_timeout_ns=timeout_ns,
+    )
+    cluster = build_cluster(env, config)
+    geometry = RaidGeometry(RaidLevel.RAID5, drives, chunk)
+    array = _make_controller(system, cluster, geometry)
+    if plan is None:
+        plan = chaos_plan(seed, horizon_ns, drives, geometry.num_parity)
+    injector = FaultInjector(array, plan, num_stripes=stripes)
+
+    capacity = stripes * geometry.stripe_data_bytes
+    model = np.zeros(capacity, dtype=np.uint8)
+    rng = random.Random(f"repro.chaos:{system}:{seed}")
+    stripe_bytes = geometry.stripe_data_bytes
+
+    torn: Set[int] = set()
+    #: members in discovery order — recovery rebuilds the earliest failures
+    #: (most stale) and, past redundancy, heals the latest in place
+    fail_order: List[int] = []
+    op_errors = 0
+
+    def note_failures() -> None:
+        for member in sorted(array.failed):
+            if member not in fail_order:
+                fail_order.append(member)
+
+    def stripes_of(offset: int, nbytes: int) -> Set[int]:
+        return set(range(offset // stripe_bytes, (offset + nbytes - 1) // stripe_bytes + 1))
+
+    # -- the storm: a paced, model-checked workload under injection --------
+    for _ in range(ops):
+        gap = rng.randint(horizon_ns // (2 * ops), (3 * horizon_ns) // (2 * ops))
+        env.run(until=env.now + gap)
+        size = rng.randint(1, 3 * stripe_bytes)
+        offset = rng.randrange(0, capacity - size)
+        is_read = rng.random() < 0.35
+        try:
+            if is_read:
+                data = env.run(until=array.read(offset, size))
+                if not stripes_of(offset, size) & torn:
+                    assert np.array_equal(
+                        data, model[offset : offset + size]
+                    ), f"{system} seed {seed}: read mismatch at {offset}+{size}"
+            else:
+                payload = np.frombuffer(
+                    rng.randbytes(size), dtype=np.uint8
+                ).copy()
+                env.run(until=array.write(offset, size, payload))
+                model[offset : offset + size] = payload
+        except IoError:
+            op_errors += 1
+            if not is_read:
+                # terminal write failure: the touched stripes may hold a
+                # torn mix of old and new data (§5.4 write hole)
+                torn |= stripes_of(offset, size)
+        note_failures()
+
+    # -- recovery playbook -------------------------------------------------
+    # 1. let the plan and its helpers (heals, restores) run out ...
+    env.run(until=injector.drain())
+    # ... and outlast every self-clearing window (fail-slow, bursts, NIC)
+    env.run(until=max(env.now, plan.horizon_ns) + 60 * MS)
+    note_failures()
+
+    # 2. replace failed members.  Past redundancy nothing is reconstructable,
+    #    so the *latest* casualties (stale only on torn stripes, which are
+    #    adopted anyway) rejoin in place; the rest get a real rebuild.
+    still_failed = [m for m in fail_order if m in array.failed]
+    while len(still_failed) > geometry.num_parity:
+        member = still_failed.pop()
+        cluster.servers[member].drive.heal()
+        array.repair_drive(member)
+        torn |= set(range(stripes))  # conservative: trust nothing unverified
+    rebuilds = injector.rebuilds
+    for member in still_failed:
+        job = RebuildJob(array, member, stripes)
+        env.run(until=job.start())
+        rebuilds += 1
+
+    # 3. resync torn stripes: full-stripe rewrite regenerates parity
+    if torn:
+        env.run(until=resync_stripes(array, sorted(torn)))
+
+    # 4. adopt the (self-consistent) surviving bytes of torn stripes
+    for stripe in sorted(torn):
+        offset = stripe * stripe_bytes
+        data = env.run(until=array.read(offset, stripe_bytes))
+        model[offset : offset + stripe_bytes] = data
+
+    # -- verification ------------------------------------------------------
+    final = env.run(until=array.read(0, capacity))
+    verified = bool(np.array_equal(final, model))
+    bad = scrub_array(cluster.drives(), geometry, stripes)
+    return ChaosOutcome(
+        system=system,
+        seed=seed,
+        plan_events=len(plan),
+        applied=injector.applied,
+        ops=ops,
+        op_errors=op_errors,
+        torn_stripes=len(torn),
+        rebuilds=rebuilds,
+        verified=verified,
+        scrub_clean=not bad,
+        data_sha256=hashlib.sha256(np.ascontiguousarray(final).tobytes()).hexdigest(),
+        fault_summary=array.fault_stats.summary(),
+    )

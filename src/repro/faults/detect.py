@@ -1,0 +1,76 @@
+"""EWMA-based fail-slow detection (§5.4 proactive degraded transitions).
+
+A fail-slow drive does not error — it answers, slowly, and drags every
+stripe operation it participates in down to its speed.  The detector keeps
+an exponentially-weighted moving average of per-member completion latency
+sampled at the host; a member whose EWMA exceeds ``ratio`` × the median of
+its peers (and an absolute floor) is *ejected*: transitioned to degraded
+mode so reads reconstruct around it instead of waiting on it.
+
+Opt-in (``DraidArray(..., failslow_detector=...)``): detection changes
+the datapath, so arrays built for the paper's healthy-path figures never
+construct one.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+
+class FailSlowDetector:
+    """Per-array EWMA latency comparator."""
+
+    def __init__(
+        self,
+        alpha: float = 0.2,
+        ratio: float = 3.0,
+        floor_ns: int = 1_000_000,
+        min_samples: int = 8,
+    ) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+        if ratio <= 1.0:
+            raise ValueError(f"ratio must exceed 1, got {ratio}")
+        self.alpha = alpha
+        self.ratio = ratio
+        self.floor_ns = int(floor_ns)
+        self.min_samples = int(min_samples)
+        self.ewma_ns: Dict[int, float] = {}
+        self.samples: Dict[int, int] = {}
+
+    def observe(self, member: int, latency_ns: int) -> None:
+        """Fold one completion latency into ``member``'s EWMA."""
+        previous = self.ewma_ns.get(member)
+        if previous is None:
+            self.ewma_ns[member] = float(latency_ns)
+        else:
+            self.ewma_ns[member] = (
+                self.alpha * latency_ns + (1.0 - self.alpha) * previous
+            )
+        self.samples[member] = self.samples.get(member, 0) + 1
+
+    def suspect(self, member: int, exclude=()) -> bool:
+        """Whether ``member`` is fail-slow relative to its peers."""
+        if self.samples.get(member, 0) < self.min_samples:
+            return False
+        own = self.ewma_ns[member]
+        if own < self.floor_ns:
+            return False
+        peers = sorted(
+            value
+            for index, value in self.ewma_ns.items()
+            if index != member and index not in exclude
+        )
+        if len(peers) < 2:
+            return False
+        median = peers[len(peers) // 2]
+        return own > self.ratio * max(median, 1.0)
+
+    def forget(self, member: int) -> None:
+        """Drop ``member``'s history (after heal/rebuild)."""
+        self.ewma_ns.pop(member, None)
+        self.samples.pop(member, None)
+
+    def ewma_us(self, member: int) -> Optional[float]:
+        value = self.ewma_ns.get(member)
+        return None if value is None else value / 1_000.0

@@ -1,0 +1,102 @@
+"""Typed fault events (the vocabulary of a :class:`~repro.faults.FaultPlan`).
+
+Every event is a frozen dataclass with an absolute injection time
+``at_ns`` on the simulation clock.  Determinism contract: an event's
+effect depends only on sim time and the event's own fields — never on
+wall-clock time or global RNG state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """Base class: something happens at sim time ``at_ns``."""
+
+    at_ns: int
+
+    @property
+    def kind(self) -> str:
+        return type(self).__name__
+
+
+@dataclass(frozen=True)
+class DriveFail(FaultEvent):
+    """Hard-fail member ``server`` (binary death, §5.4 prolonged failure)."""
+
+    server: int
+
+
+@dataclass(frozen=True)
+class DriveHeal(FaultEvent):
+    """Heal/replace member ``server``.
+
+    If the array still considers the member failed, the injector runs an
+    online rebuild (:mod:`repro.raid.rebuild`) so the replacement is
+    reconstructed; otherwise the physical drive is simply healed.
+    """
+
+    server: int
+
+
+@dataclass(frozen=True)
+class DriveErrorBurst(FaultEvent):
+    """Transient media errors on ``server`` for ``duration_ns``."""
+
+    server: int
+    duration_ns: int
+
+
+@dataclass(frozen=True)
+class DriveFailSlow(FaultEvent):
+    """Fail-slow: multiply ``server``'s latency by ``multiplier``.
+
+    ``duration_ns = 0`` means until healed/cleared.
+    """
+
+    server: int
+    multiplier: float
+    duration_ns: int = 0
+
+
+@dataclass(frozen=True)
+class NicDegrade(FaultEvent):
+    """Degrade ``server``'s primary NIC to ``factor`` × its base rate for
+    ``duration_ns`` (a flap is a short, deep degradation)."""
+
+    server: int
+    factor: float
+    duration_ns: int
+
+
+@dataclass(frozen=True)
+class LinkStall(FaultEvent):
+    """Stall the host <-> ``server`` RDMA connection for ``duration_ns``
+    (retransmit storm / PFC pause: completions freeze, nothing is lost)."""
+
+    server: int
+    duration_ns: int
+
+
+@dataclass(frozen=True)
+class NetJitter(FaultEvent):
+    """Add seeded random per-transfer jitter of up to ``jitter_ns`` to the
+    whole fabric for ``duration_ns``."""
+
+    duration_ns: int
+    jitter_ns: int
+    seed: int = 0
+
+
+@dataclass(frozen=True)
+class ServerCrash(FaultEvent):
+    """Crash storage server ``server`` for ``down_ns``.
+
+    Queued commands and in-flight partial-parity / reconstruction reduce
+    state are lost (§5.4); the server restarts cleanly afterwards.
+    """
+
+    server: int
+    down_ns: int

@@ -1,0 +1,172 @@
+"""The fault injector: executes a :class:`FaultPlan` against one array.
+
+The injector is a simulation process.  Creating one *arms* the cluster
+(``cluster.fault_injection``), which switches the RAID controllers onto
+their resilient timeout/retry datapaths; arrays built without an injector
+keep the exact event sequence of the healthy paths, so all committed
+figures are unchanged.
+
+Every fault keys off sim time and the plan's own seeds — never wall
+clock — so identical plans replay bit-identically, serial or parallel.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from repro.faults.events import (
+    DriveErrorBurst,
+    DriveFail,
+    DriveFailSlow,
+    DriveHeal,
+    FaultEvent,
+    LinkStall,
+    NetJitter,
+    NicDegrade,
+    ServerCrash,
+)
+from repro.faults.plan import FaultPlan
+from repro.nvmeof.messages import IoError
+from repro.raid.rebuild import RebuildJob
+from repro.sim.core import Environment, Event
+
+
+class FaultInjector:
+    """Applies ``plan`` to ``array`` on the simulation clock."""
+
+    def __init__(
+        self,
+        array,
+        plan: FaultPlan,
+        num_stripes: Optional[int] = None,
+        arm: bool = True,
+    ) -> None:
+        self.array = array
+        self.plan = plan
+        self.env: Environment = array.env
+        self.cluster = array.cluster
+        self._num_stripes = num_stripes
+        self.applied = 0
+        self.rebuilds = 0
+        self.rebuild_failures = 0
+        self._helpers: List[Event] = []
+        self._nic_degrades = {i: 0 for i in range(self.cluster.num_servers)}
+        if arm:
+            self.cluster.fault_injection = self
+        self.process = self.env.process(self._run(), name=f"{array.name}.faults")
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def _run(self):
+        for event in self.plan:
+            delay = event.at_ns - self.env.now
+            if delay > 0:
+                yield self.env.timeout(delay)
+            self._apply(event)
+
+    def drain(self) -> Event:
+        """Event firing once every plan event and helper has finished
+        (rebuilds kicked off by heals, NIC restores, jitter windows)."""
+        return self.env.process(self._drain(), name=f"{self.array.name}.faults-drain")
+
+    def _drain(self):
+        yield self.process
+        for helper in list(self._helpers):
+            yield helper
+
+    def _spawn(self, generator, name: str) -> None:
+        self._helpers.append(self.env.process(generator, name=name))
+
+    # -- event application -------------------------------------------------
+
+    def _apply(self, event: FaultEvent) -> None:
+        array = self.array
+        if isinstance(event, DriveFail):
+            if event.server not in array.failed:
+                from repro.baselines.base import ArrayFailureError
+
+                try:
+                    array.fail_drive(event.server)
+                except ArrayFailureError:
+                    pass  # still marked failed; the datapath surfaces IoError
+                array.fault_stats.degraded_transitions += 1
+        elif isinstance(event, DriveHeal):
+            self._spawn(self._heal(event.server), f"{array.name}.heal{event.server}")
+        elif isinstance(event, DriveErrorBurst):
+            self._drive(event.server).inject_error_burst(event.duration_ns)
+        elif isinstance(event, DriveFailSlow):
+            self._drive(event.server).set_fail_slow(
+                event.multiplier, event.duration_ns or None
+            )
+        elif isinstance(event, NicDegrade):
+            server = self.cluster.servers[event.server]
+            for nic in server.nics:
+                nic.degrade(event.factor)
+            self._nic_degrades[event.server] += 1
+            self._spawn(
+                self._nic_restore(event.server, event.duration_ns),
+                f"{array.name}.nic-restore{event.server}",
+            )
+        elif isinstance(event, LinkStall):
+            self.cluster.host_connection(event.server).stall(event.duration_ns)
+        elif isinstance(event, NetJitter):
+            rng = random.Random(event.seed)
+            fn = lambda: rng.randint(0, event.jitter_ns)  # noqa: E731
+            self.cluster.fabric.jitter_ns_fn = fn
+            self._spawn(
+                self._jitter_clear(fn, event.duration_ns), f"{array.name}.jitter-clear"
+            )
+        elif isinstance(event, ServerCrash):
+            self._server_side(event.server).crash(event.down_ns)
+        else:
+            raise TypeError(f"unknown fault event {event!r}")
+        self.applied += 1
+        array.fault_stats.record_injected(event.kind)
+
+    def _drive(self, server: int):
+        return self.cluster.servers[server].drive
+
+    def _server_side(self, server: int):
+        """The crashable server-side controller for member ``server``
+        (dRAID bdev server or NVMe-oF target)."""
+        sides = getattr(self.array, "bdev_servers", None)
+        if sides is None:
+            sides = getattr(self.array, "targets", None)
+        if sides is None:
+            raise TypeError(f"{self.array.name}: no crashable server side")
+        return sides[server]
+
+    # -- helpers -----------------------------------------------------------
+
+    def _heal(self, server: int):
+        array = self.array
+        if server in array.failed:
+            num_stripes = self._num_stripes
+            if num_stripes is None:
+                num_stripes = (
+                    self.cluster.config.functional_capacity
+                    // array.geometry.chunk_bytes
+                )
+            job = RebuildJob(array, server, num_stripes)
+            try:
+                yield job.start()
+                self.rebuilds += 1
+            except (IoError, RuntimeError):
+                # rebuild interrupted by a newer fault; a later heal (or the
+                # harness's recovery pass) will retry
+                self.rebuild_failures += 1
+        else:
+            self._drive(server).heal()
+
+    def _nic_restore(self, server: int, duration_ns: int):
+        yield self.env.timeout(duration_ns)
+        self._nic_degrades[server] -= 1
+        if self._nic_degrades[server] == 0:
+            for nic in self.cluster.servers[server].nics:
+                nic.restore()
+
+    def _jitter_clear(self, fn, duration_ns: int):
+        yield self.env.timeout(duration_ns)
+        if self.cluster.fabric.jitter_ns_fn is fn:
+            self.cluster.fabric.jitter_ns_fn = None

@@ -1,0 +1,155 @@
+"""Fault plans: scripted or seeded-random fault timelines.
+
+A :class:`FaultPlan` is an ordered list of :mod:`repro.faults.events`
+applied by a :class:`~repro.faults.injector.FaultInjector` at the sim
+times they carry.  :func:`chaos_plan` builds a randomized plan from a
+seed: same seed, same plan, same simulation — the determinism contract
+the chaos harness and CI golden files rely on.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, List, Sequence
+
+from repro.faults.events import (
+    DriveErrorBurst,
+    DriveFail,
+    DriveFailSlow,
+    DriveHeal,
+    FaultEvent,
+    LinkStall,
+    NetJitter,
+    NicDegrade,
+    ServerCrash,
+)
+
+MS = 1_000_000  # nanoseconds per millisecond
+
+
+class FaultPlan:
+    """An immutable, time-sorted fault schedule."""
+
+    def __init__(self, events: Iterable[FaultEvent] = ()) -> None:
+        staged = list(events)
+        for event in staged:
+            if event.at_ns < 0:
+                raise ValueError(f"event before t=0: {event!r}")
+        # stable sort: ties keep authoring order
+        self.events: List[FaultEvent] = sorted(staged, key=lambda e: e.at_ns)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    @property
+    def horizon_ns(self) -> int:
+        return max((e.at_ns for e in self.events), default=0)
+
+    def describe(self) -> str:
+        """Deterministic multi-line rendering (for logs and goldens)."""
+        return "\n".join(f"{e.at_ns:>12} {e.kind} {e}" for e in self.events)
+
+
+def chaos_plan(
+    seed: int,
+    horizon_ns: int,
+    servers: int,
+    num_parity: int = 1,
+    events_min: int = 4,
+    events_max: int = 9,
+    allow_crashes: bool = True,
+) -> FaultPlan:
+    """A seeded random fault storm over ``[0, horizon_ns)``.
+
+    Hard faults (drive death, server crash) are budgeted so that no more
+    than ``num_parity`` members are *scheduled* unavailable at once; the
+    datapath may still exceed tolerance transiently (e.g. by fencing a
+    fail-slow drive), which surfaces as ``IoError`` — an outcome the chaos
+    harness accepts and repairs.
+    """
+    if servers < 3:
+        raise ValueError(f"chaos needs >= 3 servers, got {servers}")
+    if horizon_ns <= 0:
+        raise ValueError(f"horizon must be positive, got {horizon_ns}")
+    rng = random.Random(seed)
+    events: List[FaultEvent] = []
+    #: members scheduled dead/crashed, with the time they come back
+    unavailable_until = {}
+
+    def hard_fault_budget_ok(at_ns: int) -> bool:
+        live_faults = sum(1 for t in unavailable_until.values() if t > at_ns)
+        return live_faults < num_parity
+
+    kinds: Sequence[str] = (
+        "fail",
+        "crash",
+        "burst",
+        "failslow",
+        "nic",
+        "stall",
+        "jitter",
+    )
+    weights = (2, 3 if allow_crashes else 0, 3, 3, 2, 2, 1)
+    count = rng.randint(events_min, events_max)
+    for _ in range(count):
+        at_ns = rng.randrange(0, horizon_ns)
+        kind = rng.choices(kinds, weights=weights)[0]
+        server = rng.randrange(servers)
+        if kind == "fail":
+            if not hard_fault_budget_ok(at_ns):
+                continue
+            heal_at = at_ns + rng.randint(10 * MS, 40 * MS)
+            events.append(DriveFail(at_ns, server=server))
+            events.append(DriveHeal(heal_at, server=server))
+            unavailable_until[server] = heal_at
+        elif kind == "crash":
+            if not allow_crashes or not hard_fault_budget_ok(at_ns):
+                continue
+            down_ns = rng.randint(5 * MS, 20 * MS)
+            events.append(ServerCrash(at_ns, server=server, down_ns=down_ns))
+            # a crashed member is usually fenced by the host's prolonged-
+            # failure handling; schedule a heal so it rejoins the array
+            heal_at = at_ns + down_ns + rng.randint(15 * MS, 40 * MS)
+            events.append(DriveHeal(heal_at, server=server))
+            unavailable_until[server] = heal_at
+        elif kind == "burst":
+            events.append(
+                DriveErrorBurst(
+                    at_ns, server=server, duration_ns=rng.randint(1 * MS, 8 * MS)
+                )
+            )
+        elif kind == "failslow":
+            events.append(
+                DriveFailSlow(
+                    at_ns,
+                    server=server,
+                    multiplier=rng.choice((2.0, 4.0, 10.0)),
+                    duration_ns=rng.randint(5 * MS, 30 * MS),
+                )
+            )
+        elif kind == "nic":
+            events.append(
+                NicDegrade(
+                    at_ns,
+                    server=server,
+                    factor=rng.choice((0.05, 0.1, 0.25, 0.5)),
+                    duration_ns=rng.randint(5 * MS, 20 * MS),
+                )
+            )
+        elif kind == "stall":
+            events.append(
+                LinkStall(at_ns, server=server, duration_ns=rng.randint(1 * MS, 10 * MS))
+            )
+        else:
+            events.append(
+                NetJitter(
+                    at_ns,
+                    duration_ns=rng.randint(5 * MS, 20 * MS),
+                    jitter_ns=rng.randint(10_000, 200_000),
+                    seed=rng.randrange(1 << 30),
+                )
+            )
+    return FaultPlan(events)

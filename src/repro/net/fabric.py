@@ -79,6 +79,16 @@ class RdmaConnection:
         self.b = ConnectionEnd(self, nic_b, f"{name}.b")
         self.a.peer = self.b
         self.b.peer = self.a
+        # Fault injection: transfers never complete before this sim time.
+        self._stall_until = 0
+
+    def stall(self, duration_ns: int) -> None:
+        """Fault injection: delay completion of every transfer on this
+        queue pair (in-flight and new) until ``now + duration_ns``, as if
+        the RC connection went through a retransmit storm or pause."""
+        if duration_ns < 0:
+            raise ValueError(f"negative stall duration {duration_ns}")
+        self._stall_until = max(self._stall_until, self.env.now + duration_ns)
 
     def end_for(self, nic: Nic) -> ConnectionEnd:
         if nic is self.a.nic:
@@ -109,6 +119,11 @@ class RdmaConnection:
             rx_done = dst.rx.reserve(nbytes)
             done = max(tx_done, rx_done) + self.fabric.propagation_ns
         done += self.fabric.rdma_op_ns
+        if self._stall_until > done:
+            done = self._stall_until
+        jitter_fn = self.fabric.jitter_ns_fn
+        if jitter_fn is not None:
+            done += jitter_fn()
         event = self.env.timeout(done - self.env.now, value=nbytes)
         if deliver_to is not None:
             event.callbacks.append(lambda _ev: deliver_to.put(message))
@@ -134,6 +149,10 @@ class Fabric:
         self.propagation_ns = int(propagation_ns)
         self.rdma_op_ns = int(rdma_op_ns)
         self.loopback_ns = int(loopback_ns)
+        #: Fault injection: when set, called once per transfer; must return a
+        #: non-negative jitter (ns) added to the completion time.  Drive it
+        #: from a seeded RNG so runs stay deterministic.
+        self.jitter_ns_fn = None
         self._counter = 0
         self.connections = []
 

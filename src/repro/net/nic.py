@@ -32,10 +32,25 @@ class Nic:
         self.name = name
         self.tx = BandwidthChannel(env, rate_bytes_per_s, name=f"{name}.tx")
         self.rx = BandwidthChannel(env, rate_bytes_per_s, name=f"{name}.rx")
+        self._base_rate = float(rate_bytes_per_s)
 
     @property
     def rate_bytes_per_s(self) -> float:
         return self.tx.rate_bytes_per_s
+
+    def degrade(self, factor: float) -> None:
+        """Fault injection: scale both directions to ``factor`` × the base
+        rate (0 < factor <= 1).  New transfers see the degraded rate;
+        already-queued transfers keep their reserved completion times."""
+        if not 0.0 < factor <= 1.0:
+            raise ValueError(f"degrade factor must be in (0, 1], got {factor}")
+        self.tx.rate_bytes_per_s = self._base_rate * factor
+        self.rx.rate_bytes_per_s = self._base_rate * factor
+
+    def restore(self) -> None:
+        """Undo :meth:`degrade`."""
+        self.tx.rate_bytes_per_s = self._base_rate
+        self.rx.rate_bytes_per_s = self._base_rate
 
     @property
     def tx_bytes(self) -> int:

@@ -30,6 +30,9 @@ class RemoteBdev:
         self.end = end
         self.name = name
         self._pending: Dict[int, Event] = {}
+        #: sim time of the last completion seen from this member — the
+        #: liveness signal prolonged-failure fencing keys off (§5.4)
+        self.last_completion_ns = 0
         self._receiver = self.env.process(self._receive(), name=f"{name}.cq")
 
     @property
@@ -39,6 +42,7 @@ class RemoteBdev:
     def _receive(self):
         while True:
             completion: NvmeOfCompletion = yield self.end.recv()
+            self.last_completion_ns = self.env.now
             event = self._pending.pop(completion.cid, None)
             if event is None or event.triggered:
                 continue  # late completion for a timed-out command

@@ -35,12 +35,29 @@ class NvmeOfTarget:
         self.server = server
         self.host_end = host_end
         self.stall_ns = 0
+        self.down_until = 0
+        self.crashes = 0
         self.commands_served = 0
         self._service = self.env.process(self._serve(), name=f"{server.name}.nvmf")
+
+    def crash(self, down_ns: int) -> None:
+        """Fault injection: crash the server process for ``down_ns``.
+
+        Every queued command capsule is lost, and capsules arriving while
+        the target is down are dropped without a completion — the host only
+        finds out via its own timeout (§5.4).
+        """
+        if down_ns <= 0:
+            raise ValueError(f"crash duration must be positive, got {down_ns}")
+        self.down_until = max(self.down_until, self.env.now + down_ns)
+        self.crashes += 1
+        self.host_end.inbox.clear()
 
     def _serve(self):
         while True:
             command = yield self.host_end.recv()
+            if self.env.now < self.down_until:
+                continue  # crashed: capsule lost, no completion ever sent
             if self.stall_ns:
                 # transient outage: the target freezes, capsules queue up
                 yield self.env.timeout(self.stall_ns)

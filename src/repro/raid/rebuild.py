@@ -87,8 +87,10 @@ class RebuildJob:
         array = self.array
         geometry = array.geometry
         # physically replace the drive; the controller still treats it as
-        # failed beyond the (initially zero) watermark
-        array.cluster.servers[self.drive].drive.repair()
+        # failed beyond the (initially zero) watermark.  heal() (not just
+        # repair()) so the replacement carries no queued-channel, GC or
+        # fail-slow residue from its previous life.
+        array.cluster.servers[self.drive].drive.heal()
         array.rebuild_watermark[self.drive] = 0
         self.stats.started_ns = self.env.now
         for stripe in range(self.num_stripes):

@@ -145,6 +145,12 @@ class Initialize(Event):
         env._schedule(self)
 
 
+def _defuse_on_failure(event: "Event") -> None:
+    """Sink callback for events abandoned by an interrupted process."""
+    if event._ok is False:
+        event._defused = True
+
+
 class Process(Event):
     """A running process: an event that triggers when its generator returns.
 
@@ -189,6 +195,10 @@ class Process(Event):
         target = self._target
         if target.callbacks is not None and self._resume in target.callbacks:
             target.callbacks.remove(self._resume)
+            # The interrupted process was this event's consumer; if the
+            # abandoned event later fails there is nobody left to handle
+            # it, so defuse instead of crashing the simulation.
+            target.callbacks.append(_defuse_on_failure)
         self._target = None
         interrupt_event.callbacks = [self._resume]
         self.env._schedule(interrupt_event)

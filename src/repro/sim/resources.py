@@ -46,6 +46,14 @@ class Store:
             return
         self._items.append(item)
 
+    def clear(self) -> int:
+        """Drop every queued item (fault injection: a crashed server loses
+        its inbox).  Waiting getters are left pending.  Returns the number
+        of items dropped."""
+        dropped = len(self._items)
+        self._items.clear()
+        return dropped
+
     def get(self) -> Event:
         """Event that succeeds with the next item (FIFO order).
 

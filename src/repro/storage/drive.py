@@ -70,6 +70,11 @@ class NvmeDrive:
         # consulted only when the profile has internal parallelism > 1.
         self._free_heap = [(0, i) for i in range(profile.parallelism)]
         self._gc_budget = profile.gc_after_bytes_written
+        # Fault-injection state (repro.faults): transient error bursts and
+        # fail-slow latency multipliers.  All keyed off the sim clock.
+        self._error_until = 0
+        self._slow_mult = 1.0
+        self._slow_until: Optional[int] = None  # None = until cleared
         self._data: Optional[np.ndarray] = None
         if functional_capacity:
             self._data = np.zeros(functional_capacity, dtype=np.uint8)
@@ -103,9 +108,24 @@ class NvmeDrive:
         per_server = rate / self.profile.parallelism
         return int(round(nbytes * NS_PER_S / per_server))
 
+    def _slow_factor(self) -> float:
+        """Current fail-slow latency multiplier (1.0 when healthy)."""
+        if self._slow_mult == 1.0:
+            return 1.0
+        if self._slow_until is not None and self.env.now >= self._slow_until:
+            self._slow_mult = 1.0
+            self._slow_until = None
+            return 1.0
+        return self._slow_mult
+
     def _check(self, offset: int, nbytes: int) -> None:
         if self.failed:
             raise DriveFailedError(f"{self.name} has failed")
+        if self.env.now < self._error_until:
+            raise DriveTransientError(
+                f"{self.name}: transient media error (burst until "
+                f"{self._error_until})"
+            )
         if nbytes <= 0:
             raise ValueError(f"I/O size must be positive, got {nbytes}")
         if offset < 0:
@@ -123,8 +143,14 @@ class NvmeDrive:
         self._check(offset, nbytes)
         self.stats.read_ops += 1
         self.stats.bytes_read += nbytes
-        done = self._dispatch(self._transfer_ns(nbytes, self.profile.read_bw_bytes_per_s))
-        completion = done + self.profile.read_latency_ns - self.env.now
+        work_ns = self._transfer_ns(nbytes, self.profile.read_bw_bytes_per_s)
+        latency_ns = self.profile.read_latency_ns
+        factor = self._slow_factor()
+        if factor != 1.0:
+            work_ns = int(round(work_ns * factor))
+            latency_ns = int(round(latency_ns * factor))
+        done = self._dispatch(work_ns)
+        completion = done + latency_ns - self.env.now
         value = None
         if self._data is not None:
             value = self._data[offset : offset + nbytes].copy()
@@ -136,6 +162,11 @@ class NvmeDrive:
         self.stats.write_ops += 1
         self.stats.bytes_written += nbytes
         work_ns = self._transfer_ns(nbytes, self.profile.write_bw_bytes_per_s)
+        latency_ns = self.profile.write_latency_ns
+        factor = self._slow_factor()
+        if factor != 1.0:
+            work_ns = int(round(work_ns * factor))
+            latency_ns = int(round(latency_ns * factor))
         if self.profile.gc_after_bytes_written:
             self._gc_budget -= nbytes
             if self._gc_budget <= 0:
@@ -148,7 +179,7 @@ class NvmeDrive:
                     (f, i) for i, f in enumerate(self._free_at)
                 )
         done = self._dispatch(work_ns)
-        completion = done + self.profile.write_latency_ns - self.env.now
+        completion = done + latency_ns - self.env.now
         if self._data is not None:
             if data is None:
                 raise ValueError(f"{self.name}: functional-mode write requires data")
@@ -167,6 +198,43 @@ class NvmeDrive:
     def repair(self) -> None:
         self.failed = False
 
+    def inject_error_burst(self, duration_ns: int) -> None:
+        """Transient media errors: I/O submitted before ``now + duration_ns``
+        raises :class:`DriveTransientError`.  The drive is not marked failed,
+        so the RAID layers treat errors as retryable."""
+        if duration_ns < 0:
+            raise ValueError(f"negative burst duration {duration_ns}")
+        self._error_until = max(self._error_until, self.env.now + duration_ns)
+
+    def set_fail_slow(self, multiplier: float, duration_ns: Optional[int] = None) -> None:
+        """Multiply transfer + access latency by ``multiplier`` (fail-slow).
+
+        ``duration_ns=None`` keeps the drive slow until :meth:`clear_fail_slow`
+        or :meth:`heal`.
+        """
+        if multiplier < 1.0:
+            raise ValueError(f"fail-slow multiplier must be >= 1, got {multiplier}")
+        self._slow_mult = float(multiplier)
+        self._slow_until = None if duration_ns is None else self.env.now + duration_ns
+
+    def clear_fail_slow(self) -> None:
+        self._slow_mult = 1.0
+        self._slow_until = None
+
+    def heal(self) -> None:
+        """Full heal/replace: clear the failure bit *and* every latency
+        residue (queued channel backlog, pending GC debt, error bursts,
+        fail-slow multipliers), as if the drive were swapped for a fresh
+        one.  Unlike :meth:`repair`, a healed drive is back at profile
+        latency immediately."""
+        self.failed = False
+        self._error_until = 0
+        self.clear_fail_slow()
+        self._gc_budget = self.profile.gc_after_bytes_written
+        now = self.env.now
+        self._free_at = [min(f, now) for f in self._free_at]
+        self._free_heap = sorted((f, i) for i, f in enumerate(self._free_at))
+
     # -- introspection ----------------------------------------------------------
 
     def peek(self, offset: int, nbytes: int) -> np.ndarray:
@@ -182,3 +250,7 @@ class NvmeDrive:
 
 class DriveFailedError(RuntimeError):
     """Raised when I/O is submitted to a failed drive."""
+
+
+class DriveTransientError(DriveFailedError):
+    """Retryable media error raised during an injected error burst."""

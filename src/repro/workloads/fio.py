@@ -17,6 +17,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.metrics.latency import LatencyRecorder, LatencySummary
+from repro.nvmeof.messages import IoError
 from repro.sim.core import Environment
 
 MB = 1_000_000
@@ -71,16 +72,24 @@ class FioWorkload:
         self.writes = LatencyRecorder()
         self._bytes_done = 0
         self._measuring = False
+        #: I/Os that exhausted the array's retry budget (fault injection)
+        self.io_errors = 0
 
     def _worker(self, stop_event):
         while not stop_event.triggered:
             offset = self._rng.randrange(self._slots) * self.io_size
             is_read = self._rng.random() < self.read_fraction
             start = self.env.now
-            if is_read:
-                yield self.array.read(offset, self.io_size)
-            else:
-                yield self.array.write(offset, self.io_size)
+            try:
+                if is_read:
+                    yield self.array.read(offset, self.io_size)
+                else:
+                    yield self.array.write(offset, self.io_size)
+            except IoError:
+                # terminal failure after the §5.4 retry budget: the real
+                # FIO would log an error and carry on
+                self.io_errors += 1
+                continue
             if self._measuring:
                 latency = self.env.now - start
                 (self.reads if is_read else self.writes).record(latency)

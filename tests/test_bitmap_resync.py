@@ -117,3 +117,52 @@ class TestResync:
         h.write(0, rng.integers(0, 256, h.geometry.stripe_data_bytes, dtype=np.uint8))
         count = h.env.run(until=resync_after_crash(h.array, WriteIntentBitmap()))
         assert count == 0
+
+
+@pytest.mark.parametrize("controller_cls", [SpdkRaid, DraidArray],
+                         ids=lambda c: c.__name__)
+class TestCrashResync:
+    """§5.4: a server crash mid-write loses in-flight state; the bitmap
+    names the suspect stripes and resync repairs them after recovery."""
+
+    def test_mid_write_server_crash_resyncs_clean(self, controller_cls):
+        from repro.faults import FaultInjector, FaultPlan
+        from repro.nvmeof.messages import IoError
+        from repro.raid.rebuild import RebuildJob
+
+        h = ArrayHarness(controller_cls)
+        # arm the resilient datapath; no scheduled faults — the crash is
+        # injected by hand mid-flight below
+        FaultInjector(h.array, FaultPlan([]), num_stripes=h.stripes)
+        h.array.timeout_ns = 500_000
+        h.array.max_retries = 0  # first failure is terminal: stripe stays torn
+        rng = np.random.default_rng(6)
+        h.write(0, rng.integers(0, 256, h.capacity, dtype=np.uint8))
+
+        victim = h.geometry.data_drive(0, 0)
+        payload = rng.integers(0, 256, 2 * h.geometry.stripe_data_bytes,
+                               dtype=np.uint8)
+        event = h.array.write(0, len(payload), payload)
+        # advance just until the write has marked its stripes: it is in
+        # flight but its commands have not all been served yet
+        while not h.array.bitmap.dirty_stripes():
+            h.env.run(until=h.env.now + 1_000)
+        dirty = h.array.bitmap.dirty_stripes()
+        # crash the server under the write: its inbox and any partial
+        # parity state are lost; it restarts 10 ms later
+        sides = getattr(h.array, "bdev_servers", None) or h.array.targets
+        sides[victim].crash(10_000_000)
+        with pytest.raises(IoError):
+            h.env.run(until=event)
+        h.env.run(until=h.env.now + 15_000_000)  # server back up
+
+        # recovery: rebuild the fenced member, then resync the dirty set
+        for member in sorted(h.array.failed):
+            h.env.run(until=RebuildJob(h.array, member, h.stripes).start())
+        assert not h.array.failed
+        count = h.env.run(until=resync_stripes(h.array, dirty))
+        assert count == len(dirty)
+        h.scrub()  # parity consistent, torn stripes included
+        # bytes outside the aborted write are untouched
+        start = 2 * h.geometry.stripe_data_bytes
+        h.check_read(start, h.capacity - start)

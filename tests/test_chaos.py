@@ -1,0 +1,96 @@
+"""Chaos harness tests: randomized seeded fault schedules (§5.4).
+
+27 schedules (9 seeds x 3 controllers) each run a paced workload through
+a seeded fault storm, then recover (heal + rebuild + resync) and verify:
+every surviving byte bit-exact against the shadow model, parity scrub
+clean, no hangs.  A determinism gate re-runs schedules through the
+parallel sweep executor and requires byte-identical outcomes.
+"""
+
+import pytest
+
+from repro.experiments.runner import SweepPoint, run_points
+from repro.faults.chaos import CHAOS_SYSTEMS, run_chaos_schedule
+
+CHAOS_SEEDS = range(1, 10)  # 9 seeds x 3 systems = 27 schedules
+
+
+@pytest.mark.parametrize("system", CHAOS_SYSTEMS)
+@pytest.mark.parametrize("seed", CHAOS_SEEDS)
+def test_chaos_schedule_survives(system, seed):
+    outcome = run_chaos_schedule(system, seed)
+    assert outcome.verified, (
+        f"{system} seed {seed}: data diverged from model\n{outcome.row()}"
+    )
+    assert outcome.scrub_clean, (
+        f"{system} seed {seed}: parity scrub dirty\n{outcome.row()}"
+    )
+    assert outcome.applied == outcome.plan_events
+
+
+def test_chaos_schedule_replay_identical():
+    a = run_chaos_schedule("draid", 3)
+    b = run_chaos_schedule("draid", 3)
+    assert a == b
+
+
+class TestDeterminismGuard:
+    """Identical FaultPlan, serial vs parallel sweep: byte-identical rows."""
+
+    POINTS = [
+        SweepPoint(run_chaos_schedule, dict(system=system, seed=seed))
+        for system in CHAOS_SYSTEMS
+        for seed in (2, 5)
+    ]
+
+    def test_serial_matches_parallel(self):
+        serial = run_points(self.POINTS, jobs=1)
+        parallel = run_points(self.POINTS, jobs=2)
+        assert serial == parallel
+        assert [o.row() for o in serial] == [o.row() for o in parallel]
+        assert [o.fault_summary for o in serial] == [
+            o.fault_summary for o in parallel
+        ]
+
+
+def test_smoke_grid_matches_committed_golden():
+    """The CI golden must track the datapath: regenerate it with
+    ``python scripts/chaos_smoke.py --write-golden`` on deliberate change."""
+    import importlib.util
+    from pathlib import Path
+
+    root = Path(__file__).resolve().parent.parent
+    spec = importlib.util.spec_from_file_location(
+        "chaos_smoke", root / "scripts" / "chaos_smoke.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    golden = (root / "tests" / "golden" / "chaos_smoke.golden").read_text()
+    assert module.smoke_report() == golden
+
+
+class TestFailSlowRecovery:
+    """Acceptance: a 10x fail-slow member is ejected by the EWMA detector
+    and read p99 recovers to within 2x of the healthy baseline."""
+
+    @pytest.fixture(scope="class")
+    def rows(self):
+        from repro.experiments.reliability import failslow_point
+
+        return {
+            mode: failslow_point(mode)
+            for mode in ("baseline", "failslow", "detected")
+        }
+
+    def test_failslow_hurts_tail_latency(self, rows):
+        assert (
+            rows["failslow"].metrics["p99_latency_us"]
+            > 3 * rows["baseline"].metrics["p99_latency_us"]
+        )
+
+    def test_detector_ejects_and_p99_recovers(self, rows):
+        assert rows["detected"].metrics["fail_slow_ejections"] >= 1
+        assert (
+            rows["detected"].metrics["p99_latency_us"]
+            <= 2 * rows["baseline"].metrics["p99_latency_us"]
+        )

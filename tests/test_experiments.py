@@ -66,7 +66,9 @@ class TestHarness:
         assert _thin([1, 2, 3], fast=True) == [1, 2, 3]
 
     def test_registry_covers_every_table_and_figure(self):
-        expected = {"table1"} | {f"fig{i:02d}" for i in range(9, 31)}
+        expected = (
+            {"table1", "reliability"} | {f"fig{i:02d}" for i in range(9, 31)}
+        )
         assert set(EXPERIMENTS) == expected
 
     def test_run_experiment_unknown_id(self):
