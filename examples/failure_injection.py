@@ -58,8 +58,8 @@ def main() -> None:
     # verify: every byte matches the model, on-disk parity consistent
     data = env.run(until=array.read(0, capacity))
     assert np.array_equal(data, model), "data diverged after retries!"
-    bad = scrub_array(cluster.drives(), geometry, STRIPES)
-    assert bad == [], f"parity inconsistent on stripes {bad}"
+    report = scrub_array(cluster.drives(), geometry, STRIPES)
+    assert report.clean, f"parity inconsistent on stripes {report.bad_stripes}"
     print("verified: byte-exact data and consistent parity on every stripe")
 
     # prolonged failure: the drive dies for good -> degraded state

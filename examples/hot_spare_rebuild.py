@@ -66,8 +66,8 @@ def main() -> None:
     assert not array.degraded
     data = env.run(until=array.read(0, capacity))
     assert np.array_equal(data, model), "data diverged!"
-    bad = scrub_array(cluster.drives(), geometry, STRIPES)
-    assert bad == [], f"inconsistent stripes {bad}"
+    report = scrub_array(cluster.drives(), geometry, STRIPES)
+    assert report.clean, f"inconsistent stripes {report.bad_stripes}"
     print("verified: byte-exact contents and consistent parity on all stripes")
 
 

@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""CI integrity smoke: seeded corruption storms, printed as deterministic
+one-line outcomes.
+
+Each schedule mixes silent-corruption events (bit rot, lost / torn /
+misdirected writes) into a chaos fault storm against a checksum-armed
+array, runs the recovery playbook and requires the hard gate: zero
+chunks still corrupt, a clean parity scrub and byte-exact shadow-model
+data.  One seed additionally runs the online scrub daemon *during* the
+storm.  Everything keys off the (system, seed) pair, so two runs must be
+byte-identical and match the committed golden
+(``tests/golden/integrity_smoke.golden``); regenerate deliberately with
+``--write-golden``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.faults.chaos import CHAOS_SYSTEMS, run_chaos_schedule  # noqa: E402
+
+SMOKE_SEEDS = (101, 102, 103)
+#: this seed also runs a concurrent ScrubDaemon through the storm
+SCRUBBED_SEED = 105
+SCRUB_PACE_NS = 500_000
+CORRUPTION_EVENTS = 4
+GOLDEN = (
+    Path(__file__).resolve().parent.parent
+    / "tests"
+    / "golden"
+    / "integrity_smoke.golden"
+)
+
+
+def smoke_report() -> str:
+    lines = []
+    grid = [(seed, None) for seed in SMOKE_SEEDS] + [(SCRUBBED_SEED, SCRUB_PACE_NS)]
+    for seed, pace in grid:
+        for system in CHAOS_SYSTEMS:
+            outcome = run_chaos_schedule(
+                system,
+                seed,
+                corruption_events=CORRUPTION_EVENTS,
+                scrub_pace_ns=pace,
+            )
+            lines.append(outcome.integrity_row())
+            lines.append(f"      {outcome.integrity_summary}")
+            if not outcome.ok:
+                raise SystemExit(
+                    f"integrity schedule failed:\n{outcome.integrity_row()}"
+                )
+    return "\n".join(lines) + "\n"
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--write-golden",
+        action="store_true",
+        help=f"regenerate {GOLDEN} instead of printing to stdout",
+    )
+    args = parser.parse_args()
+    report = smoke_report()
+    if args.write_golden:
+        GOLDEN.parent.mkdir(parents=True, exist_ok=True)
+        GOLDEN.write_text(report)
+        print(f"wrote {GOLDEN}")
+        return 0
+    sys.stdout.write(report)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -30,6 +30,7 @@ from repro.ec import raid5_reconstruct, raid6_reconstruct, xor_blocks
 from repro.ec.gf import GF
 from repro.faults.backoff import BackoffPolicy
 from repro.metrics.faults import FaultStats
+from repro.metrics.integrity import IntegrityStats
 from repro.nvmeof.initiator import RemoteBdev
 from repro.nvmeof.messages import IoError
 from repro.nvmeof.target import NvmeOfTarget
@@ -37,6 +38,7 @@ from repro.raid.bitmap import WriteIntentBitmap
 from repro.raid.geometry import ChunkSegment, RaidGeometry, RaidLevel, StripeExtent
 from repro.raid.locks import StripeLockManager
 from repro.raid.modes import WriteMode, classify_write
+from repro.storage.integrity import ChecksumError
 from repro.sim.core import AllOf, AnyOf, Environment, Event, Interrupt, _defuse_on_failure
 
 
@@ -113,6 +115,7 @@ class HostCentricRaid:
         )
         self.backoff = BackoffPolicy(self.timeout_ns)
         self.fault_stats = FaultStats()
+        self.integrity_stats = IntegrityStats()
         self.failslow_detector = None
         self._retry_rng = random.Random(f"repro.backoff:{name}")
         self._force_resilient = False
@@ -164,6 +167,15 @@ class HostCentricRaid:
         sequence of the healthy paths (committed figures unchanged).
         """
         return self._force_resilient or self.cluster.fault_injection is not None
+
+    @property
+    def integrity(self):
+        """The cluster's :class:`~repro.storage.integrity.IntegrityStore`.
+
+        ``None`` unless a store was attached — unarmed arrays skip every
+        verification branch, keeping the seed's exact event sequence.
+        """
+        return self.cluster.integrity
 
     def drive_failed(self, drive: int, stripe: int) -> bool:
         """Whether ``drive`` should be treated as failed for ``stripe``.
@@ -304,6 +316,274 @@ class HostCentricRaid:
             if pause:
                 yield self.env.timeout(pause)
 
+    # -- end-to-end integrity: verification and read-repair ---------------------
+    #
+    # Active only when an IntegrityStore is attached to the cluster.
+    # Checksum verification itself is charged no host CPU: production
+    # T10-DIF verification runs in NIC/controller hardware on the wire
+    # (DESIGN.md §10); only the parity math of an actual repair costs CPU.
+
+    def _verify_read(self, extents, buffer, io_base: int, take_locks: bool):
+        """Post-read verification: every chunk a read touched must match
+        its expectation; a mismatch triggers parity read-repair and a
+        re-read of the extent."""
+        store = self.integrity
+        drives = self.cluster.drives()
+        for ext in extents:
+            for _ in range(3):
+                failed = self.failed_in_stripe(ext.stripe)
+                seg_drives = {s.drive for s in ext.segments}
+                if seg_drives & failed:
+                    # a segment was reconstructed: its bytes were derived
+                    # from every surviving member, so verify the whole
+                    # stripe (a corrupt survivor poisons the result)
+                    check = set(range(self.geometry.num_drives))
+                else:
+                    check = seg_drives
+                bad = []
+                for d in sorted(check - failed):
+                    self.integrity_stats.chunks_verified += 1
+                    if not store.chunk_ok(drives[d], ext.stripe):
+                        bad.append(d)
+                if not bad:
+                    break
+                self.integrity_stats.read_repairs += 1
+                ok = yield from self._read_repair(
+                    ext.stripe, bad, locked=not take_locks
+                )
+                if not ok:
+                    raise ChecksumError(
+                        f"{self.name}: stripe {ext.stripe} corruption on "
+                        f"drives {bad} is beyond parity"
+                    )
+                yield from self._read_extent(ext, buffer, io_base, take_locks)
+            else:
+                raise ChecksumError(
+                    f"{self.name}: stripe {ext.stripe} still dirty after "
+                    f"repeated read-repair"
+                )
+
+    def _verify_stripe_before_write(self, ext: StripeExtent):
+        """Pre-write verification (caller holds the stripe lock).
+
+        RMW/RCW/degraded dispatch folds *old* chunk content into the new
+        parity; writing over a silently-corrupt stripe would launder the
+        corruption into freshly-written parity, beyond checksum reach.
+        Repair the stripe first.
+        """
+        store = self.integrity
+        drives = self.cluster.drives()
+        for _ in range(3):
+            failed = self.failed_in_stripe(ext.stripe)
+            bad = []
+            for d in range(self.geometry.num_drives):
+                if d in failed:
+                    continue
+                self.integrity_stats.chunks_verified += 1
+                if not store.chunk_ok(drives[d], ext.stripe):
+                    bad.append(d)
+            if not bad:
+                return
+            self.integrity_stats.write_repairs += 1
+            ok = yield from self._read_repair(ext.stripe, bad, locked=True)
+            if not ok:
+                raise ChecksumError(
+                    f"{self.name}: stripe {ext.stripe} corruption on "
+                    f"drives {bad} is beyond parity"
+                )
+        raise ChecksumError(
+            f"{self.name}: stripe {ext.stripe} still dirty after repeated "
+            f"pre-write repair"
+        )
+
+    def _await_repair_io(self, gathered):
+        """Race a repair-I/O condition against the array's deadline.
+
+        Repair member I/O runs outside the §5.4 retry loop, so it needs
+        its own deadline: a member going silent mid-repair would otherwise
+        park the repair — and the stripe lock it holds — forever.  Returns
+        the outcome dict, or None on member error or expiry (fencing
+        stragglers exactly like the resilient datapath does).
+        """
+        deadline = self.env.timeout(self.timeout_ns)
+        try:
+            yield AnyOf(self.env, [gathered, deadline])
+        except IoError:
+            return None
+        if not gathered.triggered:
+            self.fault_stats.timeouts += 1
+            self._fence_stragglers(self.timeout_ns)
+            return None
+        return gathered._value
+
+    def _read_repair(self, stripe: int, bad_drives, locked: bool = False):
+        """Reconstruct checksum-bad chunks from parity and rewrite them.
+
+        Returns True once every reported chunk verifies clean, False when
+        the stripe's erasures (bad chunks + failed members) exceed parity
+        or repeated repair attempts keep failing.  Detection/repair
+        accounting happens here, under the stripe lock, exactly once per
+        corruption episode (``store.known_bad`` dedupes).
+        """
+        store = self.integrity
+        g = self.geometry
+        chunk = g.chunk_bytes
+        drives = self.cluster.drives()
+        if not locked:
+            yield self.locks.acquire(stripe)
+        try:
+            # Re-verify under the lock (a concurrent repair may have won)
+            # and widen to the whole stripe: repair sources must be clean,
+            # so any bad chunk the caller didn't check is repaired too.
+            failed = self.failed_in_stripe(stripe)
+            bad = sorted(
+                d
+                for d in range(g.num_drives)
+                if d not in failed and not store.chunk_ok(drives[d], stripe)
+            )
+            if not bad:
+                return True
+            kinds_of = {d: store.bad_kinds(drives[d], stripe) for d in bad}
+            for d in bad:
+                key = (d, stripe)
+                if key not in store.known_bad:
+                    store.known_bad.add(key)
+                    first = store.first_poison_ns(drives[d], stripe)
+                    latency = None if first is None else self.env.now - first
+                    self.integrity_stats.record_detected(kinds_of[d], latency)
+            if len(set(bad) | failed) > g.num_parity:
+                for d in bad:
+                    self.integrity_stats.record_unrecoverable(kinds_of[d])
+                return False
+            for _ in range(3):
+                erasures = set(bad) | self.failed_in_stripe(stripe)
+                if len(erasures) > g.num_parity:
+                    break
+                sources = [d for d in range(g.num_drives) if d not in erasures]
+                reads = [
+                    self.env.process(self._member_read(d, stripe * chunk, chunk))
+                    for d in sources
+                ]
+                gathered = AllOf(self.env, reads)
+                gathered.callbacks.append(_defuse_on_failure)
+                outcome = yield from self._await_repair_io(gathered)
+                if outcome is None:
+                    continue
+                blocks = [outcome[e] for e in reads]
+                yield self._charge_xor(len(sources) + 1, chunk)
+                if g.level is RaidLevel.RAID6:
+                    yield self._charge_gf(len(sources), chunk)
+                repaired = None
+                if self.functional:
+                    repaired = self._repair_stripe_blocks(
+                        stripe, dict(zip(sources, blocks)), bad
+                    )
+                writes = [
+                    self.env.process(
+                        self._member_write(
+                            d,
+                            stripe * chunk,
+                            chunk,
+                            None if repaired is None else repaired[d],
+                        )
+                    )
+                    for d in bad
+                ]
+                gathered = AllOf(self.env, writes)
+                gathered.callbacks.append(_defuse_on_failure)
+                if (yield from self._await_repair_io(gathered)) is None:
+                    continue
+                # re-verify: an armed corruption may have eaten the repair
+                # write itself — if so, go around again
+                still_bad = []
+                for d in bad:
+                    if store.chunk_ok(drives[d], stripe):
+                        self.integrity_stats.record_repaired(kinds_of[d])
+                    else:
+                        still_bad.append(d)
+                if not still_bad:
+                    return True
+                bad = still_bad
+            for d in bad:
+                self.integrity_stats.record_unrecoverable(kinds_of[d])
+            return False
+        finally:
+            if not locked:
+                self.locks.release(stripe)
+
+    def _repair_stripe_blocks(
+        self, stripe: int, present: Dict[int, np.ndarray], bad
+    ) -> Dict[int, np.ndarray]:
+        """Decode replacement blocks for ``bad`` drives from ``present``
+        (drive -> chunk bytes of every other member).  Functional mode."""
+        g = self.geometry
+        parity = list(g.parity_drives(stripe))
+        code = getattr(self, "code", None)
+        if g.level is None and code is not None:
+            # generic Reed-Solomon geometry: global shard index space is
+            # data 0..k-1 then parity k..k+m-1
+            shards = {}
+            for drive, blk in present.items():
+                if drive in parity:
+                    shards[g.data_per_stripe + parity.index(drive)] = blk
+                else:
+                    shards[g.data_index_of_drive(stripe, drive)] = blk
+            data_shards = code.decode(shards, g.chunk_bytes)
+            parity_shards = code.encode(data_shards)
+            out = {}
+            for d in bad:
+                if d in parity:
+                    out[d] = parity_shards[parity.index(d)]
+                else:
+                    out[d] = data_shards[g.data_index_of_drive(stripe, d)]
+            return out
+        data_blocks: Dict[int, np.ndarray] = {}
+        p_block = q_block = None
+        for drive, blk in present.items():
+            if drive == parity[0]:
+                p_block = blk
+            elif len(parity) > 1 and drive == parity[1]:
+                q_block = blk
+            else:
+                data_blocks[g.data_index_of_drive(stripe, drive)] = blk
+        bad_data = [d for d in bad if d not in parity]
+        missing = [i for i in range(g.data_per_stripe) if i not in data_blocks]
+        if missing:
+            if len(missing) == 1 and p_block is not None:
+                data_blocks[missing[0]] = raid5_reconstruct(
+                    list(data_blocks.values()) + [p_block]
+                )
+            else:
+                data_blocks.update(
+                    raid6_reconstruct(
+                        dict(data_blocks), g.data_per_stripe, p_block, q_block
+                    )
+                )
+        full = [data_blocks[i] for i in range(g.data_per_stripe)]
+        out = {}
+        for d in bad_data:
+            out[d] = data_blocks[g.data_index_of_drive(stripe, d)]
+        for d in bad:
+            if d not in parity:
+                continue
+            if parity.index(d) == 0:
+                out[d] = xor_blocks(full)
+            else:
+                q = np.zeros(g.chunk_bytes, dtype=np.uint8)
+                for i, blk in enumerate(full):
+                    GF.mul_bytes_inplace_xor(q, GF.gen_pow(i), blk)
+                out[d] = q
+        return out
+
+    def _member_read(self, drive: int, offset: int, nbytes: int):
+        """Raw read of one member chunk region (integrity/scrub path)."""
+        data = yield self.bdevs[drive].read(offset, nbytes)
+        return data
+
+    def _member_write(self, drive: int, offset: int, nbytes: int, data):
+        """Raw write of one member chunk region (integrity/scrub path)."""
+        yield self.bdevs[drive].write(offset, nbytes, data)
+
     # -- public block interface -----------------------------------------------
 
     def read(self, offset: int, nbytes: int) -> Event:
@@ -373,6 +653,8 @@ class HostCentricRaid:
             for ext in extents
         ]
         yield AllOf(self.env, done)
+        if self.integrity is not None:
+            yield from self._verify_read(extents, buffer, offset, take_locks)
         self.stats.reads += 1
         return buffer
 
@@ -488,6 +770,8 @@ class HostCentricRaid:
         self.bitmap.mark(ext.stripe)
         yield self.locks.acquire(ext.stripe)
         try:
+            if self.integrity is not None:
+                yield from self._verify_stripe_before_write(ext)
             if self.resilient:
                 yield from self._write_resilient(ext, io_data)
             else:

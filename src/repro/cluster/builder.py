@@ -68,6 +68,10 @@ class Cluster:
         #: Armed by :class:`repro.faults.FaultInjector`; when set, the RAID
         #: controllers enable their resilient (timeout/retry) datapaths.
         self.fault_injection = None
+        #: Armed by :class:`repro.storage.integrity.IntegrityStore.attach`;
+        #: when set, the RAID controllers verify chunk checksums on reads
+        #: and repair mismatches from parity.
+        self.integrity = None
 
     @property
     def num_servers(self) -> int:

@@ -216,6 +216,40 @@ class DraidArray(HostCentricRaid):
                 self.failed.add(i)
                 self.fault_stats.degraded_transitions += 1
 
+    # -- integrity member I/O (read-repair / scrub path) -----------------------
+
+    def _await_repair_io(self, gathered):
+        """dRAID member ops carry their own expiry (:meth:`_await_op`
+        escalates deadlines and fences internally), so repair I/O cannot
+        stall; unlike the base class no extra deadline race is needed."""
+        try:
+            outcome = yield gathered
+        except IoError:
+            return None
+        return outcome
+
+    def _member_read(self, drive: int, offset: int, nbytes: int):
+        """Raw chunk-region read over the dRAID transport."""
+        cid = next_cid()
+        waiter = self._register(cid, {"read": 1}, participants={drive})
+        self.host_ends[drive].send(NvmeOfCommand(cid, Opcode.READ, offset, nbytes))
+        expired = yield from self._await_op(cid, waiter, drain=False)
+        if waiter.errors or expired:
+            raise IoError(f"{self.name}: integrity read on member {drive} failed")
+        comp = next(c for c in waiter.completions if c.kind == "read")
+        return comp.data
+
+    def _member_write(self, drive: int, offset: int, nbytes: int, data):
+        """Raw chunk-region write over the dRAID transport."""
+        cid = next_cid()
+        waiter = self._register(cid, {"write": 1}, participants={drive})
+        self.host_ends[drive].send(
+            NvmeOfCommand(cid, Opcode.WRITE, offset, nbytes, data=data)
+        )
+        expired = yield from self._await_op(cid, waiter)
+        if waiter.errors or expired:
+            raise IoError(f"{self.name}: integrity write on member {drive} failed")
+
     # -- reads -----------------------------------------------------------------
 
     def _read_extent(self, ext: StripeExtent, buffer, io_base: int, take_locks: bool = True):
@@ -438,6 +472,8 @@ class DraidArray(HostCentricRaid):
         self.bitmap.mark(ext.stripe)
         yield self.locks.acquire(ext.stripe)
         try:
+            if self.integrity is not None:
+                yield from self._verify_stripe_before_write(ext)
             if self.resilient:
                 self._check_tolerance(ext.stripe)
             ok = yield from self._write_extent_once(ext, io_data)

@@ -206,6 +206,17 @@ def run_reliability(fast: bool = True):
     )
 
 
+def run_integrity(fast: bool = True):
+    from repro.experiments.integrity import integrity_rows
+
+    rows = integrity_rows(fast=fast)
+    return (
+        "Integrity: silent-corruption detection latency and foreground "
+        "bandwidth vs scrub pace",
+        rows,
+    )
+
+
 EXPERIMENTS: Dict[str, Callable[[bool], Tuple[str, List[Row]]]] = {
     "table1": run_table1,
     "fig09": run_fig09,
@@ -231,6 +242,7 @@ EXPERIMENTS: Dict[str, Callable[[bool], Tuple[str, List[Row]]]] = {
     "fig29": run_fig29,
     "fig30": run_fig30,
     "reliability": run_reliability,
+    "integrity": run_integrity,
 }
 
 

@@ -13,21 +13,26 @@ keep this package free of controller dependencies).
 from repro.faults.backoff import BackoffPolicy
 from repro.faults.detect import FailSlowDetector
 from repro.faults.events import (
+    BitRot,
     DriveErrorBurst,
     DriveFail,
     DriveFailSlow,
     DriveHeal,
     FaultEvent,
     LinkStall,
+    LostWrite,
+    MisdirectedWrite,
     NetJitter,
     NicDegrade,
     ServerCrash,
+    TornWrite,
 )
 from repro.faults.injector import FaultInjector
 from repro.faults.plan import FaultPlan, chaos_plan
 
 __all__ = [
     "BackoffPolicy",
+    "BitRot",
     "DriveErrorBurst",
     "DriveFail",
     "DriveFailSlow",
@@ -37,8 +42,11 @@ __all__ = [
     "FaultInjector",
     "FaultPlan",
     "LinkStall",
+    "LostWrite",
+    "MisdirectedWrite",
     "NetJitter",
     "NicDegrade",
     "ServerCrash",
+    "TornWrite",
     "chaos_plan",
 ]

@@ -76,10 +76,22 @@ class ChaosOutcome:
     scrub_clean: bool  #: post-recovery parity scrub found nothing
     data_sha256: str  #: digest of the final virtual-device image
     fault_summary: str  #: ``FaultStats.summary()`` of the array
+    # silent-corruption accounting (defaults keep pre-integrity pickles
+    # and call sites working; all zero when the schedule had no corruption)
+    corruption_events: int = 0  #: corruption events in the plan
+    detected: int = 0  #: corruption-detection episodes (checksum mismatches)
+    repaired: int = 0  #: chunks repaired from parity across all episodes
+    #: chunks *still* failing checksum verification after the full
+    #: recovery playbook — genuine silent data loss (must be 0).  Transient
+    #: beyond-parity read errors during the storm are episode telemetry in
+    #: ``integrity_summary``, not data loss: the member heals and the
+    #: scrub-repair passes cure the chunk.
+    unrecoverable: int = 0
+    integrity_summary: str = ""  #: ``IntegrityStats.summary()`` of the array
 
     @property
     def ok(self) -> bool:
-        return self.verified and self.scrub_clean
+        return self.verified and self.scrub_clean and self.unrecoverable == 0
 
     def row(self) -> str:
         """One deterministic log/golden line."""
@@ -87,6 +99,17 @@ class ChaosOutcome:
             f"{self.system:>5s} seed={self.seed:<4d} events={self.applied} "
             f"ops={self.ops} errors={self.op_errors} torn={self.torn_stripes} "
             f"rebuilds={self.rebuilds} scrub={'clean' if self.scrub_clean else 'DIRTY'} "
+            f"verified={'yes' if self.verified else 'NO'} "
+            f"sha={self.data_sha256[:12]}"
+        )
+
+    def integrity_row(self) -> str:
+        """One deterministic corruption-accounting line (integrity golden)."""
+        return (
+            f"{self.system:>5s} seed={self.seed:<4d} corrupt={self.corruption_events} "
+            f"detected={self.detected} repaired={self.repaired} "
+            f"unrecoverable={self.unrecoverable} "
+            f"scrub={'clean' if self.scrub_clean else 'DIRTY'} "
             f"verified={'yes' if self.verified else 'NO'} "
             f"sha={self.data_sha256[:12]}"
         )
@@ -102,17 +125,33 @@ def run_chaos_schedule(
     horizon_ns: int = 60 * MS,
     timeout_ns: int = CHAOS_TIMEOUT_NS,
     plan: Optional[FaultPlan] = None,
+    corruption_events: int = 0,
+    scrub_pace_ns: Optional[int] = None,
+    integrity_eager: bool = False,
 ) -> ChaosOutcome:
-    """Run one seeded fault storm against ``system`` and verify recovery."""
+    """Run one seeded fault storm against ``system`` and verify recovery.
+
+    ``corruption_events > 0`` adds silent-corruption events (bit rot,
+    lost / torn / misdirected writes) to the generated plan and arms the
+    cluster's :class:`~repro.storage.integrity.IntegrityStore`, so every
+    read verifies checksums and repairs from parity.  ``scrub_pace_ns``
+    additionally runs an online :class:`~repro.raid.scrubber.ScrubDaemon`
+    *during* the storm at that pace.  The recovery playbook then gains
+    scrub-repair passes so the schedule must end with zero unrecoverable
+    chunks, a clean parity scrub and byte-exact shadow-model data.
+    """
     import random
 
     from repro.cluster import ClusterConfig, build_cluster
+    from repro.faults.events import BitRot, LostWrite, MisdirectedWrite, TornWrite
     from repro.nvmeof.messages import IoError
     from repro.raid.geometry import RaidGeometry, RaidLevel
     from repro.raid.rebuild import RebuildJob
     from repro.raid.resync import resync_stripes
     from repro.raid.scrub import scrub_array
+    from repro.raid.scrubber import ScrubDaemon
     from repro.sim import Environment
+    from repro.storage.integrity import ChecksumError, IntegrityStore
 
     env = Environment()
     config = ClusterConfig(
@@ -122,10 +161,34 @@ def run_chaos_schedule(
     )
     cluster = build_cluster(env, config)
     geometry = RaidGeometry(RaidLevel.RAID5, drives, chunk)
-    array = _make_controller(system, cluster, geometry)
     if plan is None:
-        plan = chaos_plan(seed, horizon_ns, drives, geometry.num_parity)
+        plan = chaos_plan(
+            seed,
+            horizon_ns,
+            drives,
+            geometry.num_parity,
+            corruption_events=corruption_events,
+            chunk_bytes=chunk,
+            num_stripes=stripes,
+        )
+    n_corrupt = sum(
+        1
+        for e in plan
+        if isinstance(e, (BitRot, LostWrite, MisdirectedWrite, TornWrite))
+    )
+    if n_corrupt or scrub_pace_ns is not None:
+        IntegrityStore(chunk, eager=integrity_eager).attach(cluster)
+    array = _make_controller(system, cluster, geometry)
     injector = FaultInjector(array, plan, num_stripes=stripes)
+    daemon = (
+        ScrubDaemon(array, stripes, pace_ns=scrub_pace_ns, repeat=True)
+        if scrub_pace_ns is not None
+        else None
+    )
+
+    def scrub_repair_pass() -> None:
+        """One paced-at-zero offline-style pass through the online scrubber."""
+        env.run(until=ScrubDaemon(array, stripes, pace_ns=0).process)
 
     capacity = stripes * geometry.stripe_data_bytes
     model = np.zeros(capacity, dtype=np.uint8)
@@ -166,7 +229,7 @@ def run_chaos_schedule(
                 ).copy()
                 env.run(until=array.write(offset, size, payload))
                 model[offset : offset + size] = payload
-        except IoError:
+        except (IoError, ChecksumError):
             op_errors += 1
             if not is_read:
                 # terminal write failure: the touched stripes may hold a
@@ -180,12 +243,21 @@ def run_chaos_schedule(
     # ... and outlast every self-clearing window (fail-slow, bursts, NIC)
     env.run(until=max(env.now, plan.horizon_ns) + 60 * MS)
     note_failures()
+    if daemon is not None:
+        daemon.stop()
 
     # 2. replace failed members.  Past redundancy nothing is reconstructable,
     #    so the *latest* casualties (stale only on torn stripes, which are
     #    adopted anyway) rejoin in place; the rest get a real rebuild.
+    #    With integrity armed, *every* casualty rejoins in place: a degraded
+    #    rebuild read of a stripe that also carries a corrupt chunk is two
+    #    erasures — the classic unrecoverable-during-rebuild loss — so the
+    #    playbook restores full redundancy first and lets the resync +
+    #    scrub-repair passes below re-verify everything.
     still_failed = [m for m in fail_order if m in array.failed]
-    while len(still_failed) > geometry.num_parity:
+    while still_failed and (
+        array.integrity is not None or len(still_failed) > geometry.num_parity
+    ):
         member = still_failed.pop()
         cluster.servers[member].drive.heal()
         array.repair_drive(member)
@@ -196,9 +268,31 @@ def run_chaos_schedule(
         env.run(until=job.start())
         rebuilds += 1
 
+    # 2.5 with integrity armed: a scrub-repair pass cures surviving
+    #     corruption (notably on parity chunks, which foreground reads
+    #     never verify) before the resync below re-reads those stripes
+    if array.integrity is not None:
+        scrub_repair_pass()
+
     # 3. resync torn stripes: full-stripe rewrite regenerates parity
-    if torn:
-        env.run(until=resync_stripes(array, sorted(torn)))
+    for stripe in sorted(torn):
+        try:
+            env.run(until=resync_stripes(array, [stripe]))
+        except ChecksumError:
+            # corruption beyond parity on a torn stripe: nothing is
+            # reconstructable (the scrub pass above already recorded the
+            # unrecoverable episode), so — as with stale rejoins in step
+            # 2 — the surviving bytes become the stripe's truth.  Read
+            # them unarmed and regenerate parity with a full-stripe
+            # rewrite; the drives still record the write, so the store
+            # re-trusts the adopted content and clears its poison.
+            offset = stripe * stripe_bytes
+            saved, cluster.integrity = cluster.integrity, None
+            try:
+                data = env.run(until=array.read(offset, stripe_bytes))
+                env.run(until=array.write(offset, stripe_bytes, data))
+            finally:
+                cluster.integrity = saved
 
     # 4. adopt the (self-consistent) surviving bytes of torn stripes
     for stripe in sorted(torn):
@@ -206,10 +300,35 @@ def run_chaos_schedule(
         data = env.run(until=array.read(offset, stripe_bytes))
         model[offset : offset + stripe_bytes] = data
 
+    # 4.5 a final scrub-repair pass: recovery writes may themselves have
+    #     tripped still-armed corruption events
+    if array.integrity is not None:
+        scrub_repair_pass()
+
     # -- verification ------------------------------------------------------
-    final = env.run(until=array.read(0, capacity))
-    verified = bool(np.array_equal(final, model))
-    bad = scrub_array(cluster.drives(), geometry, stripes)
+    try:
+        final = env.run(until=array.read(0, capacity))
+        verified = bool(np.array_equal(final, model))
+    except ChecksumError:
+        # corruption beyond repair: grab the raw (corrupt) image unarmed
+        # so the digest still reflects the end state
+        saved, cluster.integrity = cluster.integrity, None
+        final = env.run(until=array.read(0, capacity))
+        cluster.integrity = saved
+        verified = False
+    report = scrub_array(cluster.drives(), geometry, stripes)
+    istats = array.integrity_stats
+    store = array.integrity
+    residual_bad = (
+        sum(
+            1
+            for drv in cluster.drives()
+            for c in range(stripes)
+            if not store.chunk_ok(drv, c)
+        )
+        if store is not None
+        else 0
+    )
     return ChaosOutcome(
         system=system,
         seed=seed,
@@ -220,7 +339,12 @@ def run_chaos_schedule(
         torn_stripes=len(torn),
         rebuilds=rebuilds,
         verified=verified,
-        scrub_clean=not bad,
+        scrub_clean=report.clean,
         data_sha256=hashlib.sha256(np.ascontiguousarray(final).tobytes()).hexdigest(),
         fault_summary=array.fault_stats.summary(),
+        corruption_events=n_corrupt,
+        detected=istats.total_detected,
+        repaired=istats.total_repaired,
+        unrecoverable=residual_bad,
+        integrity_summary=istats.summary() if store is not None else "",
     )

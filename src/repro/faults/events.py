@@ -100,3 +100,41 @@ class ServerCrash(FaultEvent):
 
     server: int
     down_ns: int
+
+
+@dataclass(frozen=True)
+class BitRot(FaultEvent):
+    """Silently flip bytes of ``server``'s drive at ``[offset, offset+length)``
+    with a seeded nonzero XOR mask (media decay — the drive keeps answering
+    with the rotten bytes, no error is raised)."""
+
+    server: int
+    offset: int
+    length: int
+    seed: int = 0
+
+
+@dataclass(frozen=True)
+class LostWrite(FaultEvent):
+    """The next write to ``server``'s drive is acknowledged but never
+    reaches media (dropped in the drive's write cache)."""
+
+    server: int
+
+
+@dataclass(frozen=True)
+class TornWrite(FaultEvent):
+    """The next write to ``server``'s drive lands only its first half
+    (power-cut mid-program)."""
+
+    server: int
+
+
+@dataclass(frozen=True)
+class MisdirectedWrite(FaultEvent):
+    """The next write to ``server``'s drive lands ``shift_bytes`` away from
+    its target — the target stays stale *and* an innocent extent is
+    clobbered (firmware LBA-mapping bug)."""
+
+    server: int
+    shift_bytes: int

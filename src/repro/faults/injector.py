@@ -16,15 +16,19 @@ import random
 from typing import List, Optional
 
 from repro.faults.events import (
+    BitRot,
     DriveErrorBurst,
     DriveFail,
     DriveFailSlow,
     DriveHeal,
     FaultEvent,
     LinkStall,
+    LostWrite,
+    MisdirectedWrite,
     NetJitter,
     NicDegrade,
     ServerCrash,
+    TornWrite,
 )
 from repro.faults.plan import FaultPlan
 from repro.nvmeof.messages import IoError
@@ -119,6 +123,18 @@ class FaultInjector:
             )
         elif isinstance(event, ServerCrash):
             self._server_side(event.server).crash(event.down_ns)
+        elif isinstance(event, BitRot):
+            self._drive(event.server).corrupt(
+                "bitrot", offset=event.offset, length=event.length, seed=event.seed
+            )
+        elif isinstance(event, LostWrite):
+            self._drive(event.server).corrupt("lost")
+        elif isinstance(event, TornWrite):
+            self._drive(event.server).corrupt("torn")
+        elif isinstance(event, MisdirectedWrite):
+            self._drive(event.server).corrupt(
+                "misdirected", shift_bytes=event.shift_bytes
+            )
         else:
             raise TypeError(f"unknown fault event {event!r}")
         self.applied += 1

@@ -13,15 +13,19 @@ import random
 from typing import Iterable, List, Sequence
 
 from repro.faults.events import (
+    BitRot,
     DriveErrorBurst,
     DriveFail,
     DriveFailSlow,
     DriveHeal,
     FaultEvent,
     LinkStall,
+    LostWrite,
+    MisdirectedWrite,
     NetJitter,
     NicDegrade,
     ServerCrash,
+    TornWrite,
 )
 
 MS = 1_000_000  # nanoseconds per millisecond
@@ -61,6 +65,9 @@ def chaos_plan(
     events_min: int = 4,
     events_max: int = 9,
     allow_crashes: bool = True,
+    corruption_events: int = 0,
+    chunk_bytes: int = 0,
+    num_stripes: int = 0,
 ) -> FaultPlan:
     """A seeded random fault storm over ``[0, horizon_ns)``.
 
@@ -69,6 +76,16 @@ def chaos_plan(
     datapath may still exceed tolerance transiently (e.g. by fencing a
     fail-slow drive), which surfaces as ``IoError`` — an outcome the chaos
     harness accepts and repairs.
+
+    ``corruption_events > 0`` additionally sprinkles silent-corruption
+    events (drawn from an independent child RNG, so existing plans for a
+    given seed are unchanged): per-stripe bit rot is budgeted to at most
+    ``num_parity`` distinct members so parity can reconstruct it, and at
+    most ``num_parity`` write-armed corruptions (lost/torn/misdirected)
+    are scheduled per plan — armed events land on unpredictable stripes,
+    so their count is capped rather than placed.  Bit rot and misdirected
+    writes need the array layout (``chunk_bytes``; bit rot additionally
+    ``num_stripes``).
     """
     if servers < 3:
         raise ValueError(f"chaos needs >= 3 servers, got {servers}")
@@ -152,4 +169,60 @@ def chaos_plan(
                     seed=rng.randrange(1 << 30),
                 )
             )
+    if corruption_events > 0:
+        # independent child RNG: adding corruption must not perturb the
+        # loud-fault stream above for the same seed
+        crng = random.Random(f"repro.chaos.corruption:{seed}")
+        ckinds: Sequence[str] = ("bitrot", "lost", "torn", "misdirect")
+        cweights = (4, 2, 2, 1)
+        armed_budget = num_parity
+        bitrot_hits = {}  # stripe -> set of servers already rotten there
+        made = 0
+        attempts = 0
+        while made < corruption_events and attempts < corruption_events * 20:
+            attempts += 1
+            at_ns = crng.randrange(0, horizon_ns)
+            ckind = crng.choices(ckinds, weights=cweights)[0]
+            server = crng.randrange(servers)
+            if ckind == "bitrot":
+                if not chunk_bytes or not num_stripes:
+                    continue
+                stripe = crng.randrange(num_stripes)
+                hit = bitrot_hits.setdefault(stripe, set())
+                if server not in hit and len(hit) >= num_parity:
+                    continue  # keep every stripe parity-recoverable
+                length = crng.choice((512, 4096))
+                offset = stripe * chunk_bytes + crng.randrange(
+                    max(1, chunk_bytes - length)
+                )
+                events.append(
+                    BitRot(
+                        at_ns,
+                        server=server,
+                        offset=offset,
+                        length=length,
+                        seed=crng.randrange(1 << 30),
+                    )
+                )
+                hit.add(server)
+            elif ckind == "lost":
+                if armed_budget <= 0:
+                    continue
+                armed_budget -= 1
+                events.append(LostWrite(at_ns, server=server))
+            elif ckind == "torn":
+                if armed_budget <= 0:
+                    continue
+                armed_budget -= 1
+                events.append(TornWrite(at_ns, server=server))
+            else:
+                if armed_budget <= 0 or not chunk_bytes:
+                    continue
+                armed_budget -= 1
+                # a one-chunk shift clobbers the adjacent stripe on the same
+                # drive: one bad chunk per stripe, always reconstructable
+                events.append(
+                    MisdirectedWrite(at_ns, server=server, shift_bytes=chunk_bytes)
+                )
+            made += 1
     return FaultPlan(events)

@@ -1,12 +1,14 @@
 """Measurement utilities: latency distributions and throughput windows."""
 
 from repro.metrics.faults import FaultStats
+from repro.metrics.integrity import IntegrityStats
 from repro.metrics.latency import LatencySummary, LatencyRecorder
 from repro.metrics.report import Row, format_table
 from repro.metrics.timeline import ThroughputTimeline, TimelineSample
 
 __all__ = [
     "FaultStats",
+    "IntegrityStats",
     "LatencyRecorder",
     "LatencySummary",
     "Row",

@@ -13,7 +13,8 @@ from repro.raid.locks import StripeLockManager
 from repro.raid.modes import WriteMode, classify_write
 from repro.raid.rebuild import RebuildJob, RebuildStats
 from repro.raid.resync import resync_after_crash, resync_stripes
-from repro.raid.scrub import scrub_array, scrub_stripe
+from repro.raid.scrub import ScrubReport, scrub_array, scrub_stripe
+from repro.raid.scrubber import ScrubDaemon, ScrubPassReport
 
 __all__ = [
     "ChunkSegment",
@@ -21,6 +22,9 @@ __all__ = [
     "RaidLevel",
     "RebuildJob",
     "RebuildStats",
+    "ScrubDaemon",
+    "ScrubPassReport",
+    "ScrubReport",
     "StripeExtent",
     "StripeLockManager",
     "WriteIntentBitmap",

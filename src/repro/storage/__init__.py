@@ -7,6 +7,12 @@ simulated data path).
 """
 
 from repro.storage.drive import DriveStats, NvmeDrive
+from repro.storage.integrity import (
+    ChecksumError,
+    IntegrityStore,
+    PoisonedExtent,
+    crc32c,
+)
 from repro.storage.profiles import (
     DELL_AGN_MU,
     FAST_NVME,
@@ -16,7 +22,11 @@ from repro.storage.profiles import (
 __all__ = [
     "DELL_AGN_MU",
     "FAST_NVME",
+    "ChecksumError",
     "DriveProfile",
     "DriveStats",
+    "IntegrityStore",
     "NvmeDrive",
+    "PoisonedExtent",
+    "crc32c",
 ]

@@ -15,13 +15,14 @@ bytes and the whole RAID stack can be validated for bit-exactness.
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass
-from typing import Optional
+from dataclasses import dataclass, replace
+from typing import List, Optional, Tuple
 
 import numpy as np
 
 from repro.sim.core import Environment, Event
 from repro.sim.resources import NS_PER_S
+from repro.storage.integrity import PoisonedExtent
 
 
 @dataclass
@@ -34,6 +35,7 @@ class DriveStats:
     bytes_written: int = 0
     busy_ns: int = 0
     gc_events: int = 0
+    corruptions: int = 0
 
     def reset(self) -> None:
         self.read_ops = 0
@@ -42,6 +44,7 @@ class DriveStats:
         self.bytes_written = 0
         self.busy_ns = 0
         self.gc_events = 0
+        self.corruptions = 0
 
 
 class NvmeDrive:
@@ -75,6 +78,13 @@ class NvmeDrive:
         self._error_until = 0
         self._slow_mult = 1.0
         self._slow_until: Optional[int] = None  # None = until cleared
+        # Silent-corruption state (repro.storage.integrity): poisoned byte
+        # ranges, corruptions armed against the next write, and the cluster
+        # checksum store (attached when an IntegrityStore arms the cluster).
+        self._poison: List[PoisonedExtent] = []
+        self._armed_corruptions: List[Tuple[str, int]] = []
+        self._integrity = None
+        self._integrity_index = -1
         self._data: Optional[np.ndarray] = None
         if functional_capacity:
             self._data = np.zeros(functional_capacity, dtype=np.uint8)
@@ -180,13 +190,24 @@ class NvmeDrive:
                 )
         done = self._dispatch(work_ns)
         completion = done + latency_ns - self.env.now
+        pending = self._armed_corruptions.pop(0) if self._armed_corruptions else None
+        backup = None
         if self._data is not None:
             if data is None:
                 raise ValueError(f"{self.name}: functional-mode write requires data")
             arr = np.frombuffer(data, dtype=np.uint8) if isinstance(data, (bytes, bytearray)) else np.asarray(data, dtype=np.uint8)
             if len(arr) != nbytes:
                 raise ValueError(f"data length {len(arr)} != nbytes {nbytes}")
+            if pending is not None:
+                backup = self._data[offset : offset + nbytes].copy()
             self._data[offset : offset + nbytes] = arr
+        if self._integrity is not None:
+            self._integrity.record_write(self, offset, nbytes)
+        if pending is not None:
+            self._apply_write_corruption(pending, offset, nbytes, backup)
+        elif self._poison:
+            # a clean overwrite cures whatever poison it covers
+            self._clear_poison(offset, nbytes)
         return self.env.timeout(completion)
 
     # -- failure injection ----------------------------------------------------
@@ -196,6 +217,15 @@ class NvmeDrive:
         self.failed = True
 
     def repair(self) -> None:
+        """Clear only the failure bit.
+
+        Unlike :meth:`heal`, the drive keeps every residue of its previous
+        life: queued channel backlog, GC debt, error bursts, fail-slow
+        multipliers — and any poisoned extents or armed corruptions.  Use
+        it when the *same* physical drive returns (e.g. after a rebuild
+        rewrote its content in place); use :meth:`heal` when the drive is
+        swapped for a fresh replacement.
+        """
         self.failed = False
 
     def inject_error_burst(self, duration_ns: int) -> None:
@@ -224,16 +254,168 @@ class NvmeDrive:
     def heal(self) -> None:
         """Full heal/replace: clear the failure bit *and* every latency
         residue (queued channel backlog, pending GC debt, error bursts,
-        fail-slow multipliers), as if the drive were swapped for a fresh
-        one.  Unlike :meth:`repair`, a healed drive is back at profile
-        latency immediately."""
+        fail-slow multipliers) *and* every corruption residue (poisoned
+        extents, corruptions armed against future writes), as if the drive
+        were swapped for a fresh one.  Unlike :meth:`repair`, a healed
+        drive is back at profile latency immediately and carries no silent
+        damage — the replacement's content still needs a rebuild, but its
+        media is pristine."""
         self.failed = False
         self._error_until = 0
         self.clear_fail_slow()
         self._gc_budget = self.profile.gc_after_bytes_written
+        self._poison.clear()
+        self._armed_corruptions.clear()
         now = self.env.now
         self._free_at = [min(f, now) for f in self._free_at]
         self._free_heap = sorted((f, i) for i, f in enumerate(self._free_at))
+
+    # -- silent corruption ------------------------------------------------------
+
+    def attach_integrity(self, store, index: int) -> None:
+        """Wire this drive to the cluster's :class:`IntegrityStore`."""
+        self._integrity = store
+        self._integrity_index = index
+
+    def corrupt(
+        self,
+        kind: str,
+        offset: Optional[int] = None,
+        length: Optional[int] = None,
+        seed: int = 0,
+        shift_bytes: int = 0,
+    ) -> None:
+        """Silently damage stored data (the drive keeps answering happily).
+
+        ``kind`` selects the fault class:
+
+        * ``"bitrot"`` — immediately XOR a seeded nonzero mask over
+          ``[offset, offset+length)``; requires ``offset``/``length``.
+        * ``"lost"`` — the next write is acknowledged but never lands
+          (the previous content stays on media).
+        * ``"torn"`` — the next write lands only its first half.
+        * ``"misdirected"`` — the next write's payload lands at
+          ``offset + shift_bytes`` instead, leaving the target stale and
+          clobbering an innocent victim; requires ``shift_bytes > 0``.
+
+        The deferred kinds queue FIFO against future writes.  In functional
+        mode real bytes are mutated; in both modes a :class:`PoisonedExtent`
+        records the damage so checksum verification detects it.
+        """
+        if kind == "bitrot":
+            if offset is None or length is None or length <= 0:
+                raise ValueError("bitrot requires offset and positive length")
+            if self._data is not None and offset + length > len(self._data):
+                raise ValueError(
+                    f"{self.name}: bitrot [{offset}, {offset + length}) exceeds "
+                    f"functional capacity {len(self._data)}"
+                )
+            if self._integrity is not None:
+                self._integrity.finalize(self, offset, length)
+            if self._data is not None:
+                mask = np.random.default_rng(seed).integers(
+                    1, 256, size=length, dtype=np.uint8
+                )
+                self._data[offset : offset + length] ^= mask
+            self._poison.append(
+                PoisonedExtent(offset, length, "BitRot", self.env.now)
+            )
+            self.stats.corruptions += 1
+        elif kind in ("lost", "torn"):
+            self._armed_corruptions.append((kind, 0))
+        elif kind == "misdirected":
+            if shift_bytes <= 0:
+                raise ValueError("misdirected requires shift_bytes > 0")
+            self._armed_corruptions.append((kind, shift_bytes))
+        else:
+            raise ValueError(f"unknown corruption kind {kind!r}")
+
+    def _apply_write_corruption(
+        self,
+        pending: Tuple[str, int],
+        offset: int,
+        nbytes: int,
+        backup: Optional[np.ndarray],
+    ) -> None:
+        """An armed corruption fires on the write that just landed.
+
+        ``backup`` holds the pre-write media content (functional mode only).
+        The checksum store was already told the *intended* bytes landed, so
+        we first pin expectations from the current (intended) content, then
+        mutate the media behind the store's back and record the poison.
+        """
+        kind, shift = pending
+        now = self.env.now
+        if kind == "lost":
+            if self._integrity is not None:
+                self._integrity.finalize(self, offset, nbytes)
+            if backup is not None:
+                self._data[offset : offset + nbytes] = backup
+            self._clear_poison(offset, nbytes)
+            self._poison.append(PoisonedExtent(offset, nbytes, "LostWrite", now))
+        elif kind == "torn":
+            landed = nbytes // 2
+            if self._integrity is not None:
+                self._integrity.finalize(self, offset, nbytes)
+            if backup is not None and landed < nbytes:
+                self._data[offset + landed : offset + nbytes] = backup[landed:]
+            self._clear_poison(offset, nbytes)
+            if landed < nbytes:
+                self._poison.append(
+                    PoisonedExtent(offset + landed, nbytes - landed, "TornWrite", now)
+                )
+        elif kind == "misdirected":
+            if self._integrity is not None:
+                self._integrity.finalize(self, offset, nbytes)
+            intended = None
+            if self._data is not None:
+                intended = self._data[offset : offset + nbytes].copy()
+                self._data[offset : offset + nbytes] = backup
+            capacity = len(self._data) if self._data is not None else None
+            victim_off = offset + shift
+            if capacity is not None:
+                victim_off %= capacity
+                vlen = min(nbytes, capacity - victim_off)
+            else:
+                vlen = nbytes
+            if self._integrity is not None:
+                self._integrity.finalize(self, victim_off, vlen)
+            if self._data is not None:
+                self._data[victim_off : victim_off + vlen] = intended[:vlen]
+            self._clear_poison(offset, nbytes)
+            self._clear_poison(victim_off, vlen)
+            self._poison.append(
+                PoisonedExtent(offset, nbytes, "MisdirectedWrite", now)
+            )
+            self._poison.append(
+                PoisonedExtent(victim_off, vlen, "MisdirectedWrite", now)
+            )
+        else:  # pragma: no cover - corrupt() validates kinds
+            raise ValueError(f"unknown armed corruption kind {kind!r}")
+        self.stats.corruptions += 1
+
+    def _clear_poison(self, offset: int, nbytes: int) -> None:
+        """A clean overwrite of ``[offset, offset+nbytes)`` cures the poison
+        it covers; partially covered records are trimmed/split."""
+        end = offset + nbytes
+        kept: List[PoisonedExtent] = []
+        for rec in self._poison:
+            if rec.end <= offset or rec.offset >= end:
+                kept.append(rec)
+                continue
+            if rec.offset < offset:
+                kept.append(replace(rec, length=offset - rec.offset))
+            if rec.end > end:
+                kept.append(replace(rec, offset=end, length=rec.end - end))
+        self._poison = kept
+
+    def poison_overlapping(self, offset: int, nbytes: int) -> List[PoisonedExtent]:
+        """Poisoned extents overlapping ``[offset, offset+nbytes)``."""
+        end = offset + nbytes
+        return [r for r in self._poison if r.offset < end and r.end > offset]
+
+    def poisoned_extents(self) -> Tuple[PoisonedExtent, ...]:
+        return tuple(self._poison)
 
     # -- introspection ----------------------------------------------------------
 

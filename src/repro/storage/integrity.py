@@ -1,0 +1,228 @@
+"""End-to-end data integrity: per-chunk checksums and poisoned extents.
+
+Production arrays pair parity with block checksums (T10-DIF / ZFS-style)
+because parity alone cannot *detect* silent corruption — bit rot, lost,
+torn and misdirected writes leave every drive answering happily with the
+wrong bytes.  This module provides the detection layer:
+
+* :func:`crc32c` — the Castagnoli CRC used by T10-DIF and iSCSI, as a
+  pure-Python slice-by-8 implementation (tables built with numpy).
+* :class:`PoisonedExtent` — a record of silently corrupted bytes kept by
+  :class:`~repro.storage.drive.NvmeDrive`.  In timing-only mode it *is*
+  the detection mechanism (there are no bytes to checksum); in functional
+  mode it additionally attributes a mismatch to the fault that caused it
+  and carries the injection time for detection-latency accounting.
+* :class:`IntegrityStore` — the array-wide per-chunk checksum store.
+  Attaching one to a cluster *arms* the integrity layer: every controller
+  verifies chunks on read and repairs mismatches from parity.  Unarmed
+  clusters take none of these paths, so committed goldens are unchanged.
+* :class:`ChecksumError` — raised when a chunk's content does not match
+  its expectation (or overlaps a poisoned extent).
+
+The store is *lazy* by default: a write marks the touched chunks as
+"trusted" (no CRC is computed), and a CRC expectation is only pinned —
+from the intended bytes — at the moment a corruption primitive mutates
+them behind the array's back.  This keeps the hot write path free of
+per-chunk CRC cost while remaining byte-accurate: the only chunks that
+ever need CRC verification are exactly the ones a fault touched.
+``eager=True`` computes and verifies true CRCs on every write/read and is
+used by the unit tests to validate the checksum math end to end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+import numpy as np
+
+#: Reflected Castagnoli polynomial (CRC-32C, as used by T10-DIF / iSCSI).
+_CRC32C_POLY = 0x82F63B78
+
+
+def _build_crc32c_tables() -> List[List[int]]:
+    t0 = np.zeros(256, dtype=np.uint32)
+    for i in range(256):
+        crc = i
+        for _ in range(8):
+            crc = (crc >> 1) ^ (_CRC32C_POLY if crc & 1 else 0)
+        t0[i] = crc
+    tables = [t0]
+    for _ in range(7):
+        prev = tables[-1]
+        tables.append((prev >> 8) ^ t0[prev & 0xFF])
+    # plain Python lists index faster than numpy scalars in the hot loop
+    return [t.tolist() for t in tables]
+
+
+_T = _build_crc32c_tables()
+
+
+def crc32c(data, crc: int = 0) -> int:
+    """CRC-32C (Castagnoli) of ``data`` (bytes or uint8 ndarray)."""
+    if isinstance(data, np.ndarray):
+        buf = data.tobytes()
+    elif isinstance(data, (bytes, bytearray, memoryview)):
+        buf = bytes(data)
+    else:
+        buf = bytes(data)
+    t0, t1, t2, t3, t4, t5, t6, t7 = _T
+    crc ^= 0xFFFFFFFF
+    n8 = len(buf) & ~7
+    idx = 0
+    while idx < n8:
+        q = int.from_bytes(buf[idx : idx + 8], "little") ^ crc
+        crc = (
+            t7[q & 0xFF]
+            ^ t6[(q >> 8) & 0xFF]
+            ^ t5[(q >> 16) & 0xFF]
+            ^ t4[(q >> 24) & 0xFF]
+            ^ t3[(q >> 32) & 0xFF]
+            ^ t2[(q >> 40) & 0xFF]
+            ^ t1[(q >> 48) & 0xFF]
+            ^ t0[(q >> 56) & 0xFF]
+        )
+        idx += 8
+    for byte in buf[idx:]:
+        crc = (crc >> 8) ^ t0[(crc ^ byte) & 0xFF]
+    return crc ^ 0xFFFFFFFF
+
+
+class ChecksumError(RuntimeError):
+    """A chunk's bytes do not match their checksum expectation."""
+
+
+@dataclass(frozen=True)
+class PoisonedExtent:
+    """A byte range silently corrupted on a drive.
+
+    ``kind`` names the fault class (matches the fault-event class name:
+    ``BitRot``, ``LostWrite``, ``TornWrite``, ``MisdirectedWrite``) and
+    ``at_ns`` is the sim time the corruption landed — the anchor for
+    detection-latency accounting.
+    """
+
+    offset: int
+    length: int
+    kind: str
+    at_ns: int
+
+    @property
+    def end(self) -> int:
+        return self.offset + self.length
+
+
+class IntegrityStore:
+    """Array-wide per-chunk (T10-DIF-style) checksum expectations.
+
+    One store serves every drive of a cluster; chunk expectations are
+    keyed by ``(drive_index, chunk_index)`` where the chunk index equals
+    the stripe number (every member stores one chunk per stripe at
+    ``stripe * chunk_bytes``).
+    """
+
+    def __init__(self, chunk_bytes: int, eager: bool = False) -> None:
+        if chunk_bytes <= 0:
+            raise ValueError(f"chunk_bytes must be positive, got {chunk_bytes}")
+        self.chunk_bytes = chunk_bytes
+        #: eager mode computes a true CRC on every write (unit tests);
+        #: lazy mode trusts writes and pins CRCs only at corruption time.
+        self.eager = eager
+        self.cluster = None
+        #: finalized CRC expectations (the only chunks that cost a CRC)
+        self._crc: Dict[Tuple[int, int], int] = {}
+        #: chunks written since their last finalization: content trusted
+        self._dirty: Set[Tuple[int, int]] = set()
+        #: chunks currently known-bad (dedupes detection accounting)
+        self.known_bad: Set[Tuple[int, int]] = set()
+
+    # -- wiring ------------------------------------------------------------
+
+    def attach(self, cluster) -> "IntegrityStore":
+        """Arm ``cluster``: controllers on it verify reads and repair."""
+        cluster.integrity = self
+        for index, server in enumerate(cluster.servers):
+            server.drive.attach_integrity(self, index)
+        self.cluster = cluster
+        return self
+
+    # -- chunk bookkeeping -------------------------------------------------
+
+    def _chunks(self, offset: int, nbytes: int) -> range:
+        first = offset // self.chunk_bytes
+        last = (offset + max(1, nbytes) - 1) // self.chunk_bytes
+        return range(first, last + 1)
+
+    def _chunk_bytes_of(self, drive, chunk: int) -> np.ndarray:
+        lo = chunk * self.chunk_bytes
+        hi = min(lo + self.chunk_bytes, len(drive._data))
+        return drive._data[lo:hi]
+
+    def record_write(self, drive, offset: int, nbytes: int) -> None:
+        """A write landed: the chunk content is (again) what the array
+        intended, superseding any previous expectation."""
+        for chunk in self._chunks(offset, nbytes):
+            key = (drive._integrity_index, chunk)
+            self.known_bad.discard(key)
+            if self.eager and drive._data is not None:
+                self._crc[key] = crc32c(self._chunk_bytes_of(drive, chunk))
+                self._dirty.discard(key)
+            else:
+                self._crc.pop(key, None)
+                self._dirty.add(key)
+
+    def finalize(self, drive, offset: int, nbytes: int) -> None:
+        """Pin CRC expectations for chunks about to be silently mutated.
+
+        Called by the drive's corruption primitives *before* the mutation,
+        so the expectation captures the intended bytes.  No-op for chunks
+        that already carry a finalized expectation, and in timing-only
+        mode (where poisoned extents carry the detection signal).
+        """
+        if drive._data is None:
+            return
+        for chunk in self._chunks(offset, nbytes):
+            key = (drive._integrity_index, chunk)
+            if key in self._crc and key not in self._dirty:
+                continue
+            self._crc[key] = crc32c(self._chunk_bytes_of(drive, chunk))
+            self._dirty.discard(key)
+
+    # -- verification ------------------------------------------------------
+
+    def chunk_ok(self, drive, chunk: int, data=None) -> bool:
+        """Whether ``chunk`` of ``drive`` matches its expectation.
+
+        ``data`` optionally supplies already-read chunk bytes (the scrub
+        daemon passes its own read-back) instead of peeking the drive.
+        """
+        lo = chunk * self.chunk_bytes
+        if drive.poison_overlapping(lo, self.chunk_bytes):
+            return False
+        expected = self._crc.get((drive._integrity_index, chunk))
+        if expected is None or drive._data is None:
+            return True
+        block = data if data is not None else self._chunk_bytes_of(drive, chunk)
+        return crc32c(block) == expected
+
+    def require_chunk(self, drive, chunk: int, data=None) -> None:
+        """Raise :class:`ChecksumError` unless ``chunk`` verifies clean."""
+        if not self.chunk_ok(drive, chunk, data=data):
+            raise ChecksumError(
+                f"{drive.name}: chunk {chunk} failed checksum verification "
+                f"(kinds={','.join(self.bad_kinds(drive, chunk))})"
+            )
+
+    def bad_kinds(self, drive, chunk: int) -> List[str]:
+        """Fault kinds attributed to a bad chunk (sorted, deterministic)."""
+        lo = chunk * self.chunk_bytes
+        kinds = {rec.kind for rec in drive.poison_overlapping(lo, self.chunk_bytes)}
+        return sorted(kinds) if kinds else ["Unknown"]
+
+    def first_poison_ns(self, drive, chunk: int) -> Optional[int]:
+        """Earliest injection time of poison overlapping ``chunk``."""
+        lo = chunk * self.chunk_bytes
+        records = drive.poison_overlapping(lo, self.chunk_bytes)
+        if not records:
+            return None
+        return min(rec.at_ns for rec in records)

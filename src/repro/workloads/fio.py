@@ -19,6 +19,7 @@ from typing import Optional
 from repro.metrics.latency import LatencyRecorder, LatencySummary
 from repro.nvmeof.messages import IoError
 from repro.sim.core import Environment
+from repro.storage.integrity import ChecksumError
 
 MB = 1_000_000
 
@@ -85,9 +86,10 @@ class FioWorkload:
                     yield self.array.read(offset, self.io_size)
                 else:
                     yield self.array.write(offset, self.io_size)
-            except IoError:
-                # terminal failure after the §5.4 retry budget: the real
-                # FIO would log an error and carry on
+            except (IoError, ChecksumError):
+                # terminal failure after the §5.4 retry budget (or an
+                # unrecoverable checksum mismatch on an armed array): the
+                # real FIO would log an error and carry on
                 self.io_errors += 1
                 continue
             if self._measuring:

@@ -60,8 +60,8 @@ class ArrayHarness:
         )
 
     def scrub(self):
-        bad = scrub_array(self.cluster.drives(), self.geometry, self.stripes)
-        assert bad == [], f"parity inconsistent on stripes {bad}"
+        report = scrub_array(self.cluster.drives(), self.geometry, self.stripes)
+        assert report.clean, f"parity inconsistent on stripes {report.bad_stripes}"
 
     def random_workload(self, seed=0, ops=40, max_io=None, read_fraction=0.4):
         """Random mixed read/write workload checked against the model."""

@@ -90,7 +90,7 @@ class TestResync:
         h.write(0, rng.integers(0, 256, 4 * h.geometry.stripe_data_bytes, dtype=np.uint8))
         self._torn_stripe(h, 1, rng)
         from repro.raid.scrub import scrub_array as scrub
-        assert scrub(h.cluster.drives(), h.geometry, 4) == [1]  # parity stale
+        assert scrub(h.cluster.drives(), h.geometry, 4).bad_stripes == [1]  # parity stale
         count = h.env.run(until=resync_stripes(h.array, [1]))
         assert count == 1
         h.scrub()  # parity consistent again

@@ -53,20 +53,79 @@ class TestDeterminismGuard:
         ]
 
 
-def test_smoke_grid_matches_committed_golden():
-    """The CI golden must track the datapath: regenerate it with
-    ``python scripts/chaos_smoke.py --write-golden`` on deliberate change."""
+def _load_smoke_module(script_name):
     import importlib.util
     from pathlib import Path
 
     root = Path(__file__).resolve().parent.parent
     spec = importlib.util.spec_from_file_location(
-        "chaos_smoke", root / "scripts" / "chaos_smoke.py"
+        script_name, root / "scripts" / f"{script_name}.py"
     )
     module = importlib.util.module_from_spec(spec)
     spec.loader.exec_module(module)
-    golden = (root / "tests" / "golden" / "chaos_smoke.golden").read_text()
-    assert module.smoke_report() == golden
+    return module, root / "tests" / "golden" / f"{script_name}.golden"
+
+
+def test_smoke_grid_matches_committed_golden():
+    """The CI golden must track the datapath: regenerate it with
+    ``python scripts/chaos_smoke.py --write-golden`` on deliberate change."""
+    module, golden = _load_smoke_module("chaos_smoke")
+    assert module.smoke_report() == golden.read_text()
+
+
+class TestCorruptionStorms:
+    """Chaos schedules with silent-corruption events mixed in: the full
+    recovery playbook must end with zero residual corruption, a clean
+    scrub and byte-exact shadow data."""
+
+    @pytest.mark.parametrize("system", CHAOS_SYSTEMS)
+    def test_corruption_storm_recovers(self, system):
+        outcome = run_chaos_schedule(system, 7, corruption_events=4)
+        assert outcome.corruption_events > 0
+        # armed events only fire if a write hits the drive and detection
+        # episodes dedupe per chunk, so detected can trail the injected
+        # count — but a storm of 4 must surface at least one episode
+        # episodes dedupe per chunk and a detection can end in adoption
+        # rather than repair (beyond-parity loss on a torn stripe)
+        assert outcome.detected > 0, outcome.integrity_row()
+        assert outcome.repaired > 0, outcome.integrity_row()
+        assert outcome.unrecoverable == 0, outcome.integrity_row()
+        assert outcome.ok, outcome.integrity_row()
+
+    def test_scrub_daemon_during_storm(self):
+        outcome = run_chaos_schedule(
+            "spdk", 8, corruption_events=3, scrub_pace_ns=500_000
+        )
+        assert outcome.ok, outcome.integrity_row()
+        assert outcome.unrecoverable == 0
+
+    def test_corruption_storm_replay_identical(self):
+        a = run_chaos_schedule("md", 9, corruption_events=4)
+        b = run_chaos_schedule("md", 9, corruption_events=4)
+        assert a == b
+
+    def test_serial_matches_parallel(self):
+        points = [
+            SweepPoint(
+                run_chaos_schedule,
+                dict(system=system, seed=6, corruption_events=4),
+            )
+            for system in CHAOS_SYSTEMS
+        ]
+        serial = run_points(points, jobs=1)
+        parallel = run_points(points, jobs=2)
+        assert serial == parallel
+        assert [o.integrity_row() for o in serial] == [
+            o.integrity_row() for o in parallel
+        ]
+
+
+def test_integrity_smoke_matches_committed_golden():
+    """Armed-path golden: regenerate with
+    ``python scripts/integrity_smoke.py --write-golden`` on deliberate
+    change."""
+    module, golden = _load_smoke_module("integrity_smoke")
+    assert module.smoke_report() == golden.read_text()
 
 
 class TestFailSlowRecovery:

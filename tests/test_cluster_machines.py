@@ -112,7 +112,8 @@ class TestScrub:
 
     def test_clean_array_scrubs_clean(self):
         env, cluster, geometry = self.make_consistent_array()
-        assert scrub_array(cluster.drives(), geometry, 4) == []
+        report = scrub_array(cluster.drives(), geometry, 4)
+        assert report.clean and report.stripes_checked == 4
 
     def test_corruption_detected_per_stripe(self):
         env, cluster, geometry = self.make_consistent_array()
@@ -120,7 +121,7 @@ class TestScrub:
         drive = cluster.drives()[0]
         offset = 2 * geometry.chunk_bytes
         drive._data[offset] ^= 0xFF
-        assert scrub_array(cluster.drives(), geometry, 4) == [2]
+        assert scrub_array(cluster.drives(), geometry, 4).bad_stripes == [2]
         assert not scrub_stripe(cluster.drives(), geometry, 2)
         assert scrub_stripe(cluster.drives(), geometry, 1)
 
@@ -134,11 +135,11 @@ class TestScrub:
         rng = np.random.default_rng(1)
         blob = rng.integers(0, 256, 2 * geometry.stripe_data_bytes, dtype=np.uint8)
         env.run(until=array.write(0, len(blob), blob))
-        assert scrub_array(cluster.drives(), geometry, 2) == []
+        assert scrub_array(cluster.drives(), geometry, 2).clean
         # corrupt Q of stripe 0
         q_drive = geometry.parity_drives(0)[1]
         cluster.drives()[q_drive]._data[0] ^= 1
-        assert scrub_array(cluster.drives(), geometry, 2) == [0]
+        assert scrub_array(cluster.drives(), geometry, 2).bad_stripes == [0]
 
 
 class TestMultiNic:

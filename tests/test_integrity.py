@@ -1,0 +1,378 @@
+"""End-to-end data integrity: checksums, corruption primitives, read-repair
+and the online scrub daemon.
+
+Covers the full chain the integrity subsystem promises:
+
+* CRC-32C against the published check value;
+* :class:`IntegrityStore` bookkeeping in eager and lazy modes;
+* the four :meth:`NvmeDrive.corrupt` fault classes, poison-extent
+  hygiene, and the ``heal()`` / ``repair()`` distinction;
+* foreground read-repair and pre-write stripe verification on all three
+  controllers;
+* :class:`ScrubDaemon` passes, pacing and reports;
+* regression scenarios: corrupt -> fail -> heal -> scrub clean, and a
+  torn stripe that is both bitmap-dirty and checksum-bad being repaired
+  exactly once.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines.mdraid import MdRaid
+from repro.baselines.spdkraid import SpdkRaid
+from repro.draid import DraidArray
+from repro.raid.resync import resync_after_crash
+from repro.raid.scrub import ScrubReport, scrub_array
+from repro.raid.scrubber import ScrubDaemon
+from repro.sim import Environment
+from repro.storage.drive import NvmeDrive
+from repro.storage.integrity import ChecksumError, IntegrityStore, crc32c
+from repro.storage.profiles import DELL_AGN_MU
+
+from tests.raid_harness import ArrayHarness, TEST_CHUNK
+
+CONTROLLERS = [MdRaid, SpdkRaid, DraidArray]
+CONTROLLER_IDS = ["md", "spdk", "draid"]
+
+
+def armed_harness(controller_cls, eager=False, **kwargs):
+    """An ArrayHarness with the cluster's IntegrityStore armed."""
+    h = ArrayHarness(controller_cls, **kwargs)
+    store = IntegrityStore(h.geometry.chunk_bytes, eager=eager)
+    store.attach(h.cluster)
+    return h, store
+
+
+class TestCrc32c:
+    def test_published_check_value(self):
+        # the CRC-32C check value from RFC 3720 / the Castagnoli papers
+        assert crc32c(b"123456789") == 0xE3069283
+
+    def test_empty_is_zero(self):
+        assert crc32c(b"") == 0
+
+    def test_ndarray_matches_bytes(self):
+        blob = bytes(range(256)) * 5
+        arr = np.frombuffer(blob, dtype=np.uint8)
+        assert crc32c(arr) == crc32c(blob)
+
+    def test_incremental_chaining(self):
+        assert crc32c(b"6789", crc32c(b"12345")) == crc32c(b"123456789")
+
+
+class TestIntegrityStore:
+    def test_eager_store_detects_byte_flip(self):
+        h, store = armed_harness(SpdkRaid, eager=True)
+        h.write(0, np.arange(h.geometry.stripe_data_bytes) % 256)
+        drive = h.cluster.drives()[0]
+        assert store.chunk_ok(drive, 0)
+        drive._data[10] ^= 0x5A
+        assert not store.chunk_ok(drive, 0)
+
+    def test_lazy_store_trusts_until_finalized(self):
+        h, store = armed_harness(SpdkRaid, eager=False)
+        h.write(0, np.arange(h.geometry.stripe_data_bytes) % 256)
+        drive = h.cluster.drives()[0]
+        # lazy mode: a written chunk is trusted until something pins a CRC
+        drive._data[10] ^= 0x5A
+        assert store.chunk_ok(drive, 0)
+        drive._data[10] ^= 0x5A  # restore
+        # corruption primitives finalize first, so the rot is caught
+        drive.corrupt("bitrot", offset=0, length=512, seed=7)
+        assert not store.chunk_ok(drive, 0)
+
+    def test_overwrite_restores_trust(self):
+        h, store = armed_harness(SpdkRaid)
+        h.write(0, np.arange(h.geometry.stripe_data_bytes) % 256)
+        drive = h.cluster.drives()[0]
+        drive.corrupt("bitrot", offset=0, length=512, seed=7)
+        assert not store.chunk_ok(drive, 0)
+        # a clean full-chunk overwrite cures the poison and re-trusts
+        fresh = np.full(h.geometry.chunk_bytes, 0xAB, dtype=np.uint8)
+        h.env.run(until=drive.write(0, len(fresh), fresh))
+        assert store.chunk_ok(drive, 0)
+        assert not drive.poison_overlapping(0, h.geometry.chunk_bytes)
+
+
+class TestCorruptionPrimitives:
+    CHUNK = 4096
+
+    def drive(self):
+        env = Environment()
+        d = NvmeDrive(env, DELL_AGN_MU, name="t.nvme", functional_capacity=8 * self.CHUNK)
+        return env, d
+
+    def fill(self, env, drive, offset, value, length):
+        data = np.full(length, value, dtype=np.uint8)
+        env.run(until=drive.write(offset, length, data))
+
+    def test_bitrot_flips_bytes_and_poisons(self):
+        env, d = self.drive()
+        self.fill(env, d, 0, 0x11, self.CHUNK)
+        d.corrupt("bitrot", offset=0, length=256, seed=3)
+        assert not np.array_equal(d.peek(0, 256), np.full(256, 0x11, np.uint8))
+        # the seeded mask is nonzero everywhere: every covered byte flips
+        assert not (d.peek(0, 256) == 0x11).any()
+        assert np.array_equal(d.peek(256, 256), np.full(256, 0x11, np.uint8))
+        (ext,) = d.poisoned_extents()
+        assert (ext.offset, ext.length, ext.kind) == (0, 256, "BitRot")
+        assert d.stats.corruptions == 1
+
+    def test_lost_write_keeps_old_content(self):
+        env, d = self.drive()
+        self.fill(env, d, 0, 0x11, self.CHUNK)
+        d.corrupt("lost")
+        self.fill(env, d, 0, 0x22, self.CHUNK)
+        assert (d.peek(0, self.CHUNK) == 0x11).all()
+        kinds = {e.kind for e in d.poisoned_extents()}
+        assert kinds == {"LostWrite"}
+
+    def test_torn_write_lands_first_half(self):
+        env, d = self.drive()
+        self.fill(env, d, 0, 0x11, self.CHUNK)
+        d.corrupt("torn")
+        self.fill(env, d, 0, 0x22, self.CHUNK)
+        half = self.CHUNK // 2
+        assert (d.peek(0, half) == 0x22).all()
+        assert (d.peek(half, half) == 0x11).all()
+        (ext,) = d.poisoned_extents()
+        assert (ext.offset, ext.length, ext.kind) == (half, half, "TornWrite")
+
+    def test_misdirected_write_clobbers_victim(self):
+        env, d = self.drive()
+        self.fill(env, d, 0, 0x11, self.CHUNK)
+        self.fill(env, d, self.CHUNK, 0x33, self.CHUNK)
+        d.corrupt("misdirected", shift_bytes=self.CHUNK)
+        self.fill(env, d, 0, 0x22, self.CHUNK)
+        # target kept its old bytes; the victim got the payload
+        assert (d.peek(0, self.CHUNK) == 0x11).all()
+        assert (d.peek(self.CHUNK, self.CHUNK) == 0x22).all()
+        kinds = {e.kind for e in d.poisoned_extents()}
+        assert kinds == {"MisdirectedWrite"}
+        assert len(d.poisoned_extents()) == 2
+
+    def test_armed_corruptions_fire_fifo(self):
+        env, d = self.drive()
+        self.fill(env, d, 0, 0x11, self.CHUNK)
+        d.corrupt("lost")
+        d.corrupt("torn")
+        self.fill(env, d, 0, 0x22, self.CHUNK)  # eaten by the lost write
+        assert (d.peek(0, self.CHUNK) == 0x11).all()
+        self.fill(env, d, 0, 0x33, self.CHUNK)  # torn: first half lands
+        assert (d.peek(0, self.CHUNK // 2) == 0x33).all()
+
+    def test_clean_overwrite_splits_poison(self):
+        env, d = self.drive()
+        self.fill(env, d, 0, 0x11, self.CHUNK)
+        d.corrupt("bitrot", offset=0, length=self.CHUNK, seed=5)
+        # overwrite the middle quarter: the poison record must split
+        lo, ln = self.CHUNK // 4, self.CHUNK // 4
+        self.fill(env, d, lo, 0x44, ln)
+        extents = sorted((e.offset, e.length) for e in d.poisoned_extents())
+        assert extents == [(0, lo), (lo + ln, self.CHUNK - lo - ln)]
+        assert not d.poison_overlapping(lo, ln)
+
+    def test_unknown_kind_rejected(self):
+        env, d = self.drive()
+        with pytest.raises(ValueError):
+            d.corrupt("gamma-ray")
+        with pytest.raises(ValueError):
+            d.corrupt("misdirected")  # needs shift_bytes > 0
+
+    def test_heal_clears_corruption_residue_repair_does_not(self):
+        env, d = self.drive()
+        self.fill(env, d, 0, 0x11, self.CHUNK)
+        d.corrupt("bitrot", offset=0, length=128, seed=9)
+        d.corrupt("lost")
+        d.fail()
+        d.repair()
+        # repair(): replacement-path reset of the failure bit only — the
+        # media damage and the armed fault are still there
+        assert len(d.poisoned_extents()) == 1
+        d.heal()
+        # heal(): the in-place recovery also forgets corruption residue
+        assert d.poisoned_extents() == ()
+        self.fill(env, d, 0, 0x55, self.CHUNK)  # no armed fault left
+        assert (d.peek(0, self.CHUNK) == 0x55).all()
+
+
+@pytest.mark.parametrize("controller_cls", CONTROLLERS, ids=CONTROLLER_IDS)
+class TestReadRepair:
+    def test_read_repairs_data_chunk(self, controller_cls):
+        h, store = armed_harness(controller_cls)
+        rng = np.random.default_rng(11)
+        h.write(0, rng.integers(0, 256, 4 * h.geometry.stripe_data_bytes, dtype=np.uint8))
+        victim = h.geometry.data_drive(0, 0)
+        drive = h.cluster.drives()[victim]
+        drive.corrupt("bitrot", offset=0, length=512, seed=21)
+        assert not store.chunk_ok(drive, 0)
+        h.check_read(0, h.geometry.stripe_data_bytes)  # byte-exact again
+        stats = h.array.integrity_stats
+        assert stats.read_repairs >= 1
+        assert stats.detected.get("BitRot", 0) >= 1
+        assert stats.total_repaired >= 1
+        assert store.chunk_ok(drive, 0)
+        h.scrub()
+
+    def test_prewrite_verify_repairs_parity_chunk(self, controller_cls):
+        h, store = armed_harness(controller_cls)
+        rng = np.random.default_rng(12)
+        h.write(0, rng.integers(0, 256, 4 * h.geometry.stripe_data_bytes, dtype=np.uint8))
+        parity = h.geometry.parity_drives(0)[0]
+        drive = h.cluster.drives()[parity]
+        drive.corrupt("bitrot", offset=0, length=512, seed=22)
+        # reads never touch parity: the rot is invisible to the read path
+        h.check_read(0, h.geometry.stripe_data_bytes)
+        assert not store.chunk_ok(drive, 0)
+        # ... but a write to the stripe must not launder it into new parity
+        h.write(0, rng.integers(0, 256, 2048, dtype=np.uint8))
+        stats = h.array.integrity_stats
+        assert stats.write_repairs >= 1
+        assert store.chunk_ok(drive, 0)
+        h.scrub()
+        h.check_read(0, h.geometry.stripe_data_bytes)
+
+    def test_detection_latency_recorded(self, controller_cls):
+        h, store = armed_harness(controller_cls)
+        h.write(0, np.arange(h.geometry.stripe_data_bytes) % 256)
+        h.env.run(until=h.env.now + 1_000_000)
+        victim = h.geometry.data_drive(0, 0)
+        h.cluster.drives()[victim].corrupt("bitrot", offset=0, length=64, seed=1)
+        h.env.run(until=h.env.now + 2_000_000)
+        h.check_read(0, h.geometry.stripe_data_bytes)
+        latencies = h.array.integrity_stats.detection_latencies_ns
+        assert latencies and all(lat >= 2_000_000 for lat in latencies)
+
+    def test_corruption_beyond_parity_raises(self, controller_cls):
+        h, store = armed_harness(controller_cls)
+        rng = np.random.default_rng(13)
+        h.write(0, rng.integers(0, 256, h.geometry.stripe_data_bytes, dtype=np.uint8))
+        for victim in (h.geometry.data_drive(0, 0), h.geometry.data_drive(0, 1)):
+            h.cluster.drives()[victim].corrupt("bitrot", offset=0, length=64, seed=int(victim))
+        with pytest.raises(ChecksumError):
+            h.read(0, h.geometry.stripe_data_bytes)
+        assert h.array.integrity_stats.unrecoverable >= 2
+
+
+class TestScrubArray:
+    def test_report_batches_and_progress(self):
+        h = ArrayHarness(SpdkRaid)
+        rng = np.random.default_rng(14)
+        h.write(0, rng.integers(0, 256, h.capacity, dtype=np.uint8))
+        seen = []
+        report = scrub_array(
+            h.cluster.drives(),
+            h.geometry,
+            h.stripes,
+            batch_stripes=7,
+            progress=lambda done, total: seen.append((done, total)),
+        )
+        assert isinstance(report, ScrubReport)
+        assert report.clean and report.stripes_checked == h.stripes
+        assert seen[-1] == (h.stripes, h.stripes)
+        assert [d for d, _ in seen] == sorted(d for d, _ in seen)
+
+    def test_bad_stripe_reported_once(self):
+        h = ArrayHarness(SpdkRaid)
+        rng = np.random.default_rng(15)
+        h.write(0, rng.integers(0, 256, h.capacity, dtype=np.uint8))
+        h.cluster.drives()[2]._data[5 * TEST_CHUNK] ^= 1
+        report = scrub_array(h.cluster.drives(), h.geometry, h.stripes, batch_stripes=4)
+        assert report.bad_stripes == [5]
+        assert not report.clean
+
+    def test_rejects_bad_arguments(self):
+        h = ArrayHarness(SpdkRaid)
+        with pytest.raises(ValueError):
+            scrub_array(h.cluster.drives(), h.geometry, h.stripes, batch_stripes=0)
+
+
+@pytest.mark.parametrize("controller_cls", CONTROLLERS, ids=CONTROLLER_IDS)
+class TestScrubDaemon:
+    def test_pass_repairs_parity_rot(self, controller_cls):
+        h, store = armed_harness(controller_cls)
+        rng = np.random.default_rng(16)
+        h.write(0, rng.integers(0, 256, h.capacity, dtype=np.uint8))
+        parity = h.geometry.parity_drives(3)[0]
+        h.cluster.drives()[parity].corrupt(
+            "bitrot", offset=3 * TEST_CHUNK, length=256, seed=33
+        )
+        daemon = ScrubDaemon(h.array, h.stripes)
+        h.env.run(until=daemon.process)
+        (report,) = daemon.reports
+        assert report.stripes_scanned == h.stripes
+        assert report.bad_chunks == 1 and report.repaired_chunks == 1
+        assert report.unrecoverable_chunks == 0
+        assert h.array.integrity_stats.scrub_repairs == 1
+        h.scrub()
+        h.check_read(0, h.capacity)
+
+    def test_pacing_slows_the_walk(self, controller_cls):
+        h, store = armed_harness(controller_cls)
+        h.write(0, np.zeros(h.capacity, dtype=np.uint8))
+        fast = ScrubDaemon(h.array, h.stripes, pace_ns=0)
+        h.env.run(until=fast.process)
+        fast_ns = fast.reports[0].duration_ns
+        paced = ScrubDaemon(h.array, h.stripes, pace_ns=1_000_000)
+        h.env.run(until=paced.process)
+        assert paced.reports[0].duration_ns >= fast_ns + h.stripes * 1_000_000
+
+    def test_requires_armed_store(self, controller_cls):
+        h = ArrayHarness(controller_cls)
+        with pytest.raises(ValueError):
+            ScrubDaemon(h.array, h.stripes)
+
+
+class TestHealRegression:
+    """Satellite: corrupt -> fail -> heal leaves no stale corruption state."""
+
+    @pytest.mark.parametrize("controller_cls", CONTROLLERS, ids=CONTROLLER_IDS)
+    def test_corrupt_fail_heal_scrubs_clean(self, controller_cls):
+        h, store = armed_harness(controller_cls)
+        rng = np.random.default_rng(17)
+        h.write(0, rng.integers(0, 256, h.capacity, dtype=np.uint8))
+        victim = h.geometry.data_drive(0, 0)
+        drive = h.cluster.drives()[victim]
+        drive.corrupt("bitrot", offset=0, length=512, seed=44)
+        drive.corrupt("lost")  # armed but never fired before the failure
+        h.array.fail_drive(victim)
+        drive.fail()
+        # heal-in-place: poison and armed residue must not survive, but the
+        # CRC expectation does — the rotten bytes are still found and fixed
+        drive.heal()
+        h.array.repair_drive(victim)
+        assert drive.poisoned_extents() == ()
+        daemon = ScrubDaemon(h.array, h.stripes)
+        h.env.run(until=daemon.process)
+        assert daemon.reports[0].unrecoverable_chunks == 0
+        h.scrub()
+        h.check_read(0, h.capacity)
+
+
+class TestExactlyOnceRepair:
+    """Satellite: a torn stripe that is both bitmap-dirty and checksum-bad
+    is repaired exactly once by crash resync, not double-written."""
+
+    @pytest.mark.parametrize("controller_cls", [SpdkRaid, DraidArray], ids=["spdk", "draid"])
+    def test_resync_and_checksum_repair_compose(self, controller_cls):
+        h, store = armed_harness(controller_cls)
+        rng = np.random.default_rng(18)
+        h.write(0, rng.integers(0, 256, 4 * h.geometry.stripe_data_bytes, dtype=np.uint8))
+        victim = h.geometry.data_drive(1, 0)
+        h.cluster.drives()[victim].corrupt("torn")
+        payload = rng.integers(0, 256, h.geometry.stripe_data_bytes, dtype=np.uint8)
+        h.write(h.geometry.stripe_data_bytes, payload)  # torn fault fires here
+        # crash model: the write's intent bit never got cleared
+        h.array.bitmap.mark(1)
+        count = h.env.run(until=resync_after_crash(h.array, h.array.bitmap))
+        assert count == 1
+        stats = h.array.integrity_stats
+        assert stats.total_repaired == 1, "torn chunk must be repaired exactly once"
+        assert stats.detected == {"TornWrite": 1}
+        h.scrub()
+        h.check_read(0, 4 * h.geometry.stripe_data_bytes)
+        # a follow-up scrub pass finds nothing left to do
+        daemon = ScrubDaemon(h.array, 4)
+        h.env.run(until=daemon.process)
+        assert daemon.reports[0].clean
+        assert stats.total_repaired == 1
