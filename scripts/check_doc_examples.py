@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""Execute every ``python`` code fence in the documentation (CI ``docs`` job).
+
+Markdown examples rot silently: an API rename leaves the README showing
+calls that no longer exist.  This script extracts each fenced
+```` ```python ```` block from the documentation files below and executes
+the blocks of one file cumulatively (later fences may use names bound by
+earlier ones, exactly as a reader would type them into one session).
+
+A fence whose first line is ``# doc-example: compile-only`` is only
+compiled, not run — for snippets that illustrate an API shape without a
+complete setup.  Bash fences and plain fences are ignored.
+
+Exit status 0 when every example runs; 1 with the failing file/fence
+otherwise.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+import time
+import traceback
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+#: Documentation files whose python fences must execute (missing files are
+#: skipped so this script works on partial checkouts).
+DOC_FILES = (
+    "README.md",
+    "DESIGN.md",
+    "EXPERIMENTS.md",
+    "docs/ARCHITECTURE.md",
+    "docs/OBSERVABILITY.md",
+)
+
+FENCE = re.compile(r"```python\n(.*?)```", re.DOTALL)
+COMPILE_ONLY = "# doc-example: compile-only"
+
+
+def check_file(path: Path) -> int:
+    """Run every python fence of one file; returns the number of failures."""
+    fences = FENCE.findall(path.read_text())
+    if not fences:
+        return 0
+    namespace: dict = {"__name__": "__doc_example__"}
+    failures = 0
+    for i, source in enumerate(fences, 1):
+        label = f"{path.relative_to(ROOT)} fence {i}/{len(fences)}"
+        try:
+            code = compile(source, f"<{label}>", "exec")
+            if not source.lstrip().startswith(COMPILE_ONLY):
+                started = time.time()
+                exec(code, namespace)  # noqa: S102 - the point of this lint
+                print(f"ok   {label} ({time.time() - started:.1f}s)")
+            else:
+                print(f"ok   {label} (compile-only)")
+        except Exception:
+            failures += 1
+            print(f"FAIL {label}", file=sys.stderr)
+            traceback.print_exc()
+    return failures
+
+
+def main() -> int:
+    failures = 0
+    for name in DOC_FILES:
+        path = ROOT / name
+        if path.exists():
+            failures += check_file(path)
+    if failures:
+        print(f"{failures} documentation example(s) failed", file=sys.stderr)
+        return 1
+    print("doc examples: all python fences execute")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,94 @@
+#!/usr/bin/env python
+"""Docstring lint for the public API surface (CI ``docs`` job).
+
+Walks every ``repro.*`` package, imports it, and requires a non-empty
+docstring on the package itself and on every symbol its ``__init__``
+exports (via ``__all__``, or every public attribute otherwise).  Plain
+data constants (ints, floats, strings, tuples, dicts) cannot carry
+docstrings in Python and are exempt; everything else — classes,
+functions, dataclasses — must say what it is, and quantities must name
+their units (ns, bytes, MB/s) in the text.
+
+Exit status 0 when clean; 1 with one line per violation otherwise.
+"""
+
+from __future__ import annotations
+
+import importlib
+import inspect
+import pkgutil
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+import repro  # noqa: E402
+
+#: Types that cannot carry a docstring of their own; their meaning must be
+#: documented by a ``#:`` comment at the definition site instead.
+_DATA_TYPES = (int, float, complex, str, bytes, tuple, list, dict, set, frozenset)
+
+
+def iter_packages():
+    """Yield ``repro`` and every importable ``repro.*`` (sub)package."""
+    yield repro
+    prefix = repro.__name__ + "."
+    for info in pkgutil.walk_packages(repro.__path__, prefix):
+        if info.ispkg:
+            yield importlib.import_module(info.name)
+
+
+def exported_names(package) -> list:
+    names = getattr(package, "__all__", None)
+    if names is not None:
+        return list(names)
+    return [
+        name
+        for name, value in vars(package).items()
+        if not name.startswith("_") and not inspect.ismodule(value)
+    ]
+
+
+def docstring_problem(name: str, obj) -> str:
+    """Return a complaint string for ``obj``'s docstring, or '' if fine."""
+    if inspect.isclass(obj):
+        # inspect.getdoc() walks the MRO, which lets an Enum subclass pass on
+        # enum.Enum's boilerplate; require a docstring on the class itself
+        own = vars(obj).get("__doc__") or ""
+        if not own.strip():
+            return "docstring missing (inherited docstrings do not count)"
+        # @dataclass without a docstring synthesizes "Name(field: type, ...)"
+        if own.startswith(obj.__name__ + "(") and own.endswith(")"):
+            return "auto-generated dataclass signature is not a docstring"
+        return ""
+    if not (inspect.getdoc(obj) or "").strip():
+        return "docstring missing"
+    return ""
+
+
+def main() -> int:
+    failures = []
+    for package in iter_packages():
+        if not (package.__doc__ or "").strip():
+            failures.append(f"{package.__name__}: package docstring missing")
+        for name in exported_names(package):
+            obj = getattr(package, name, None)
+            if obj is None and not hasattr(package, name):
+                failures.append(f"{package.__name__}.{name}: exported but undefined")
+                continue
+            if inspect.ismodule(obj) or isinstance(obj, _DATA_TYPES) or obj is None:
+                continue
+            problem = docstring_problem(name, obj)
+            if problem:
+                failures.append(f"{package.__name__}.{name}: {problem}")
+    if failures:
+        print(f"{len(failures)} undocumented exports:", file=sys.stderr)
+        for line in failures:
+            print(f"  {line}", file=sys.stderr)
+        return 1
+    print("docstring lint: all public exports documented")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -56,6 +56,20 @@ def smoke_report() -> str:
     return "\n".join(lines) + "\n"
 
 
+def export_trace(path: str) -> None:
+    """Run one observability-armed dRAID point and write its Chrome trace."""
+    from repro.experiments.common import traced_fio_point
+    from repro.obs import breakdown_table, chrome_trace_json, request_breakdowns
+
+    result, obs = traced_fio_point("dRAID", io_size=4096, fast=True)
+    breakdowns = request_breakdowns(obs.tracer)
+    print(f"dRAID 4096B: {result.bandwidth_mb_s:.1f} MB/s, "
+          f"{len(breakdowns)} traced requests", file=sys.stderr)
+    print(breakdown_table(breakdowns, limit=10), file=sys.stderr)
+    Path(path).write_text(chrome_trace_json(obs.tracer))
+    print(f"trace -> {path}", file=sys.stderr)
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -63,7 +77,15 @@ def main() -> int:
         action="store_true",
         help=f"regenerate {GOLDEN} instead of printing to stdout",
     )
+    parser.add_argument(
+        "--trace", metavar="PATH", default=None,
+        help="also run one traced dRAID 4 KiB point and write a "
+             "Perfetto-loadable Chrome trace JSON to PATH (breakdown table "
+             "goes to stderr so the smoke report stays golden-clean)",
+    )
     args = parser.parse_args()
+    if args.trace:
+        export_trace(args.trace)
     report = smoke_report()
     if args.write_golden:
         GOLDEN.parent.mkdir(parents=True, exist_ok=True)

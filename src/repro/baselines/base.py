@@ -119,6 +119,10 @@ class HostCentricRaid:
         self.failslow_detector = None
         self._retry_rng = random.Random(f"repro.backoff:{name}")
         self._force_resilient = False
+        #: Observability (repro.obs): the cluster tracer, or None when the
+        #: cluster was built without an observability config.  Every traced
+        #: branch below short-circuits on this being None.
+        self._tracer = None if cluster.obs is None else cluster.obs.tracer
         self._attach_transport()
 
     def _attach_transport(self) -> None:
@@ -126,14 +130,16 @@ class HostCentricRaid:
         self.targets: List[NvmeOfTarget] = []
         self.bdevs: List[RemoteBdev] = []
         for i, server in enumerate(self.cluster.servers):
-            self.targets.append(NvmeOfTarget(server, self.cluster.server_end(i)))
-            self.bdevs.append(
-                RemoteBdev(
-                    self.cluster.host,
-                    self.cluster.host_end(i),
-                    name=f"{self.name}.bdev{i}",
-                )
+            target = NvmeOfTarget(server, self.cluster.server_end(i))
+            target.tracer = self._tracer
+            self.targets.append(target)
+            bdev = RemoteBdev(
+                self.cluster.host,
+                self.cluster.host_end(i),
+                name=f"{self.name}.bdev{i}",
             )
+            bdev.tracer = self._tracer
+            self.bdevs.append(bdev)
 
     # -- failure management ---------------------------------------------------
 
@@ -193,6 +199,45 @@ class HostCentricRaid:
     def failed_in_stripe(self, stripe: int) -> set:
         """The member drives to treat as failed for ``stripe``."""
         return {d for d in self.failed if self.drive_failed(d, stripe)}
+
+    # -- observability helpers (repro.obs) --------------------------------------
+
+    def _span_wait(self, event, ctx, name, cat="compute", track="host.cpu"):
+        """Yield ``event``; when tracing is armed, record a span (ns) over
+        the wait.  The simulated event sequence is identical either way."""
+        tracer = self._tracer
+        if tracer is None or ctx is None:
+            result = yield event
+            return result
+        t0 = self.env.now
+        result = yield event
+        tracer.record(ctx, name, cat, track, t0, self.env.now)
+        return result
+
+    def _lock_wait(self, stripe: int, ctx):
+        """Acquire the stripe lock, recording a lock-wait span if blocked.
+
+        Uncontended acquires complete at the same instant and record
+        nothing (zero-length spans are dropped by the tracer).
+        """
+        tracer = self._tracer
+        if tracer is None or ctx is None:
+            yield self.locks.acquire(stripe)
+            return
+        t0 = self.env.now
+        yield self.locks.acquire(stripe)
+        tracer.record(
+            ctx, f"stripe-{stripe}", "lock-wait", "host.locks", t0, self.env.now
+        )
+
+    def _backoff_pause(self, pause_ns: int, ctx):
+        """Sleep a retry backoff, recording a backoff span when traced."""
+        t0 = self.env.now
+        yield self.env.timeout(pause_ns)
+        if self._tracer is not None and ctx is not None:
+            self._tracer.record(
+                ctx, "retry-backoff", "backoff", "host.cpu", t0, self.env.now
+            )
 
     # -- §5.4 resilience machinery ---------------------------------------------
 
@@ -294,7 +339,7 @@ class HostCentricRaid:
             self.fault_stats.prolonged_failures += 1
             self.fault_stats.degraded_transitions += 1
 
-    def _retry_loop(self, make_body, stripe: int, kind: str, drain: bool):
+    def _retry_loop(self, make_body, stripe: int, kind: str, drain: bool, ctx=None):
         """Attempt/backoff loop shared by resilient reads and pre-reads."""
         attempts = 0
         while True:
@@ -314,7 +359,7 @@ class HostCentricRaid:
             self.fault_stats.retries += 1
             pause = self.backoff.backoff_ns(attempts, self._retry_rng)
             if pause:
-                yield self.env.timeout(pause)
+                yield from self._backoff_pause(pause, ctx)
 
     # -- end-to-end integrity: verification and read-repair ---------------------
     #
@@ -586,9 +631,15 @@ class HostCentricRaid:
 
     # -- public block interface -----------------------------------------------
 
-    def read(self, offset: int, nbytes: int) -> Event:
-        """Read; event value is the data in functional mode, else None."""
-        return self.env.process(self._read(offset, nbytes), name=f"{self.name}.read")
+    def read(self, offset: int, nbytes: int, ctx=None) -> Event:
+        """Read; event value is the data in functional mode, else None.
+
+        ``ctx`` is an optional :class:`repro.obs.TraceContext` the spans of
+        this I/O are parented to (None = untraced).
+        """
+        return self.env.process(
+            self._read(offset, nbytes, ctx=ctx), name=f"{self.name}.read"
+        )
 
     def read_unlocked(self, offset: int, nbytes: int) -> Event:
         """Read without taking stripe locks.
@@ -600,15 +651,21 @@ class HostCentricRaid:
             self._read(offset, nbytes, take_locks=False), name=f"{self.name}.read"
         )
 
-    def write(self, offset: int, nbytes: int, data=None) -> Event:
-        """Write; ``data`` (bytes/ndarray) is required in functional mode."""
+    def write(self, offset: int, nbytes: int, data=None, ctx=None) -> Event:
+        """Write; ``data`` (bytes/ndarray) is required in functional mode.
+
+        ``ctx`` is an optional :class:`repro.obs.TraceContext` the spans of
+        this I/O are parented to (None = untraced).
+        """
         if self.functional and data is None:
             raise ValueError("functional mode requires write data")
         if data is not None:
             data = np.frombuffer(data, dtype=np.uint8) if isinstance(data, (bytes, bytearray)) else np.asarray(data, dtype=np.uint8)
             if len(data) != nbytes:
                 raise ValueError(f"data length {len(data)} != nbytes {nbytes}")
-        return self.env.process(self._write(offset, nbytes, data), name=f"{self.name}.write")
+        return self.env.process(
+            self._write(offset, nbytes, data, ctx=ctx), name=f"{self.name}.write"
+        )
 
     # -- CPU cost hooks (overridden by MdRaid) ---------------------------------
 
@@ -644,12 +701,12 @@ class HostCentricRaid:
 
     # -- top-level read/write processes ----------------------------------------
 
-    def _read(self, offset: int, nbytes: int, take_locks: bool = True):
-        yield self._charge_submit()
+    def _read(self, offset: int, nbytes: int, take_locks: bool = True, ctx=None):
+        yield from self._span_wait(self._charge_submit(), ctx, "submit")
         extents = self.geometry.map_extent(offset, nbytes)
         buffer = np.zeros(nbytes, dtype=np.uint8) if self.functional else None
         done = [
-            self.env.process(self._read_extent(ext, buffer, offset, take_locks))
+            self.env.process(self._read_extent(ext, buffer, offset, take_locks, ctx))
             for ext in extents
         ]
         yield AllOf(self.env, done)
@@ -658,11 +715,11 @@ class HostCentricRaid:
         self.stats.reads += 1
         return buffer
 
-    def _write(self, offset: int, nbytes: int, data):
-        yield self._charge_submit()
+    def _write(self, offset: int, nbytes: int, data, ctx=None):
+        yield from self._span_wait(self._charge_submit(), ctx, "submit")
         extents = self.geometry.map_extent(offset, nbytes)
         done = [
-            self.env.process(self._write_extent(ext, data))
+            self.env.process(self._write_extent(ext, data, ctx))
             for ext in extents
         ]
         yield AllOf(self.env, done)
@@ -670,43 +727,53 @@ class HostCentricRaid:
 
     # -- read paths ---------------------------------------------------------------
 
-    def _read_extent(self, ext: StripeExtent, buffer, io_base: int, take_locks: bool = True):
+    def _read_extent(
+        self, ext: StripeExtent, buffer, io_base: int, take_locks: bool = True, ctx=None
+    ):
         lock = self.lock_reads and take_locks
         if lock:
-            yield self.locks.acquire(ext.stripe)
+            yield from self._lock_wait(ext.stripe, ctx)
         try:
             if self.resilient:
                 # reads are idempotent: on timeout or member error, retry
                 # with an escalated deadline (reconstructing around any
                 # member that has been fenced in the meantime)
                 yield from self._retry_loop(
-                    lambda: self._read_extent_once(ext, buffer),
+                    lambda: self._read_extent_once(ext, buffer, ctx),
                     ext.stripe,
                     "read",
                     drain=False,
+                    ctx=ctx,
                 )
             else:
-                yield from self._read_extent_once(ext, buffer)
+                yield from self._read_extent_once(ext, buffer, ctx)
         finally:
             if lock:
                 self.locks.release(ext.stripe)
 
-    def _read_extent_once(self, ext: StripeExtent, buffer):
+    def _read_extent_once(self, ext: StripeExtent, buffer, ctx=None):
         failed = self.failed_in_stripe(ext.stripe)
         healthy = [s for s in ext.segments if s.drive not in failed]
         lost = [s for s in ext.segments if s.drive in failed]
-        events = [self.bdevs[s.drive].read(s.drive_offset, s.length) for s in healthy]
+        events = [
+            self.bdevs[s.drive].read(s.drive_offset, s.length, ctx=ctx)
+            for s in healthy
+        ]
         if lost:
             events += [
-                self.env.process(self._reconstruct_segment(ext, s))
+                self.env.process(self._reconstruct_segment(ext, s, ctx))
                 for s in lost
             ]
         # subscribe before the staging charge so an error completion
         # arriving mid-charge is handled, not an unhandled failed event
         gathered = self._subscribe_early(events)
         if self.degraded and healthy:
-            yield self._charge_degraded_read_staging(
-                sum(s.length for s in healthy), ext
+            yield from self._span_wait(
+                self._charge_degraded_read_staging(
+                    sum(s.length for s in healthy), ext
+                ),
+                ctx,
+                "staging",
             )
         if gathered is not None:
             outcome = yield gathered
@@ -717,7 +784,7 @@ class HostCentricRaid:
             for seg, data in zip(list(healthy) + list(lost), results):
                 buffer[seg.io_offset : seg.io_offset + seg.length] = data
 
-    def _reconstruct_segment(self, ext: StripeExtent, seg: ChunkSegment):
+    def _reconstruct_segment(self, ext: StripeExtent, seg: ChunkSegment, ctx=None):
         """Rebuild one lost data segment on the host from all survivors."""
         self.stats.degraded_reads += 1
         g = self.geometry
@@ -738,14 +805,24 @@ class HostCentricRaid:
         events = []
         for drive, _ in sources:
             events.append(
-                self.bdevs[drive].read(ext.stripe * g.chunk_bytes + region[0], region[1])
+                self.bdevs[drive].read(
+                    ext.stripe * g.chunk_bytes + region[0], region[1], ctx=ctx
+                )
             )
         for p in needed_parities:
-            events.append(self.bdevs[p].read(ext.stripe * g.chunk_bytes + region[0], region[1]))
+            events.append(
+                self.bdevs[p].read(
+                    ext.stripe * g.chunk_bytes + region[0], region[1], ctx=ctx
+                )
+            )
         blocks = yield from self._gather(events)
         total_source_bytes = region[1] * len(events)
-        yield self._charge_reconstruct_staging(total_source_bytes, ext)
-        yield self._charge_xor(len(events), region[1])
+        yield from self._span_wait(
+            self._charge_reconstruct_staging(total_source_bytes, ext), ctx, "staging"
+        )
+        yield from self._span_wait(
+            self._charge_xor(len(events), region[1]), ctx, "xor"
+        )
         if not self.functional:
             return None
         if len(lost_data) == 1 and ext.parity_drives[0] not in failed:
@@ -766,21 +843,21 @@ class HostCentricRaid:
 
     # -- write paths -----------------------------------------------------------
 
-    def _write_extent(self, ext: StripeExtent, io_data):
+    def _write_extent(self, ext: StripeExtent, io_data, ctx=None):
         self.bitmap.mark(ext.stripe)
-        yield self.locks.acquire(ext.stripe)
+        yield from self._lock_wait(ext.stripe, ctx)
         try:
             if self.integrity is not None:
                 yield from self._verify_stripe_before_write(ext)
             if self.resilient:
-                yield from self._write_resilient(ext, io_data)
+                yield from self._write_resilient(ext, io_data, ctx)
             else:
-                yield from self._write_stripe_once(ext, io_data)
+                yield from self._write_stripe_once(ext, io_data, ctx)
         finally:
             self.locks.release(ext.stripe)
             self.bitmap.clear(ext.stripe)
 
-    def _write_stripe_once(self, ext: StripeExtent, io_data):
+    def _write_stripe_once(self, ext: StripeExtent, io_data, ctx=None):
         """One pass of the normal write dispatch (caller holds the lock)."""
         failed = self.failed_in_stripe(ext.stripe)
         failed_parities = [p for p in ext.parity_drives if p in failed]
@@ -798,22 +875,24 @@ class HostCentricRaid:
                 and len(failed - set(ext.parity_drives)) == 1
             )
             if only_failed_chunk:
-                yield from self._write_degraded_region(ext, io_data, failed_touched[0])
+                yield from self._write_degraded_region(
+                    ext, io_data, failed_touched[0], ctx
+                )
             else:
-                yield from self._write_degraded_data(ext, io_data, failed_touched)
+                yield from self._write_degraded_data(ext, io_data, failed_touched, ctx)
         elif mode is WriteMode.FULL_STRIPE:
             self.stats.full_stripe_writes += 1
-            yield from self._write_full(ext, io_data)
+            yield from self._write_full(ext, io_data, ctx)
         elif mode is WriteMode.RECONSTRUCT_WRITE and not failed_untouched_data:
             self.stats.rcw_writes += 1
-            yield from self._write_rcw(ext, io_data)
+            yield from self._write_rcw(ext, io_data, ctx)
         else:
             # RMW; also the fallback when an untouched data drive is
             # failed (its chunk cannot be read for RCW).
             self.stats.rmw_writes += 1
             if failed_untouched_data or failed_parities:
                 self.stats.degraded_writes += 1
-            yield from self._write_rmw(ext, io_data)
+            yield from self._write_rmw(ext, io_data, ctx)
 
     # resilient write path (§5.4) --------------------------------------------
 
@@ -823,7 +902,7 @@ class HostCentricRaid:
             g.data_drive(stripe, d) in members for d in range(g.data_per_stripe)
         )
 
-    def _write_resilient(self, ext: StripeExtent, io_data):
+    def _write_resilient(self, ext: StripeExtent, io_data, ctx=None):
         """Timeout/retry write with the §5.4 idempotent-retry invariant.
 
         The first attempt on a stripe with no failed data member uses the
@@ -839,7 +918,7 @@ class HostCentricRaid:
         if self._data_drives_in(ext.stripe, failed):
             self._check_tolerance(ext.stripe)
             self.stats.degraded_writes += 1
-            pinned = yield from self._pin_with_retries(ext)
+            pinned = yield from self._pin_with_retries(ext, ctx)
         attempts = 0
         while True:
             self._check_tolerance(ext.stripe)
@@ -856,11 +935,11 @@ class HostCentricRaid:
                     raise IoError(
                         f"{self.name}: write hole on stripe {ext.stripe}"
                     )
-                pinned = yield from self._pin_with_retries(ext)
+                pinned = yield from self._pin_with_retries(ext, ctx)
             if pinned is None:
-                body = self._write_stripe_once(ext, io_data)
+                body = self._write_stripe_once(ext, io_data, ctx)
             else:
-                body = self._write_pinned(ext, io_data, *pinned)
+                body = self._write_pinned(ext, io_data, *pinned, ctx=ctx)
             timeout_ns = self.backoff.timeout_for(attempts, self.timeout_ns)
             ok = yield from self._run_attempt(body, timeout_ns, drain=True)
             if ok:
@@ -876,21 +955,22 @@ class HostCentricRaid:
             self.fault_stats.retries += 1
             pause = self.backoff.backoff_ns(attempts, self._retry_rng)
             if pause:
-                yield self.env.timeout(pause)
+                yield from self._backoff_pause(pause, ctx)
 
-    def _pin_with_retries(self, ext: StripeExtent):
+    def _pin_with_retries(self, ext: StripeExtent, ctx=None):
         """Degraded-aware read of every stripe region the write will not
         cover, retried like any read; returns ``(gaps, blocks)``."""
         out = {}
         yield from self._retry_loop(
-            lambda: self._pin_stripe_image(ext, out),
+            lambda: self._pin_stripe_image(ext, out, ctx),
             ext.stripe,
             "stripe pre-read",
             drain=False,
+            ctx=ctx,
         )
         return out["gaps"], out["blocks"]
 
-    def _pin_stripe_image(self, ext: StripeExtent, out: dict):
+    def _pin_stripe_image(self, ext: StripeExtent, out: dict, ctx=None):
         g = self.geometry
         gaps = self._stripe_gaps(ext)
         stripe_base = ext.stripe * g.stripe_data_bytes
@@ -898,17 +978,19 @@ class HostCentricRaid:
         for d, off, length in gaps:
             buffer = np.zeros(length, dtype=np.uint8) if self.functional else None
             gap_ext, = g.map_extent(stripe_base + d * g.chunk_bytes + off, length)
-            yield from self._read_extent_once(gap_ext, buffer)
+            yield from self._read_extent_once(gap_ext, buffer, ctx)
             blocks.append(buffer)
         out["gaps"] = gaps
         out["blocks"] = blocks
 
-    def _write_pinned(self, ext: StripeExtent, io_data, gaps, gap_blocks):
+    def _write_pinned(self, ext: StripeExtent, io_data, gaps, gap_blocks, ctx=None):
         """Write the stripe from the pinned image: touched segments from
         the user data, full parity recomputed from image + user data."""
         g = self.geometry
         chunk = g.chunk_bytes
-        yield self._charge_xor(g.data_per_stripe, chunk)
+        yield from self._span_wait(
+            self._charge_xor(g.data_per_stripe, chunk), ctx, "xor"
+        )
         p_block = q_block = None
         if self.functional:
             stripe_img = self._assemble_stripe(ext, io_data, gaps, gap_blocks)
@@ -918,12 +1000,18 @@ class HostCentricRaid:
                 for i, blk in enumerate(stripe_img):
                     GF.mul_bytes_inplace_xor(q_block, GF.gen_pow(i), blk)
         if g.level is RaidLevel.RAID6:
-            yield self._charge_gf(g.data_per_stripe, chunk)
+            yield from self._span_wait(
+                self._charge_gf(g.data_per_stripe, chunk), ctx, "gf"
+            )
         staged = ext.touched_bytes + len(ext.parity_drives) * chunk
-        yield self._charge_write_staging(staged, ext)
+        yield from self._span_wait(
+            self._charge_write_staging(staged, ext), ctx, "staging"
+        )
         failed = self.failed_in_stripe(ext.stripe)
         events = [
-            self.bdevs[s.drive].write(s.drive_offset, s.length, self._seg_data(io_data, s))
+            self.bdevs[s.drive].write(
+                s.drive_offset, s.length, self._seg_data(io_data, s), ctx=ctx
+            )
             for s in ext.segments
             if s.drive not in failed
         ]
@@ -931,7 +1019,7 @@ class HostCentricRaid:
             if p in failed:
                 continue
             block = p_block if self._parity_index(ext, p) == 0 else q_block
-            events.append(self.bdevs[p].write(ext.parity_offset, chunk, block))
+            events.append(self.bdevs[p].write(ext.parity_offset, chunk, block, ctx=ctx))
         if events:
             yield AllOf(self.env, events)
 
@@ -950,36 +1038,46 @@ class HostCentricRaid:
         """0 for P, 1 for Q."""
         return ext.parity_drives.index(drive)
 
-    def _write_full(self, ext: StripeExtent, io_data):
+    def _write_full(self, ext: StripeExtent, io_data, ctx=None):
         """Full-stripe write: host computes parity, writes every member."""
         g = self.geometry
         chunk = g.chunk_bytes
         new_chunks = [self._seg_data(io_data, s) for s in ext.segments]
-        yield self._charge_xor(g.data_per_stripe, chunk)
+        yield from self._span_wait(
+            self._charge_xor(g.data_per_stripe, chunk), ctx, "xor"
+        )
         p_block = q_block = None
         if self.functional:
             p_block = xor_blocks(new_chunks)
         if g.level is RaidLevel.RAID6:
-            yield self._charge_gf(g.data_per_stripe, chunk)
+            yield from self._span_wait(
+                self._charge_gf(g.data_per_stripe, chunk), ctx, "gf"
+            )
             if self.functional:
                 q_block = np.zeros(chunk, dtype=np.uint8)
                 for i, blk in enumerate(new_chunks):
                     GF.mul_bytes_inplace_xor(q_block, GF.gen_pow(i), blk)
         staged = ext.touched_bytes + len(ext.parity_drives) * chunk
-        yield self._charge_write_staging(staged, ext)
+        yield from self._span_wait(
+            self._charge_write_staging(staged, ext), ctx, "staging"
+        )
         failed = self.failed_in_stripe(ext.stripe)
         events = [
-            self.bdevs[s.drive].write(s.drive_offset, s.length, self._seg_data(io_data, s))
+            self.bdevs[s.drive].write(
+                s.drive_offset, s.length, self._seg_data(io_data, s), ctx=ctx
+            )
             for s in ext.segments
             if s.drive not in failed
         ]
         for parity_drive, block in zip(ext.parity_drives, (p_block, q_block)):
             if parity_drive in failed:
                 continue
-            events.append(self.bdevs[parity_drive].write(ext.parity_offset, chunk, block))
+            events.append(
+                self.bdevs[parity_drive].write(ext.parity_offset, chunk, block, ctx=ctx)
+            )
         yield AllOf(self.env, events)
 
-    def _write_rmw(self, ext: StripeExtent, io_data):
+    def _write_rmw(self, ext: StripeExtent, io_data, ctx=None):
         """Read-modify-write: 2 reads + 2 writes of the touched extent
         through the host NIC (3 + 3 for RAID-6)."""
         g = self.geometry
@@ -987,15 +1085,20 @@ class HostCentricRaid:
         parities = self._alive_parities(ext)
         # phase 1: read old data segments and old parity spans
         read_events = [
-            self.bdevs[s.drive].read(s.drive_offset, s.length) for s in ext.segments
+            self.bdevs[s.drive].read(s.drive_offset, s.length, ctx=ctx)
+            for s in ext.segments
         ]
         for p in parities:
-            read_events.append(self.bdevs[p].read(ext.parity_offset + span_off, span_len))
+            read_events.append(
+                self.bdevs[p].read(ext.parity_offset + span_off, span_len, ctx=ctx)
+            )
         old_blocks = yield from self._gather(read_events)
         old_data = old_blocks[: len(ext.segments)]
         old_parity = old_blocks[len(ext.segments):]
         # phase 2: compute deltas and new parities
-        yield self._charge_xor(2 * len(ext.segments), span_len)
+        yield from self._span_wait(
+            self._charge_xor(2 * len(ext.segments), span_len), ctx, "xor"
+        )
         new_parities: Dict[int, Optional[np.ndarray]] = {}
         if self.functional:
             for order, p in enumerate(parities):
@@ -1015,21 +1118,29 @@ class HostCentricRaid:
         else:
             new_parities = {p: None for p in parities}
         if g.level is RaidLevel.RAID6 and len(parities) > 1:
-            yield self._charge_gf(len(ext.segments), span_len)
+            yield from self._span_wait(
+                self._charge_gf(len(ext.segments), span_len), ctx, "gf"
+            )
         staged = 2 * ext.touched_bytes + 2 * len(parities) * span_len
-        yield self._charge_write_staging(staged, ext)
+        yield from self._span_wait(
+            self._charge_write_staging(staged, ext), ctx, "staging"
+        )
         # phase 3: write new data and new parities
         write_events = [
-            self.bdevs[s.drive].write(s.drive_offset, s.length, self._seg_data(io_data, s))
+            self.bdevs[s.drive].write(
+                s.drive_offset, s.length, self._seg_data(io_data, s), ctx=ctx
+            )
             for s in ext.segments
         ]
         for p in parities:
             write_events.append(
-                self.bdevs[p].write(ext.parity_offset + span_off, span_len, new_parities[p])
+                self.bdevs[p].write(
+                    ext.parity_offset + span_off, span_len, new_parities[p], ctx=ctx
+                )
             )
         yield AllOf(self.env, write_events)
 
-    def _write_rcw(self, ext: StripeExtent, io_data):
+    def _write_rcw(self, ext: StripeExtent, io_data, ctx=None):
         """Reconstruct-write: read untouched data, recompute parity fully."""
         g = self.geometry
         chunk = g.chunk_bytes
@@ -1038,12 +1149,14 @@ class HostCentricRaid:
         gaps = self._stripe_gaps(ext)
         read_events = [
             self.bdevs[g.data_drive(ext.stripe, d)].read(
-                ext.stripe * chunk + off, length
+                ext.stripe * chunk + off, length, ctx=ctx
             )
             for d, off, length in gaps
         ]
         gap_blocks = yield from self._gather(read_events)
-        yield self._charge_xor(g.data_per_stripe, chunk)
+        yield from self._span_wait(
+            self._charge_xor(g.data_per_stripe, chunk), ctx, "xor"
+        )
         p_block = q_block = None
         if self.functional:
             stripe_img = self._assemble_stripe(ext, io_data, gaps, gap_blocks)
@@ -1053,20 +1166,28 @@ class HostCentricRaid:
                 for i, blk in enumerate(stripe_img):
                     GF.mul_bytes_inplace_xor(q_block, GF.gen_pow(i), blk)
         if g.level is RaidLevel.RAID6:
-            yield self._charge_gf(g.data_per_stripe, chunk)
+            yield from self._span_wait(
+                self._charge_gf(g.data_per_stripe, chunk), ctx, "gf"
+            )
         gap_bytes = sum(length for _, _, length in gaps)
         staged = ext.touched_bytes + gap_bytes + len(self._alive_parities(ext)) * chunk
-        yield self._charge_write_staging(staged, ext)
+        yield from self._span_wait(
+            self._charge_write_staging(staged, ext), ctx, "staging"
+        )
         write_events = [
-            self.bdevs[s.drive].write(s.drive_offset, s.length, self._seg_data(io_data, s))
+            self.bdevs[s.drive].write(
+                s.drive_offset, s.length, self._seg_data(io_data, s), ctx=ctx
+            )
             for s in ext.segments
         ]
         for p in self._alive_parities(ext):
             block = p_block if self._parity_index(ext, p) == 0 else q_block
-            write_events.append(self.bdevs[p].write(ext.parity_offset, chunk, block))
+            write_events.append(self.bdevs[p].write(ext.parity_offset, chunk, block, ctx=ctx))
         yield AllOf(self.env, write_events)
 
-    def _write_degraded_region(self, ext: StripeExtent, io_data, seg: ChunkSegment):
+    def _write_degraded_region(
+        self, ext: StripeExtent, io_data, seg: ChunkSegment, ctx=None
+    ):
         """Write covering only a failed data chunk: region-scoped parity rebuild.
 
         Since parity is the (weighted) sum of all data chunks, the new
@@ -1086,13 +1207,19 @@ class HostCentricRaid:
         ]
         read_events = [
             self.bdevs[g.data_drive(ext.stripe, d)].read(
-                ext.stripe * g.chunk_bytes + region_offset, region_len
+                ext.stripe * g.chunk_bytes + region_offset, region_len, ctx=ctx
             )
             for d in survivors
         ]
         blocks = yield from self._gather(read_events)
-        yield self._charge_reconstruct_staging(region_len * len(blocks), ext)
-        yield self._charge_xor(len(blocks) + 1, region_len)
+        yield from self._span_wait(
+            self._charge_reconstruct_staging(region_len * len(blocks), ext),
+            ctx,
+            "staging",
+        )
+        yield from self._span_wait(
+            self._charge_xor(len(blocks) + 1, region_len), ctx, "xor"
+        )
         new_data = self._seg_data(io_data, seg)
         write_events = []
         for parity_drive in self._alive_parities(ext):
@@ -1109,15 +1236,17 @@ class HostCentricRaid:
                     GF.mul_bytes_inplace_xor(block, GF.gen_pow(failed_index), new_data)
             write_events.append(
                 self.bdevs[parity_drive].write(
-                    ext.parity_offset + region_offset, region_len, block
+                    ext.parity_offset + region_offset, region_len, block, ctx=ctx
                 )
             )
         finish = self._subscribe_early(write_events)
         if self.geometry.level is RaidLevel.RAID6 and len(write_events) > 1:
-            yield self._charge_gf(len(survivors) + 1, region_len)
+            yield from self._span_wait(
+                self._charge_gf(len(survivors) + 1, region_len), ctx, "gf"
+            )
         yield finish if finish is not None else AllOf(self.env, write_events)
 
-    def _write_degraded_data(self, ext: StripeExtent, io_data, failed_touched):
+    def _write_degraded_data(self, ext: StripeExtent, io_data, failed_touched, ctx=None):
         """Write when a touched data chunk lives on a failed drive.
 
         Reconstructs the failed chunk's old content when the write only
@@ -1140,7 +1269,9 @@ class HostCentricRaid:
             if g.data_drive(ext.stripe, d) not in failed
         ]
         read_events = [
-            self.bdevs[g.data_drive(ext.stripe, d)].read(ext.stripe * chunk, chunk)
+            self.bdevs[g.data_drive(ext.stripe, d)].read(
+                ext.stripe * chunk, chunk, ctx=ctx
+            )
             for d in survivors
         ]
         # if the failed chunk is partially covered we need its old content:
@@ -1148,14 +1279,18 @@ class HostCentricRaid:
         parity_blocks: Dict[int, Optional[np.ndarray]] = {}
         parities_to_read = self._alive_parities(ext)[: len(failed_indices)] if partial_failed else []
         for p in parities_to_read:
-            read_events.append(self.bdevs[p].read(ext.parity_offset, chunk))
+            read_events.append(self.bdevs[p].read(ext.parity_offset, chunk, ctx=ctx))
         blocks = yield from self._gather(read_events)
         survivor_blocks = blocks[: len(survivors)]
         for p, blk in zip(parities_to_read, blocks[len(survivors):]):
             parity_blocks[p] = blk
         source_bytes = chunk * len(blocks)
-        yield self._charge_reconstruct_staging(source_bytes, ext)
-        yield self._charge_xor(len(blocks), chunk)
+        yield from self._span_wait(
+            self._charge_reconstruct_staging(source_bytes, ext), ctx, "staging"
+        )
+        yield from self._span_wait(
+            self._charge_xor(len(blocks), chunk), ctx, "xor"
+        )
         stripe_img: Optional[List[np.ndarray]] = None
         if self.functional:
             present = dict(zip(survivors, survivor_blocks))
@@ -1188,7 +1323,9 @@ class HostCentricRaid:
                 if seg is not None:
                     base[seg.chunk_offset : seg.chunk_end] = self._seg_data(io_data, seg)
                 stripe_img.append(base)
-        yield self._charge_xor(g.data_per_stripe, chunk)
+        yield from self._span_wait(
+            self._charge_xor(g.data_per_stripe, chunk), ctx, "xor"
+        )
         p_block = q_block = None
         if self.functional:
             p_block = xor_blocks(stripe_img)
@@ -1197,17 +1334,23 @@ class HostCentricRaid:
                 for i, blk in enumerate(stripe_img):
                     GF.mul_bytes_inplace_xor(q_block, GF.gen_pow(i), blk)
         if g.level is RaidLevel.RAID6:
-            yield self._charge_gf(g.data_per_stripe, chunk)
+            yield from self._span_wait(
+                self._charge_gf(g.data_per_stripe, chunk), ctx, "gf"
+            )
         staged = chunk * (len(survivors) + len(self._alive_parities(ext)))
-        yield self._charge_write_staging(staged, ext)
+        yield from self._span_wait(
+            self._charge_write_staging(staged, ext), ctx, "staging"
+        )
         write_events = [
-            self.bdevs[s.drive].write(s.drive_offset, s.length, self._seg_data(io_data, s))
+            self.bdevs[s.drive].write(
+                s.drive_offset, s.length, self._seg_data(io_data, s), ctx=ctx
+            )
             for s in ext.segments
             if s.drive not in self.failed
         ]
         for p in self._alive_parities(ext):
             block = p_block if self._parity_index(ext, p) == 0 else q_block
-            write_events.append(self.bdevs[p].write(ext.parity_offset, chunk, block))
+            write_events.append(self.bdevs[p].write(ext.parity_offset, chunk, block, ctx=ctx))
         yield AllOf(self.env, write_events)
 
     # stripe assembly helpers -----------------------------------------------

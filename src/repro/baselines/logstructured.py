@@ -100,7 +100,8 @@ class LogStructuredRaid(HostCentricRaid):
 
     # -- public block interface ------------------------------------------------
 
-    def write(self, offset: int, nbytes: int, data=None) -> Event:
+    def write(self, offset: int, nbytes: int, data=None, ctx=None) -> Event:
+        # ctx accepted for interface parity; the staged path is untraced
         if self.functional and data is None:
             raise ValueError("functional mode requires write data")
         if data is not None:
@@ -114,7 +115,7 @@ class LogStructuredRaid(HostCentricRaid):
         return self.env.process(self._staged_write(offset, nbytes, data),
                                 name=f"{self.name}.write")
 
-    def read(self, offset: int, nbytes: int) -> Event:
+    def read(self, offset: int, nbytes: int, ctx=None) -> Event:
         return self.env.process(self._remapped_read(offset, nbytes),
                                 name=f"{self.name}.read")
 

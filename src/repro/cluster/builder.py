@@ -14,6 +14,7 @@ from repro.cluster.machines import HostMachine, StorageServer
 from repro.cluster.profiles import DEFAULT_CPU, CpuProfile
 from repro.net.fabric import Fabric, RdmaConnection
 from repro.net.nic import GOODPUT_100G, Nic
+from repro.obs import Observability, ObservabilityConfig
 from repro.sim.core import Environment
 from repro.storage.drive import NvmeDrive
 from repro.storage.profiles import DELL_AGN_MU, DriveProfile
@@ -43,6 +44,11 @@ class ClusterConfig:
     #: cluster (§5.4 prolonged-failure detection).  Controllers may override
     #: it per array via their ``timeout_ns`` constructor parameter.
     io_timeout_ns: int = 50_000_000
+    #: None (the default) leaves tracing/utilization sampling entirely
+    #: unarmed — runs are byte-identical to an unobserved simulation.  Set
+    #: an :class:`repro.obs.ObservabilityConfig` to attach a
+    #: :class:`repro.obs.Observability` hub at ``cluster.obs``.
+    observability: Optional[ObservabilityConfig] = None
 
 
 class Cluster:
@@ -72,6 +78,11 @@ class Cluster:
         #: when set, the RAID controllers verify chunk checksums on reads
         #: and repair mismatches from parity.
         self.integrity = None
+        #: Armed by :func:`build_cluster` when
+        #: ``config.observability`` is set: a :class:`repro.obs.Observability`
+        #: hub (tracer + utilization sampler).  None keeps every
+        #: instrumentation site on its zero-cost short-circuit path.
+        self.obs = None
 
     @property
     def num_servers(self) -> int:
@@ -191,4 +202,9 @@ def build_cluster(env: Environment, config: Optional[ClusterConfig] = None) -> C
             peer_connections[(i, j)] = fabric.connect(
                 pick_nic(servers[i]), pick_nic(servers[j]), name=f"s{i}-s{j}"
             )
-    return Cluster(env, fabric, host, servers, host_connections, peer_connections, config)
+    cluster = Cluster(
+        env, fabric, host, servers, host_connections, peer_connections, config
+    )
+    if config.observability is not None:
+        cluster.obs = Observability(cluster, config.observability)
+    return cluster

@@ -90,18 +90,20 @@ class RateLimitedDevice:
         self.geometry = getattr(inner, "geometry", None)
         self.functional = getattr(inner, "functional", False)
 
-    def read(self, offset: int, nbytes: int) -> Event:
-        return self.env.process(self._read(offset, nbytes), name="qos.read")
+    def read(self, offset: int, nbytes: int, ctx=None) -> Event:
+        return self.env.process(self._read(offset, nbytes, ctx), name="qos.read")
 
-    def _read(self, offset: int, nbytes: int):
+    def _read(self, offset: int, nbytes: int, ctx=None):
         yield self.read_bucket.acquire(nbytes)
-        result = yield self.inner.read(offset, nbytes)
+        result = yield (self.inner.read(offset, nbytes, ctx=ctx)
+                        if ctx is not None else self.inner.read(offset, nbytes))
         return result
 
-    def write(self, offset: int, nbytes: int, data=None) -> Event:
-        return self.env.process(self._write(offset, nbytes, data), name="qos.write")
+    def write(self, offset: int, nbytes: int, data=None, ctx=None) -> Event:
+        return self.env.process(self._write(offset, nbytes, data, ctx), name="qos.write")
 
-    def _write(self, offset: int, nbytes: int, data):
+    def _write(self, offset: int, nbytes: int, data, ctx=None):
         yield self.write_bucket.acquire(nbytes)
-        result = yield self.inner.write(offset, nbytes, data)
+        result = yield (self.inner.write(offset, nbytes, data, ctx=ctx)
+                        if ctx is not None else self.inner.write(offset, nbytes, data))
         return result

@@ -116,6 +116,9 @@ class DraidBdevServer:
         self.commands_served = 0
         self.down_until = 0
         self.crashes = 0
+        #: Observability: armed by the host controller when ``cluster.obs``
+        #: is set; server-side spans parent to each command's ``trace``.
+        self.tracer = None
         self.env.process(self._serve(self.host_end), name=f"{self.server.name}.draid")
         for end in self.peer_ends.values():
             self.env.process(self._serve(end), name=f"{self.server.name}.peer")
@@ -163,14 +166,30 @@ class DraidBdevServer:
             self.env.process(handler, name=f"{self.server.name}.op")
 
     def _complete(self, origin, cid, kind, ok=True, data=None, io_offset=0,
-                  error=None, payload=0):
+                  error=None, payload=0, ctx=None):
         """Send a completion back to the end the command came from —
         normally the host, or the controller server when the host-side
         controller is offloaded (§7)."""
         origin.send(
-            DraidCompletion(cid, kind, ok=ok, data=data, io_offset=io_offset, error=error),
+            DraidCompletion(cid, kind, ok=ok, data=data, io_offset=io_offset,
+                            error=error, trace=ctx),
             payload_bytes=payload,
             header_bytes=RESPONSE_BYTES,
+        )
+
+    def _ctx(self, message):
+        """The trace context of ``message`` (None when tracing is off)."""
+        return message.trace if self.tracer is not None else None
+
+    def _span(self, work_event, ctx, name):
+        """Yield a CPU charge, recording a compute span (ns) when traced."""
+        if ctx is None:
+            yield work_event
+            return
+        t0 = self.env.now
+        yield work_event
+        self.tracer.record(
+            ctx, name, "compute", f"{self.server.name}.cpu", t0, self.env.now
         )
 
     # -- plain NVMe-oF ------------------------------------------------------
@@ -178,49 +197,56 @@ class DraidBdevServer:
     def _handle_plain(self, cmd: NvmeOfCommand, origin):
         cpu = self.server.cpu
         profile = self.server.cpu_profile
-        yield cpu.execute(profile.cmd_handle_ns)
+        ctx = self._ctx(cmd)
+        yield from self._span(cpu.execute(profile.cmd_handle_ns), ctx, "draid.parse")
         try:
             if cmd.opcode is Opcode.READ:
-                data = yield self.server.drive.read(cmd.offset, cmd.length)
-                yield cpu.execute(profile.completion_ns)
-                self._complete(origin, cmd.cid, "read", data=data, payload=cmd.length)
+                data = yield self.server.drive.read(cmd.offset, cmd.length, ctx=ctx)
+                yield from self._span(
+                    cpu.execute(profile.completion_ns), ctx, "draid.complete"
+                )
+                self._complete(origin, cmd.cid, "read", data=data,
+                               payload=cmd.length, ctx=ctx)
             else:
-                yield origin.rdma_read(cmd.length)
-                yield self.server.drive.write(cmd.offset, cmd.length, cmd.data)
-                yield cpu.execute(profile.completion_ns)
-                self._complete(origin, cmd.cid, "write")
+                yield origin.rdma_read(cmd.length, ctx=ctx)
+                yield self.server.drive.write(cmd.offset, cmd.length, cmd.data, ctx=ctx)
+                yield from self._span(
+                    cpu.execute(profile.completion_ns), ctx, "draid.complete"
+                )
+                self._complete(origin, cmd.cid, "write", ctx=ctx)
         except (DriveFailedError, ValueError) as exc:
             self._complete(origin, cmd.cid,
                            "read" if cmd.opcode is Opcode.READ else "write",
-                           ok=False, error=str(exc))
+                           ok=False, error=str(exc), ctx=ctx)
 
     # -- PartialWrite: Algorithm 1 + §5.3 pipeline ---------------------------
 
     def _handle_partial_write(self, cmd: PartialWriteCmd, origin):
         cpu = self.server.cpu
         profile = self.server.cpu_profile
-        yield cpu.execute(profile.cmd_handle_ns)
+        ctx = self._ctx(cmd)
+        yield from self._span(cpu.execute(profile.cmd_handle_ns), ctx, "draid.parse")
         try:
             if self.pipeline:
-                yield from self._partial_write_pipelined(cmd, origin)
+                yield from self._partial_write_pipelined(cmd, origin, ctx)
             else:
-                yield from self._partial_write_serial(cmd, origin)
+                yield from self._partial_write_serial(cmd, origin, ctx)
         except (DriveFailedError, ValueError) as exc:
-            self._complete(origin, cmd.cid, "data", ok=False, error=str(exc))
+            self._complete(origin, cmd.cid, "data", ok=False, error=str(exc), ctx=ctx)
 
-    def _fetch_and_read(self, cmd: PartialWriteCmd, origin):
+    def _fetch_and_read(self, cmd: PartialWriteCmd, origin, ctx=None):
         """Start the remote-data fetch and the drive read(s).
 
         Returns ``(fetch_event_or_None, [((chunk_offset, length), event)])``.
         Both are started eagerly so they overlap (§5.3).
         """
-        fetch = origin.rdma_read(cmd.length) if cmd.length else None
+        fetch = origin.rdma_read(cmd.length, ctx=ctx) if cmd.length else None
         reads: List[Tuple[Tuple[int, int], Any]] = []
         chunk_base = cmd.chunk_drive_offset
         if cmd.subtype is Subtype.RMW:
             reads.append(
                 ((cmd.chunk_offset, cmd.length),
-                 self.server.drive.read(cmd.drive_offset, cmd.length))
+                 self.server.drive.read(cmd.drive_offset, cmd.length, ctx=ctx))
             )
         elif cmd.subtype is Subtype.RW_WRITE:
             # read the chunk complement so the full new image can be forwarded
@@ -230,18 +256,20 @@ class DraidBdevServer:
                 length = seg_start - cmd.fwd_offset
                 reads.append(
                     ((cmd.fwd_offset, length),
-                     self.server.drive.read(chunk_base + cmd.fwd_offset, length))
+                     self.server.drive.read(chunk_base + cmd.fwd_offset, length, ctx=ctx))
                 )
             if seg_end < fwd_end:
                 length = fwd_end - seg_end
                 reads.append(
                     ((seg_end, length),
-                     self.server.drive.read(chunk_base + seg_end, length))
+                     self.server.drive.read(chunk_base + seg_end, length, ctx=ctx))
                 )
         elif cmd.subtype is Subtype.RW_READ:
             reads.append(
                 ((cmd.fwd_offset, cmd.fwd_length),
-                 self.server.drive.read(chunk_base + cmd.fwd_offset, cmd.fwd_length))
+                 self.server.drive.read(
+                     chunk_base + cmd.fwd_offset, cmd.fwd_length, ctx=ctx
+                 ))
             )
         else:
             raise ValueError(f"bad PartialWrite subtype {cmd.subtype}")
@@ -266,8 +294,8 @@ class DraidBdevServer:
                 partial[rel : rel + cmd.length] = cmd.data
         return partial
 
-    def _partial_write_pipelined(self, cmd: PartialWriteCmd, origin):
-        fetch, reads = self._fetch_and_read(cmd, origin)
+    def _partial_write_pipelined(self, cmd: PartialWriteCmd, origin, ctx=None):
+        fetch, reads = self._fetch_and_read(cmd, origin, ctx)
         # remote-data fetch and drive reads overlap (§5.3)
         old_blocks = []
         for region, event in reads:
@@ -278,19 +306,24 @@ class DraidBdevServer:
         # drive write proceeds concurrently with parity generation/forwarding
         write_event = None
         if cmd.length:
-            write_event = self.server.drive.write(cmd.drive_offset, cmd.length, cmd.data)
-        forward_done = self.env.process(self._forward_partials(cmd, old_blocks))
+            write_event = self.server.drive.write(
+                cmd.drive_offset, cmd.length, cmd.data, ctx=ctx
+            )
+        forward_done = self.env.process(self._forward_partials(cmd, old_blocks, ctx))
         if write_event is not None:
             yield write_event
-            yield self.server.cpu.execute(self.server.cpu_profile.completion_ns)
+            yield from self._span(
+                self.server.cpu.execute(self.server.cpu_profile.completion_ns),
+                ctx, "draid.complete",
+            )
             # §5.3: the data bdev reports its own drive-write completion,
             # overlapping with partial-parity forwarding.
-            self._complete(origin, cmd.cid, "data")
+            self._complete(origin, cmd.cid, "data", ctx=ctx)
         yield forward_done
 
-    def _partial_write_serial(self, cmd: PartialWriteCmd, origin):
+    def _partial_write_serial(self, cmd: PartialWriteCmd, origin, ctx=None):
         """Ablation: NVMe-oF-style strictly serial processing (no §5.3)."""
-        fetch, reads = self._fetch_and_read(cmd, origin)
+        fetch, reads = self._fetch_and_read(cmd, origin, ctx)
         if fetch is not None:
             yield fetch
         old_blocks = []
@@ -298,16 +331,21 @@ class DraidBdevServer:
             block = yield event
             old_blocks.append((region, block))
         if cmd.length:
-            yield self.server.drive.write(cmd.drive_offset, cmd.length, cmd.data)
-        yield self.env.process(self._forward_partials(cmd, old_blocks))
+            yield self.server.drive.write(cmd.drive_offset, cmd.length, cmd.data, ctx=ctx)
+        yield self.env.process(self._forward_partials(cmd, old_blocks, ctx))
         if cmd.length:
-            yield self.server.cpu.execute(self.server.cpu_profile.completion_ns)
-            self._complete(origin, cmd.cid, "data")
+            yield from self._span(
+                self.server.cpu.execute(self.server.cpu_profile.completion_ns),
+                ctx, "draid.complete",
+            )
+            self._complete(origin, cmd.cid, "data", ctx=ctx)
 
-    def _forward_partials(self, cmd: PartialWriteCmd, old_blocks):
+    def _forward_partials(self, cmd: PartialWriteCmd, old_blocks, ctx=None):
         cpu = self.server.cpu
         profile = self.server.cpu_profile
-        yield cpu.execute(profile.xor_ns(cmd.fwd_length))
+        yield from self._span(
+            cpu.execute(profile.xor_ns(cmd.fwd_length)), ctx, "draid.partial-xor"
+        )
         partial = self._build_partial(cmd, old_blocks)
         if cmd.dests is not None:
             # generic erasure code (§7): explicit per-parity coefficients
@@ -328,14 +366,16 @@ class DraidBdevServer:
         for dest, coefficient in destinations:
             block = partial
             if coefficient is not None:
-                yield cpu.execute(profile.gf_ns(cmd.fwd_length))
+                yield from self._span(
+                    cpu.execute(profile.gf_ns(cmd.fwd_length)), ctx, "draid.partial-gf"
+                )
                 if partial is not None:
                     block = GF.mul_bytes(coefficient, partial)
             self._signal_peer(
                 dest,
                 PeerMsg(cmd.cid, key=cmd.parity_key, fwd_offset=cmd.fwd_offset,
                         fwd_length=cmd.fwd_length, source=("data", cmd.data_index),
-                        data=block),
+                        data=block, trace=ctx),
             )
 
     def _signal_peer(self, dest: int, msg: PeerMsg) -> None:
@@ -355,20 +395,24 @@ class DraidBdevServer:
     def _handle_parity(self, cmd: ParityCmd, origin):
         cpu = self.server.cpu
         profile = self.server.cpu_profile
-        yield cpu.execute(profile.cmd_handle_ns)
+        ctx = self._ctx(cmd)
+        yield from self._span(cpu.execute(profile.cmd_handle_ns), ctx, "draid.parse")
         key = cmd.key
         state = self._parity_state(key)
         state.origin = origin
         if cmd.subtype is Subtype.RMW:
             try:
                 old = yield self.server.drive.read(
-                    cmd.parity_drive_offset + cmd.fwd_offset, cmd.fwd_length
+                    cmd.parity_drive_offset + cmd.fwd_offset, cmd.fwd_length, ctx=ctx
                 )
             except (DriveFailedError, ValueError) as exc:
                 del self._parity_states[key]
-                self._complete(origin, cmd.cid, "parity", ok=False, error=str(exc))
+                self._complete(origin, cmd.cid, "parity", ok=False, error=str(exc),
+                               ctx=ctx)
                 return
-            yield cpu.execute(profile.xor_ns(cmd.fwd_length))
+            yield from self._span(
+                cpu.execute(profile.xor_ns(cmd.fwd_length)), ctx, "draid.parity-xor"
+            )
             state.old_parity = (cmd.fwd_offset, old)
         state.wait_num = (state.wait_num or 0) + cmd.wait_num
         state.cmd = cmd
@@ -397,22 +441,27 @@ class DraidBdevServer:
                 rel = offset - cmd.fwd_offset
                 data[rel : rel + len(block)] ^= block
         origin = state.origin if state.origin is not None else self.host_end
+        ctx = self._ctx(cmd)
         try:
             yield self.server.drive.write(
-                cmd.parity_drive_offset + cmd.fwd_offset, cmd.fwd_length, data
+                cmd.parity_drive_offset + cmd.fwd_offset, cmd.fwd_length, data, ctx=ctx
             )
         except (DriveFailedError, ValueError) as exc:
-            self._complete(origin, cmd.cid, "parity", ok=False, error=str(exc))
+            self._complete(origin, cmd.cid, "parity", ok=False, error=str(exc), ctx=ctx)
             return
-        yield self.server.cpu.execute(self.server.cpu_profile.completion_ns)
-        self._complete(origin, cmd.cid, "parity")
+        yield from self._span(
+            self.server.cpu.execute(self.server.cpu_profile.completion_ns),
+            ctx, "draid.complete",
+        )
+        self._complete(origin, cmd.cid, "parity", ctx=ctx)
 
     # -- Peer messages ----------------------------------------------------------
 
     def _handle_peer(self, msg: PeerMsg, end):
         cpu = self.server.cpu
         profile = self.server.cpu_profile
-        yield cpu.execute(profile.cmd_handle_ns)
+        ctx = self._ctx(msg)
+        yield from self._span(cpu.execute(profile.cmd_handle_ns), ctx, "draid.parse")
         if msg.key != RECON_KEY and self.blocking_reduce:
             # §5.2 ablation: a barrier design cannot even fetch the partial
             # before the Parity command has set up the reduction, so the
@@ -424,8 +473,10 @@ class DraidBdevServer:
                     state.cmd_arrived = self.env.event()
                 yield state.cmd_arrived
         # fetch the partial from the signalling peer (one-sided READ)
-        yield end.rdma_read(msg.fwd_length)
-        yield cpu.execute(profile.xor_ns(msg.fwd_length))
+        yield end.rdma_read(msg.fwd_length, ctx=ctx)
+        yield from self._span(
+            cpu.execute(profile.xor_ns(msg.fwd_length)), ctx, "draid.reduce-xor"
+        )
         if msg.key == RECON_KEY:
             yield from self._reduce_recon_partial(msg)
         else:
@@ -446,7 +497,8 @@ class DraidBdevServer:
     def _handle_reconstruction(self, cmd: ReconstructionCmd, origin):
         cpu = self.server.cpu
         profile = self.server.cpu_profile
-        yield cpu.execute(profile.cmd_handle_ns)
+        ctx = self._ctx(cmd)
+        yield from self._span(cpu.execute(profile.cmd_handle_ns), ctx, "draid.parse")
         # read the union of the normal-read segment and the recon region
         # (a single drive I/O even when they are disjoint, §6.1)
         spans = [(cmd.region_offset, cmd.region_offset + cmd.region_length)]
@@ -457,10 +509,10 @@ class DraidBdevServer:
         union_end = max(e for _, e in spans)
         try:
             block = yield self.server.drive.read(
-                cmd.chunk_drive_offset + union_start, union_end - union_start
+                cmd.chunk_drive_offset + union_start, union_end - union_start, ctx=ctx
             )
         except (DriveFailedError, ValueError) as exc:
-            self._complete(origin, cmd.cid, "recon", ok=False, error=str(exc))
+            self._complete(origin, cmd.cid, "recon", ok=False, error=str(exc), ctx=ctx)
             return
         region = None
         if self.functional:
@@ -478,7 +530,8 @@ class DraidBdevServer:
             self._signal_peer(
                 cmd.reducer,
                 PeerMsg(cmd.cid, key=RECON_KEY, fwd_offset=cmd.region_offset,
-                        fwd_length=cmd.region_length, source=cmd.source, data=region),
+                        fwd_length=cmd.region_length, source=cmd.source, data=region,
+                        trace=ctx),
             )
         if cmd.read_segment is not None:
             offset, length, io_offset = cmd.read_segment
@@ -486,10 +539,12 @@ class DraidBdevServer:
             if self.functional:
                 rel = offset - union_start
                 seg = block[rel : rel + length]
-            yield cpu.execute(profile.completion_ns)
+            yield from self._span(
+                cpu.execute(profile.completion_ns), ctx, "draid.complete"
+            )
             # normal-read bytes return directly to the host (§6.1 key idea)
             self._complete(origin, cmd.cid, "read", data=seg, io_offset=io_offset,
-                           payload=length)
+                           payload=length, ctx=ctx)
 
     def _reduce_recon_partial(self, msg: PeerMsg):
         state = self._recon_state(msg.cid)
@@ -506,16 +561,23 @@ class DraidBdevServer:
         cmd = state.cmd
         del self._recon_states[cid]
         profile = self.server.cpu_profile
-        yield self.server.cpu.execute(
-            profile.xor_ns(cmd.region_length) * max(1, len(state.blocks) - 1)
+        ctx = self._ctx(cmd)
+        yield from self._span(
+            self.server.cpu.execute(
+                profile.xor_ns(cmd.region_length) * max(1, len(state.blocks) - 1)
+            ),
+            ctx, "draid.decode",
         )
         result = None
         if self.functional:
             result = self._decode_lost(cmd, state)
-        yield self.server.cpu.execute(profile.completion_ns)
+        yield from self._span(
+            self.server.cpu.execute(profile.completion_ns), ctx, "draid.complete"
+        )
         origin = state.origin if state.origin is not None else self.host_end
         self._complete(origin, cmd.cid, "recon", data=result,
-                       io_offset=cmd.lost_io_offset, payload=cmd.region_length)
+                       io_offset=cmd.lost_io_offset, payload=cmd.region_length,
+                       ctx=ctx)
 
     def _decode_lost(self, cmd: ReconstructionCmd, state: _ReconReduceState):
         """Rebuild the lost region from the labeled partials."""

@@ -101,39 +101,46 @@ class EcDraidArray(DraidArray):
             return [None] * self.geometry.num_parity
         return self.code.encode(chunks)
 
-    def _write_full(self, ext: StripeExtent, io_data):
+    def _write_full(self, ext: StripeExtent, io_data, ctx=None):
         g = self.geometry
         chunk = g.chunk_bytes
-        yield self._charge_gf(g.data_per_stripe * g.num_parity, chunk)
+        yield from self._span_wait(
+            self._charge_gf(g.data_per_stripe * g.num_parity, chunk), ctx, "gf"
+        )
         blocks = self._encode_parities(
             [self._seg_data(io_data, s) for s in ext.segments]
         )
         failed = self.failed_in_stripe(ext.stripe)
         cid = next_cid()
         writes = 0
+        ectx = self._derive(ctx)
+        sent_ns = self.env.now
         for seg in ext.segments:
             if seg.drive in failed:
                 continue
-            self.host_ends[seg.drive].send(
-                NvmeOfCommand(cid, Opcode.WRITE, seg.drive_offset, seg.length,
-                              data=self._seg_data(io_data, seg))
-            )
+            cmd = NvmeOfCommand(cid, Opcode.WRITE, seg.drive_offset, seg.length,
+                                data=self._seg_data(io_data, seg))
+            if ectx is not None:
+                cmd.trace = ectx
+            self.host_ends[seg.drive].send(cmd)
             writes += 1
         for j, p in enumerate(ext.parity_drives):
             if p in failed:
                 continue
-            self.host_ends[p].send(
-                NvmeOfCommand(cid, Opcode.WRITE, ext.parity_offset, chunk,
-                              data=blocks[j])
-            )
+            cmd = NvmeOfCommand(cid, Opcode.WRITE, ext.parity_offset, chunk,
+                                data=blocks[j])
+            if ectx is not None:
+                cmd.trace = ectx
+            self.host_ends[p].send(cmd)
             writes += 1
         waiter = self._register(cid, {"write": writes})
         expired = yield from self._await_op(cid, waiter)
+        self._record_envelope(ectx, "draid.write-full", sent_ns)
         if waiter.errors:
             self._mark_prolonged_failures(waiter)
         return not (waiter.errors or expired)
 
-    def _write_distributed(self, ext: StripeExtent, io_data, rcw: bool):
+    def _write_distributed(self, ext: StripeExtent, io_data, rcw: bool, ctx=None):
         g = self.geometry
         chunk = g.chunk_bytes
         failed = self.failed_in_stripe(ext.stripe)
@@ -141,7 +148,7 @@ class EcDraidArray(DraidArray):
             (j, p) for j, p in enumerate(ext.parity_drives) if p not in failed
         ]
         if not alive_parities:
-            return (yield from self._plain_segment_writes(ext, io_data))
+            return (yield from self._plain_segment_writes(ext, io_data, ctx))
         if rcw:
             fwd_off, fwd_len = 0, chunk
             subtype_parity = Subtype.RW_READ
@@ -153,6 +160,8 @@ class EcDraidArray(DraidArray):
         contributors = list(range(g.data_per_stripe)) if rcw else sorted(touched)
         matrix = self.code.parity_matrix
         writers = 0
+        ectx = self._derive(ctx)
+        sent_ns = self.env.now
         for d in contributors:
             seg = touched.get(d)
             drive = g.data_drive(ext.stripe, d)
@@ -178,6 +187,7 @@ class EcDraidArray(DraidArray):
                     parity_key=cid,
                     dests=dests,
                     data=self._seg_data(io_data, seg) if seg is not None else None,
+                    trace=ectx,
                 )
             )
             if seg is not None:
@@ -187,10 +197,12 @@ class EcDraidArray(DraidArray):
                 ParityCmd(cid, subtype=subtype_parity,
                           parity_drive_offset=ext.parity_offset,
                           fwd_offset=fwd_off, fwd_length=fwd_len,
-                          wait_num=len(contributors), parity_index=j, key=cid)
+                          wait_num=len(contributors), parity_index=j, key=cid,
+                          trace=ectx)
             )
         waiter = self._register(cid, {"data": writers, "parity": len(alive_parities)})
         expired = yield from self._await_op(cid, waiter)
+        self._record_envelope(ectx, "draid.partial-write", sent_ns)
         if waiter.errors:
             self._mark_prolonged_failures(waiter)
         return not (waiter.errors or expired)
@@ -223,7 +235,7 @@ class EcDraidArray(DraidArray):
 
     # -- degraded / fallback writes -------------------------------------------------
 
-    def _write_degraded(self, ext: StripeExtent, io_data, failed_touched):
+    def _write_degraded(self, ext: StripeExtent, io_data, failed_touched, ctx=None):
         g = self.geometry
         chunk = g.chunk_bytes
         failed = self.failed_in_stripe(ext.stripe)
@@ -231,19 +243,21 @@ class EcDraidArray(DraidArray):
             (j, p) for j, p in enumerate(ext.parity_drives) if p not in failed
         ]
         if not alive_parities:
-            return (yield from self._plain_segment_writes(ext, io_data))
+            return (yield from self._plain_segment_writes(ext, io_data, ctx))
         only_failed_chunk = (
             len(failed_touched) == len(ext.segments) == 1
             and len(failed - set(ext.parity_drives)) == 1
         )
         if not only_failed_chunk:
-            return (yield from self._write_host_fallback(ext, io_data))
+            return (yield from self._write_host_fallback(ext, io_data, ctx=ctx))
         seg = failed_touched[0]
         failed_index = g.data_index_of_drive(ext.stripe, seg.drive)
         region_offset, region_len = seg.chunk_offset, seg.length
         matrix = self.code.parity_matrix
         cid = next_cid()
         contributors = 0
+        ectx = self._derive(ctx)
+        sent_ns = self.env.now
         for d in range(g.data_per_stripe):
             drive = g.data_drive(ext.stripe, d)
             if drive in failed:
@@ -255,7 +269,7 @@ class EcDraidArray(DraidArray):
                     chunk_offset=0, data_index=d, fwd_offset=region_offset,
                     fwd_length=region_len, next_dest=self._server_of(alive_parities[0][1]),
                     chunk_drive_offset=ext.stripe * chunk, parity_key=cid,
-                    dests=dests,
+                    dests=dests, trace=ectx,
                 )
             )
             contributors += 1
@@ -266,24 +280,27 @@ class EcDraidArray(DraidArray):
             block = None
             if self.functional:
                 block = GF.mul_bytes(int(matrix[j, failed_index]), new_data)
-            yield self._charge_gf(1, region_len)
+            yield from self._span_wait(self._charge_gf(1, region_len), ctx, "gf")
             self.host_ends[p].send(
                 PeerMsg(cid, key=cid, fwd_offset=region_offset, fwd_length=region_len,
-                        source=("data", failed_index), data=block)
+                        source=("data", failed_index), data=block, trace=ectx)
             )
             self.host_ends[p].send(
                 ParityCmd(cid, subtype=Subtype.RW_READ,
                           parity_drive_offset=ext.parity_offset,
                           fwd_offset=region_offset, fwd_length=region_len,
-                          wait_num=contributors + 1, parity_index=j, key=cid)
+                          wait_num=contributors + 1, parity_index=j, key=cid,
+                          trace=ectx)
             )
         waiter = self._register(cid, {"parity": len(alive_parities)})
         expired = yield from self._await_op(cid, waiter)
+        self._record_envelope(ectx, "draid.degraded-write", sent_ns)
         if waiter.errors:
             self._mark_prolonged_failures(waiter)
         return not (waiter.errors or expired)
 
-    def _write_host_fallback(self, ext: StripeExtent, io_data):
+    def _write_host_fallback(self, ext: StripeExtent, io_data, attempt: int = 0,
+                             ctx=None):
         g = self.geometry
         chunk = g.chunk_bytes
         gaps = self._stripe_gaps(ext)
@@ -293,9 +310,11 @@ class EcDraidArray(DraidArray):
             user_offset = stripe_base + d * chunk + off
             gap_ext, = g.map_extent(user_offset, length)
             buffer = np.zeros(length, dtype=np.uint8) if self.functional else None
-            yield from self._read_extent(gap_ext, buffer, user_offset)
+            yield from self._read_extent(gap_ext, buffer, user_offset, ctx=ctx)
             gap_buffers.append(buffer)
-        yield self._charge_gf(g.data_per_stripe * g.num_parity, chunk)
+        yield from self._span_wait(
+            self._charge_gf(g.data_per_stripe * g.num_parity, chunk), ctx, "gf"
+        )
         stripe_img = None
         blocks = [None] * g.num_parity
         if self.functional:
@@ -304,25 +323,31 @@ class EcDraidArray(DraidArray):
         failed = self.failed_in_stripe(ext.stripe)
         cid = next_cid()
         writes = 0
+        ectx = self._derive(ctx)
+        sent_ns = self.env.now
         for d in range(g.data_per_stripe):
             drive = g.data_drive(ext.stripe, d)
             if drive in failed:
                 continue
             block = stripe_img[d] if stripe_img is not None else None
-            self.host_ends[drive].send(
-                NvmeOfCommand(cid, Opcode.WRITE, ext.stripe * chunk, chunk, data=block)
-            )
+            cmd = NvmeOfCommand(cid, Opcode.WRITE, ext.stripe * chunk, chunk,
+                                data=block)
+            if ectx is not None:
+                cmd.trace = ectx
+            self.host_ends[drive].send(cmd)
             writes += 1
         for j, p in enumerate(ext.parity_drives):
             if p in failed:
                 continue
-            self.host_ends[p].send(
-                NvmeOfCommand(cid, Opcode.WRITE, ext.parity_offset, chunk,
-                              data=blocks[j])
-            )
+            cmd = NvmeOfCommand(cid, Opcode.WRITE, ext.parity_offset, chunk,
+                                data=blocks[j])
+            if ectx is not None:
+                cmd.trace = ectx
+            self.host_ends[p].send(cmd)
             writes += 1
         waiter = self._register(cid, {"write": writes})
-        expired = yield from self._await_op(cid, waiter)
+        expired = yield from self._await_op(cid, waiter, attempt=attempt)
+        self._record_envelope(ectx, "draid.write-fallback", sent_ns)
         if waiter.errors:
             self._mark_prolonged_failures(waiter)
         return not (waiter.errors or expired)

@@ -121,6 +121,8 @@ class DraidArray(HostCentricRaid):
             )
             for i in range(self.cluster.num_servers)
         ]
+        for bdev_server in self.bdev_servers:
+            bdev_server.tracer = self._tracer
         self.host_ends = [
             self.cluster.host_end(i) for i in range(self.cluster.num_servers)
         ]
@@ -252,7 +254,9 @@ class DraidArray(HostCentricRaid):
 
     # -- reads -----------------------------------------------------------------
 
-    def _read_extent(self, ext: StripeExtent, buffer, io_base: int, take_locks: bool = True):
+    def _read_extent(
+        self, ext: StripeExtent, buffer, io_base: int, take_locks: bool = True, ctx=None
+    ):
         # dRAID reads are lock-free (§8); take_locks is part of the shared
         # controller interface and has nothing to suppress here.
         if self.resilient:
@@ -261,11 +265,11 @@ class DraidArray(HostCentricRaid):
         healthy = [s for s in ext.segments if s.drive not in failed]
         lost = [s for s in ext.segments if s.drive in failed]
         if not lost:
-            yield from self._plain_reads(ext, healthy, buffer)
+            yield from self._plain_reads(ext, healthy, buffer, ctx)
             return
-        yield from self._degraded_read(ext, healthy, lost, buffer)
+        yield from self._degraded_read(ext, healthy, lost, buffer, ctx)
 
-    def _plain_reads(self, ext: StripeExtent, segments, buffer):
+    def _plain_reads(self, ext: StripeExtent, segments, buffer, ctx=None):
         pending = list(segments)
         attempts = 0
         while pending:
@@ -274,15 +278,18 @@ class DraidArray(HostCentricRaid):
             for seg in pending:
                 cid = next_cid()
                 waiter = self._register(cid, {"read": 1}, participants={seg.drive})
-                self.host_ends[seg.drive].send(
-                    NvmeOfCommand(cid, Opcode.READ, seg.drive_offset, seg.length)
-                )
-                submitted.append((cid, seg, waiter))
+                cmd = NvmeOfCommand(cid, Opcode.READ, seg.drive_offset, seg.length)
+                ectx = self._derive(ctx)
+                if ectx is not None:
+                    cmd.trace = ectx
+                self.host_ends[seg.drive].send(cmd)
+                submitted.append((cid, seg, waiter, ectx, self.env.now))
             retry = []
-            for cid, seg, waiter in submitted:
+            for cid, seg, waiter, ectx, sent_ns in submitted:
                 expired = yield from self._await_op(
                     cid, waiter, attempt=attempts, drain=False
                 )
+                self._record_envelope(ectx, "draid.read", sent_ns)
                 if waiter.errors or expired:
                     # NVMe-oF reads are idempotent: resend expired ones
                     # (§5.4); errors mean a prolonged failure, handled by
@@ -318,17 +325,17 @@ class DraidArray(HostCentricRaid):
                     self.fault_stats.retries += 1
                     pause = self.backoff.backoff_ns(attempts, self._retry_rng)
                     if pause:
-                        yield self.env.timeout(pause)
+                        yield from self._backoff_pause(pause, ctx)
                 failed = self.failed_in_stripe(ext.stripe)
                 still_healthy = [s for s in retry if s.drive not in failed]
                 lost = [s for s in retry if s.drive in failed]
                 if lost:
-                    yield from self._degraded_read(ext, [], lost, buffer)
+                    yield from self._degraded_read(ext, [], lost, buffer, ctx)
                 pending = still_healthy
             else:
                 pending = []
 
-    def _degraded_read(self, ext: StripeExtent, healthy, lost, buffer):
+    def _degraded_read(self, ext: StripeExtent, healthy, lost, buffer, ctx=None):
         """§6.1: merge normal reads into the reconstruction broadcast."""
         g = self.geometry
         remaining_healthy = {s.drive: s for s in healthy}
@@ -346,6 +353,8 @@ class DraidArray(HostCentricRaid):
             also_read = 0
             folded = []
             responders = {reducer_member}
+            ectx = self._derive(ctx)
+            sent_ns = self.env.now
             for drive, source in participants:
                 read_segment = None
                 if order == 0 and drive in remaining_healthy:
@@ -368,11 +377,14 @@ class DraidArray(HostCentricRaid):
                     read_segment=read_segment,
                     lost_io_offset=seg.io_offset,
                 )
+                if ectx is not None:
+                    cmd.trace = ectx
                 self.host_ends[drive].send(cmd)
             waiter = self._register(
                 cid, {"recon": 1, "read": also_read}, participants=responders
             )
             expired = yield from self._await_op(cid, waiter, drain=False)
+            self._record_envelope(ectx, "draid.recon", sent_ns)
             if waiter.errors or expired:
                 # reconstruction reads are idempotent too: retry once with
                 # a fresh broadcast before giving up
@@ -387,7 +399,7 @@ class DraidArray(HostCentricRaid):
                             buffer[comp.io_offset : comp.io_offset + len(comp.data)] = comp.data
                 missing = [h for h in folded if h.io_offset not in received]
                 if missing:
-                    yield from self._plain_reads(ext, missing, buffer)
+                    yield from self._plain_reads(ext, missing, buffer, ctx)
                 if self.resilient:
                     self.fault_stats.retries += 1
                 cid2 = next_cid()
@@ -396,28 +408,32 @@ class DraidArray(HostCentricRaid):
                     [d for d, _ in participants], seg.length
                 )
                 reducer = self._server_of(reducer_member)
+                ectx2 = self._derive(ctx)
+                sent2_ns = self.env.now
                 for drive, source in participants:
-                    self.host_ends[drive].send(
-                        self._recon_cmd(
-                            cid2,
-                            subtype=Subtype.NO_READ,
-                            chunk_drive_offset=ext.stripe * g.chunk_bytes,
-                            region_offset=region[0],
-                            region_length=region[1],
-                            source=source,
-                            reducer=reducer,
-                            wait_num=len(participants) - 1,
-                            lost=("data", lost_index),
-                            num_data=g.data_per_stripe,
-                            lost_io_offset=seg.io_offset,
-                        )
+                    cmd2 = self._recon_cmd(
+                        cid2,
+                        subtype=Subtype.NO_READ,
+                        chunk_drive_offset=ext.stripe * g.chunk_bytes,
+                        region_offset=region[0],
+                        region_length=region[1],
+                        source=source,
+                        reducer=reducer,
+                        wait_num=len(participants) - 1,
+                        lost=("data", lost_index),
+                        num_data=g.data_per_stripe,
+                        lost_io_offset=seg.io_offset,
                     )
+                    if ectx2 is not None:
+                        cmd2.trace = ectx2
+                    self.host_ends[drive].send(cmd2)
                 waiter = self._register(
                     cid2, {"recon": 1}, participants={reducer_member}
                 )
                 expired = yield from self._await_op(
                     cid2, waiter, attempt=1, drain=False
                 )
+                self._record_envelope(ectx2, "draid.recon", sent2_ns)
                 if waiter.errors or expired:
                     if self.resilient:
                         self.fault_stats.io_errors += 1
@@ -431,7 +447,7 @@ class DraidArray(HostCentricRaid):
         # healthy segments not folded into any reconstruction broadcast
         leftovers = list(remaining_healthy.values())
         if leftovers:
-            yield from self._plain_reads(ext, leftovers, buffer)
+            yield from self._plain_reads(ext, leftovers, buffer, ctx)
 
     def _recon_participants(self, ext: StripeExtent) -> List[Tuple[int, Tuple[str, int]]]:
         """(server, source-role) pairs contributing to a reconstruction."""
@@ -457,6 +473,25 @@ class DraidArray(HostCentricRaid):
         """ReconstructionCmd factory (EcDraidArray stamps its RS code on)."""
         return ReconstructionCmd(*args, **kwargs)
 
+    # -- observability (repro.obs) ---------------------------------------------
+
+    def _derive(self, ctx):
+        """Reserve the envelope span of one dRAID command batch.
+
+        Returns a derived context to stamp on every command of the batch
+        (they are one logical remote operation), or None when untraced.
+        """
+        if self._tracer is None or ctx is None:
+            return None
+        return self._tracer.derive(ctx)
+
+    def _record_envelope(self, ectx, name: str, start_ns: int) -> None:
+        """Close a reserved envelope span over [start_ns, now] (ns)."""
+        if ectx is not None:
+            self._tracer.record_at(
+                ectx, name, "rpc", f"host.{self.name}", start_ns, self.env.now
+            )
+
     def _server_of(self, drive: int) -> int:
         """Server index hosting member ``drive``.
 
@@ -467,16 +502,16 @@ class DraidArray(HostCentricRaid):
 
     # -- writes ----------------------------------------------------------------
 
-    def _write_extent(self, ext: StripeExtent, io_data):
+    def _write_extent(self, ext: StripeExtent, io_data, ctx=None):
         # §3: the host-side controller admits one write per stripe.
         self.bitmap.mark(ext.stripe)
-        yield self.locks.acquire(ext.stripe)
+        yield from self._lock_wait(ext.stripe, ctx)
         try:
             if self.integrity is not None:
                 yield from self._verify_stripe_before_write(ext)
             if self.resilient:
                 self._check_tolerance(ext.stripe)
-            ok = yield from self._write_extent_once(ext, io_data)
+            ok = yield from self._write_extent_once(ext, io_data, ctx)
             attempts = 0
             while not ok:
                 # §5.4: explicit full-stripe retry after timeout/failure.
@@ -491,13 +526,15 @@ class DraidArray(HostCentricRaid):
                     self._check_tolerance(ext.stripe)
                     pause = self.backoff.backoff_ns(attempts, self._retry_rng)
                     if pause:
-                        yield self.env.timeout(pause)
-                ok = yield from self._write_host_fallback(ext, io_data, attempt=attempts)
+                        yield from self._backoff_pause(pause, ctx)
+                ok = yield from self._write_host_fallback(
+                    ext, io_data, attempt=attempts, ctx=ctx
+                )
         finally:
             self.locks.release(ext.stripe)
             self.bitmap.clear(ext.stripe)
 
-    def _write_extent_once(self, ext: StripeExtent, io_data):
+    def _write_extent_once(self, ext: StripeExtent, io_data, ctx=None):
         """One attempt at the optimal disaggregated write path.
 
         Returns True on clean completion, False if a retry is needed.
@@ -511,24 +548,26 @@ class DraidArray(HostCentricRaid):
         mode = classify_write(self.geometry, ext)
         if failed_touched:
             self.stats.degraded_writes += 1
-            return (yield from self._write_degraded(ext, io_data, failed_touched))
+            return (yield from self._write_degraded(ext, io_data, failed_touched, ctx))
         if mode is WriteMode.FULL_STRIPE:
             self.stats.full_stripe_writes += 1
-            return (yield from self._write_full(ext, io_data))
+            return (yield from self._write_full(ext, io_data, ctx))
         if mode is WriteMode.RECONSTRUCT_WRITE and not failed_untouched_data:
             self.stats.rcw_writes += 1
-            return (yield from self._write_distributed(ext, io_data, rcw=True))
+            return (yield from self._write_distributed(ext, io_data, rcw=True, ctx=ctx))
         self.stats.rmw_writes += 1
         if failed_untouched_data:
             self.stats.degraded_writes += 1
-        return (yield from self._write_distributed(ext, io_data, rcw=False))
+        return (yield from self._write_distributed(ext, io_data, rcw=False, ctx=ctx))
 
     # .. full-stripe (host-side parity, §3) ....................................
 
-    def _write_full(self, ext: StripeExtent, io_data):
+    def _write_full(self, ext: StripeExtent, io_data, ctx=None):
         g = self.geometry
         chunk = g.chunk_bytes
-        yield self._charge_xor(g.data_per_stripe, chunk)
+        yield from self._span_wait(
+            self._charge_xor(g.data_per_stripe, chunk), ctx, "xor"
+        )
         p_block = q_block = None
         if self.functional:
             chunks = [self._seg_data(io_data, s) for s in ext.segments]
@@ -538,38 +577,45 @@ class DraidArray(HostCentricRaid):
                 for i, blk in enumerate(chunks):
                     GF.mul_bytes_inplace_xor(q_block, GF.gen_pow(i), blk)
         if g.level is RaidLevel.RAID6:
-            yield self._charge_gf(g.data_per_stripe, chunk)
+            yield from self._span_wait(
+                self._charge_gf(g.data_per_stripe, chunk), ctx, "gf"
+            )
         failed = self.failed_in_stripe(ext.stripe)
         cid = next_cid()
         writes = 0
         writers = set()
+        ectx = self._derive(ctx)
+        sent_ns = self.env.now
         for seg in ext.segments:
             if seg.drive in failed:
                 continue
-            self.host_ends[seg.drive].send(
-                NvmeOfCommand(cid, Opcode.WRITE, seg.drive_offset, seg.length,
-                              data=self._seg_data(io_data, seg))
-            )
+            cmd = NvmeOfCommand(cid, Opcode.WRITE, seg.drive_offset, seg.length,
+                                data=self._seg_data(io_data, seg))
+            if ectx is not None:
+                cmd.trace = ectx
+            self.host_ends[seg.drive].send(cmd)
             writes += 1
             writers.add(seg.drive)
         for idx, p in enumerate(ext.parity_drives):
             if p in failed:
                 continue
             block = p_block if idx == 0 else q_block
-            self.host_ends[p].send(
-                NvmeOfCommand(cid, Opcode.WRITE, ext.parity_offset, chunk, data=block)
-            )
+            cmd = NvmeOfCommand(cid, Opcode.WRITE, ext.parity_offset, chunk, data=block)
+            if ectx is not None:
+                cmd.trace = ectx
+            self.host_ends[p].send(cmd)
             writes += 1
             writers.add(p)
         waiter = self._register(cid, {"write": writes}, participants=writers)
         expired = yield from self._await_op(cid, waiter)
+        self._record_envelope(ectx, "draid.write-full", sent_ns)
         if waiter.errors:
             self._mark_prolonged_failures(waiter)
         return not (waiter.errors or expired)
 
     # .. the disaggregated partial-stripe write (§5) ...........................
 
-    def _write_distributed(self, ext: StripeExtent, io_data, rcw: bool):
+    def _write_distributed(self, ext: StripeExtent, io_data, rcw: bool, ctx=None):
         g = self.geometry
         chunk = g.chunk_bytes
         alive_parities = [
@@ -578,7 +624,7 @@ class DraidArray(HostCentricRaid):
         ]
         if not alive_parities:
             # no parity to maintain (e.g. RAID-5 with P failed): plain writes
-            return (yield from self._plain_segment_writes(ext, io_data))
+            return (yield from self._plain_segment_writes(ext, io_data, ctx))
         if rcw:
             fwd_off, fwd_len = 0, chunk
             subtype_parity = Subtype.RW_READ  # no parity preread
@@ -600,6 +646,8 @@ class DraidArray(HostCentricRaid):
             next_dest2_parity = alive_parities[1][0]
         writers = 0
         responders = set()
+        ectx = self._derive(ctx)
+        sent_ns = self.env.now
         for d in contributors:
             seg = touched.get(d)
             drive = g.data_drive(ext.stripe, d)
@@ -625,6 +673,7 @@ class DraidArray(HostCentricRaid):
                 chunk_drive_offset=ext.stripe * chunk,
                 parity_key=cid,
                 data=self._seg_data(io_data, seg) if seg is not None else None,
+                trace=ectx,
             )
             self.host_ends[drive].send(cmd)
             if seg is not None:
@@ -641,6 +690,7 @@ class DraidArray(HostCentricRaid):
                     wait_num=len(contributors),
                     parity_index=idx,
                     key=cid,
+                    trace=ectx,
                 )
             )
             responders.add(p)
@@ -649,33 +699,38 @@ class DraidArray(HostCentricRaid):
             participants=responders,
         )
         expired = yield from self._await_op(cid, waiter)
+        self._record_envelope(ectx, "draid.partial-write", sent_ns)
         if waiter.errors:
             self._mark_prolonged_failures(waiter)
         return not (waiter.errors or expired)
 
-    def _plain_segment_writes(self, ext: StripeExtent, io_data):
+    def _plain_segment_writes(self, ext: StripeExtent, io_data, ctx=None):
         cid = next_cid()
         writes = 0
         writers = set()
         failed = self.failed_in_stripe(ext.stripe)
+        ectx = self._derive(ctx)
+        sent_ns = self.env.now
         for seg in ext.segments:
             if seg.drive in failed:
                 continue
-            self.host_ends[seg.drive].send(
-                NvmeOfCommand(cid, Opcode.WRITE, seg.drive_offset, seg.length,
-                              data=self._seg_data(io_data, seg))
-            )
+            cmd = NvmeOfCommand(cid, Opcode.WRITE, seg.drive_offset, seg.length,
+                                data=self._seg_data(io_data, seg))
+            if ectx is not None:
+                cmd.trace = ectx
+            self.host_ends[seg.drive].send(cmd)
             writes += 1
             writers.add(seg.drive)
         waiter = self._register(cid, {"write": writes}, participants=writers)
         expired = yield from self._await_op(cid, waiter)
+        self._record_envelope(ectx, "draid.write", sent_ns)
         if waiter.errors:
             self._mark_prolonged_failures(waiter)
         return not (waiter.errors or expired)
 
     # .. degraded write touching failed chunks (§3 host participation) .........
 
-    def _write_degraded(self, ext: StripeExtent, io_data, failed_touched):
+    def _write_degraded(self, ext: StripeExtent, io_data, failed_touched, ctx=None):
         """Write that touches a failed data chunk.
 
         Common case (the write covers *only* the failed chunk, one data
@@ -697,13 +752,13 @@ class DraidArray(HostCentricRaid):
             (idx, p) for idx, p in enumerate(ext.parity_drives) if p not in failed
         ]
         if not alive_parities:
-            return (yield from self._plain_segment_writes(ext, io_data))
+            return (yield from self._plain_segment_writes(ext, io_data, ctx))
         only_failed_chunk = (
             len(failed_touched) == len(ext.segments) == 1
             and len(failed - set(ext.parity_drives)) == 1
         )
         if not only_failed_chunk:
-            return (yield from self._write_host_fallback(ext, io_data))
+            return (yield from self._write_host_fallback(ext, io_data, ctx=ctx))
         seg = failed_touched[0]
         failed_index = g.data_index_of_drive(ext.stripe, seg.drive)
         region_offset, region_len = seg.chunk_offset, seg.length
@@ -715,6 +770,8 @@ class DraidArray(HostCentricRaid):
             next_dest2 = self._server_of(alive_parities[1][1])
             next_dest2_parity = alive_parities[1][0]
         contributors = 0
+        ectx = self._derive(ctx)
+        sent_ns = self.env.now
         for d in range(g.data_per_stripe):
             drive = g.data_drive(ext.stripe, d)
             if drive in failed:
@@ -735,6 +792,7 @@ class DraidArray(HostCentricRaid):
                     next_dest2_parity=next_dest2_parity if next_dest2 is not None else 1,
                     chunk_drive_offset=ext.stripe * chunk,
                     parity_key=cid,
+                    trace=ectx,
                 )
             )
             contributors += 1
@@ -749,29 +807,33 @@ class DraidArray(HostCentricRaid):
                     else GF.mul_bytes(GF.gen_pow(failed_index), new_data)
                 )
             if idx == 1:
-                yield self._charge_gf(1, region_len)
+                yield from self._span_wait(
+                    self._charge_gf(1, region_len), ctx, "gf"
+                )
             self.host_ends[p].send(
                 PeerMsg(cid, key=cid, fwd_offset=region_offset, fwd_length=region_len,
-                        source=("data", failed_index), data=block)
+                        source=("data", failed_index), data=block, trace=ectx)
             )
             self.host_ends[p].send(
                 ParityCmd(cid, subtype=Subtype.RW_READ,
                           parity_drive_offset=ext.parity_offset,
                           fwd_offset=region_offset, fwd_length=region_len,
-                          wait_num=contributors + 1, parity_index=idx, key=cid)
+                          wait_num=contributors + 1, parity_index=idx, key=cid,
+                          trace=ectx)
             )
         waiter = self._register(
             cid, {"parity": len(alive_parities)},
             participants={p for _, p in alive_parities},
         )
         expired = yield from self._await_op(cid, waiter)
+        self._record_envelope(ectx, "draid.degraded-write", sent_ns)
         if waiter.errors:
             self._mark_prolonged_failures(waiter)
         return not (waiter.errors or expired)
 
     # .. §5.4 full-stripe retry / host fallback ...............................
 
-    def _write_host_fallback(self, ext: StripeExtent, io_data, attempt: int = 0):
+    def _write_host_fallback(self, ext: StripeExtent, io_data, attempt: int = 0, ctx=None):
         """Degraded-aware full-stripe write executed by the host.
 
         Reads every stripe region the write does not cover (through the
@@ -788,9 +850,11 @@ class DraidArray(HostCentricRaid):
             user_offset = stripe_base + d * chunk + off
             gap_ext, = g.map_extent(user_offset, length)
             buffer = np.zeros(length, dtype=np.uint8) if self.functional else None
-            yield from self._read_extent(gap_ext, buffer, user_offset)
+            yield from self._read_extent(gap_ext, buffer, user_offset, ctx=ctx)
             gap_buffers.append(buffer)
-        yield self._charge_xor(g.data_per_stripe, chunk)
+        yield from self._span_wait(
+            self._charge_xor(g.data_per_stripe, chunk), ctx, "xor"
+        )
         p_block = q_block = None
         stripe_img = None
         if self.functional:
@@ -801,32 +865,39 @@ class DraidArray(HostCentricRaid):
                 for i, blk in enumerate(stripe_img):
                     GF.mul_bytes_inplace_xor(q_block, GF.gen_pow(i), blk)
         if g.level is RaidLevel.RAID6:
-            yield self._charge_gf(g.data_per_stripe, chunk)
+            yield from self._span_wait(
+                self._charge_gf(g.data_per_stripe, chunk), ctx, "gf"
+            )
         cid = next_cid()
         writes = 0
         writers = set()
         failed = self.failed_in_stripe(ext.stripe)
+        ectx = self._derive(ctx)
+        sent_ns = self.env.now
         for d in range(g.data_per_stripe):
             drive = g.data_drive(ext.stripe, d)
             if drive in failed:
                 continue
             block = stripe_img[d] if stripe_img is not None else None
-            self.host_ends[drive].send(
-                NvmeOfCommand(cid, Opcode.WRITE, ext.stripe * chunk, chunk, data=block)
-            )
+            cmd = NvmeOfCommand(cid, Opcode.WRITE, ext.stripe * chunk, chunk, data=block)
+            if ectx is not None:
+                cmd.trace = ectx
+            self.host_ends[drive].send(cmd)
             writes += 1
             writers.add(drive)
         for idx, p in enumerate(ext.parity_drives):
             if p in failed:
                 continue
             block = p_block if idx == 0 else q_block
-            self.host_ends[p].send(
-                NvmeOfCommand(cid, Opcode.WRITE, ext.parity_offset, chunk, data=block)
-            )
+            cmd = NvmeOfCommand(cid, Opcode.WRITE, ext.parity_offset, chunk, data=block)
+            if ectx is not None:
+                cmd.trace = ectx
+            self.host_ends[p].send(cmd)
             writes += 1
             writers.add(p)
         waiter = self._register(cid, {"write": writes}, participants=writers)
         expired = yield from self._await_op(cid, waiter, attempt=attempt)
+        self._record_envelope(ectx, "draid.write-fallback", sent_ns)
         if waiter.errors:
             self._mark_prolonged_failures(waiter)
         return not (waiter.errors or expired)

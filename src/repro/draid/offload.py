@@ -251,10 +251,12 @@ class OffloadedDraidArray:
         self._host_end.send(cmd)
         return event
 
-    def read(self, offset: int, nbytes: int) -> Event:
+    def read(self, offset: int, nbytes: int, ctx=None) -> Event:
+        # ctx accepted for interface parity; spans are not propagated across
+        # the proxy hop (the controller re-derives nothing host-side).
         return self._submit("read", offset, nbytes)
 
-    def write(self, offset: int, nbytes: int, data=None) -> Event:
+    def write(self, offset: int, nbytes: int, data=None, ctx=None) -> Event:
         if data is not None:
             import numpy as np
 

@@ -80,6 +80,8 @@ class PartialWriteCmd:
     dests: Optional[Tuple[Tuple[int, int], ...]] = None
     #: new data (functional mode)
     data: Optional[Any] = None
+    #: observability: trace context of the host request (None untraced)
+    trace: Optional[Any] = None
 
 
 @dataclass
@@ -99,6 +101,8 @@ class ParityCmd:
     parity_index: int = 0
     #: reduction key matching PartialWriteCmd.parity_key / PeerMsg.key
     key: int = 0
+    #: observability: trace context of the host request (None untraced)
+    trace: Optional[Any] = None
 
 
 @dataclass
@@ -118,6 +122,8 @@ class PeerMsg:
     source: Tuple[str, int]
     #: the partial result (functional mode)
     data: Optional[Any] = None
+    #: observability: trace context of the host request (None untraced)
+    trace: Optional[Any] = None
 
 
 @dataclass
@@ -148,6 +154,8 @@ class ReconstructionCmd:
     #: generic erasure codes (§7): (k, m) of the Reed-Solomon code the
     #: reducer must decode with (None = RAID-5/6 parity math)
     code_km: Optional[Tuple[int, int]] = None
+    #: observability: trace context of the host request (None untraced)
+    trace: Optional[Any] = None
 
 
 @dataclass
@@ -166,3 +174,5 @@ class DraidCompletion:
     #: destination offset within the user I/O buffer (read payloads)
     io_offset: int = 0
     error: Optional[str] = None
+    #: observability: trace context of the host request (None untraced)
+    trace: Optional[Any] = None

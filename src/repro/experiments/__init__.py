@@ -11,6 +11,7 @@ from repro.experiments.common import (
     build_array,
     fio_point,
     nic_goodput_mb_s,
+    traced_fio_point,
 )
 from repro.experiments.registry import EXPERIMENTS, run_experiment
 from repro.experiments.runner import (
@@ -33,4 +34,5 @@ __all__ = [
     "resolve_jobs",
     "run_experiment",
     "run_points",
+    "traced_fio_point",
 ]

@@ -7,6 +7,7 @@ Usage::
     python -m repro.experiments fig10 -j 8       # sweep points on 8 processes
     python -m repro.experiments --list           # what is available
     python -m repro.experiments --all            # everything (takes minutes)
+    python -m repro.experiments --trace t.json   # export one traced I/O run
 
 Sweep points fan out over worker processes (``-j``/``REPRO_JOBS``, default:
 all cores); results are byte-identical to ``-j 1`` because every point owns
@@ -24,6 +25,22 @@ import time
 from repro.experiments.registry import EXPERIMENTS, run_experiment
 from repro.experiments.runner import JOBS_ENV_VAR
 from repro.metrics.report import rows_to_csv
+
+
+def export_trace(path: str, system: str = "dRAID", io_size: int = 4096,
+                 fast: bool = True) -> None:
+    """Run one traced FIO point; print its breakdown and write the trace."""
+    from repro.experiments.common import traced_fio_point
+    from repro.obs import breakdown_table, chrome_trace_json, request_breakdowns
+
+    result, obs = traced_fio_point(system, io_size=io_size, fast=fast)
+    breakdowns = request_breakdowns(obs.tracer)
+    print(f"{system} {io_size}B: {result.bandwidth_mb_s:.1f} MB/s, "
+          f"{len(breakdowns)} traced requests")
+    print(breakdown_table(breakdowns, limit=10))
+    print(obs.sampler.report().render())
+    pathlib.Path(path).write_text(chrome_trace_json(obs.tracer))
+    print(f"trace -> {path} (load in Perfetto / chrome://tracing)")
 
 
 def main(argv=None) -> int:
@@ -47,6 +64,20 @@ def main(argv=None) -> int:
         help="worker processes for sweep points (default: REPRO_JOBS or all "
              "cores; 1 = serial in-process)",
     )
+    parser.add_argument(
+        "--trace", metavar="PATH", default=None,
+        help="run one observability-armed dRAID 4 KiB write point, print its "
+             "critical-path breakdown and write a Perfetto-loadable Chrome "
+             "trace JSON to PATH",
+    )
+    parser.add_argument(
+        "--trace-system", default="dRAID", metavar="SYS",
+        help="system for --trace (Linux, SPDK or dRAID; default dRAID)",
+    )
+    parser.add_argument(
+        "--trace-io-size", type=int, default=4096, metavar="BYTES",
+        help="I/O size in bytes for --trace (default 4096)",
+    )
     args = parser.parse_args(argv)
 
     if args.jobs is not None:
@@ -60,8 +91,13 @@ def main(argv=None) -> int:
         for exp_id in EXPERIMENTS:
             print(exp_id)
         return 0
+    if args.trace:
+        export_trace(args.trace, system=args.trace_system,
+                     io_size=args.trace_io_size, fast=not args.full)
     targets = list(EXPERIMENTS) if args.all else args.experiments
     if not targets:
+        if args.trace:
+            return 0
         parser.print_help()
         return 2
     unknown = [t for t in targets if t not in EXPERIMENTS]

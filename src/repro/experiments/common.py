@@ -15,6 +15,7 @@ from typing import Dict, Optional, Sequence
 from repro.baselines import MdRaid, SpdkRaid
 from repro.cluster import ClusterConfig, build_cluster
 from repro.draid import DraidArray
+from repro.obs import ObservabilityConfig
 from repro.net.nic import GOODPUT_100G
 from repro.raid.geometry import RaidGeometry, RaidLevel
 from repro.sim import Environment
@@ -57,15 +58,24 @@ def build_array(
     chunk: int = DEFAULT_CHUNK,
     server_nic_rates: Optional[Sequence[float]] = None,
     failed_drives: Sequence[int] = (),
+    observability: Optional[ObservabilityConfig] = None,
     **array_kwargs,
 ):
-    """Fresh environment + cluster + controller for one experiment point."""
+    """Fresh environment + cluster + controller for one experiment point.
+
+    Pass ``observability=ObservabilityConfig()`` to arm per-I/O tracing and
+    the utilization sampler on the new cluster (``array.cluster.obs``).
+    """
     if system not in SYSTEMS:
         raise ValueError(f"unknown system {system!r}; pick from {sorted(SYSTEMS)}")
     env = Environment()
     cluster = build_cluster(
         env,
-        ClusterConfig(num_servers=servers, server_nic_rates=server_nic_rates),
+        ClusterConfig(
+            num_servers=servers,
+            server_nic_rates=server_nic_rates,
+            observability=observability,
+        ),
     )
     geometry = RaidGeometry(level, servers, chunk)
     array = SYSTEMS[system](cluster, geometry, **array_kwargs)
@@ -106,3 +116,48 @@ def fio_point(
         seed=seed,
     )
     return fio.run(measure_ns=measure_window_ns(fast))
+
+
+def traced_fio_point(
+    system: str,
+    io_size: int = DEFAULT_IO,
+    read_fraction: float = 0.0,
+    servers: int = DEFAULT_SERVERS,
+    level: RaidLevel = RaidLevel.RAID5,
+    chunk: int = DEFAULT_CHUNK,
+    queue_depth: int = DEFAULT_QD,
+    failed_drives: Sequence[int] = (),
+    server_nic_rates: Optional[Sequence[float]] = None,
+    fast: bool = True,
+    seed: int = 1234,
+    observability: Optional[ObservabilityConfig] = None,
+    **array_kwargs,
+):
+    """Run one observability-armed FIO point; returns ``(FioResult, Observability)``.
+
+    Identical methodology to :func:`fio_point` but the cluster is built with
+    tracing armed: every measured I/O records a root span plus its
+    host/NIC/fabric/target/drive child spans, and the utilization sampler
+    covers exactly the measurement window.  Inspect ``obs.tracer`` with
+    :func:`repro.obs.request_breakdowns` / :func:`repro.obs.chrome_trace_json`
+    and ``obs.sampler.report()`` for the bottleneck attribution.
+    """
+    array = build_array(
+        system,
+        servers=servers,
+        level=level,
+        chunk=chunk,
+        server_nic_rates=server_nic_rates,
+        failed_drives=failed_drives,
+        observability=observability or ObservabilityConfig(),
+        **array_kwargs,
+    )
+    fio = FioWorkload(
+        array,
+        io_size,
+        read_fraction=read_fraction,
+        queue_depth=queue_depth,
+        seed=seed,
+    )
+    result = fio.run(measure_ns=measure_window_ns(fast))
+    return result, array.cluster.obs

@@ -1,0 +1,81 @@
+"""The ``obs`` figure: where does each request's time go, and what saturates?
+
+Not a figure from the paper — an observability cross-check of its §9
+attribution claims.  Each point runs one observability-armed FIO
+measurement (see :func:`repro.experiments.common.traced_fio_point`),
+folds the per-request traces into a mean critical-path breakdown, and
+asks the utilization sampler which resource class saturated:
+
+* Linux MD at 128 KiB reads is **host-NIC-bound** — one host NIC carries
+  the full read stream (§2.3, Figure 9).
+* dRAID at 4 KiB writes is **drive-bound** — offload removes the network
+  and CPU bottlenecks, leaving raw drive IOPS (§9.2, Figure 10).
+
+Rows carry bandwidth, the mean per-request breakdown in microseconds
+(parts sum to the mean latency by construction) and the mean utilization
+of the key resource classes; the sampler's verdict is folded into the
+x label, e.g. ``rd128K[host-nic]``.
+
+Point functions stay module-level so they pickle across the
+``REPRO_JOBS`` process boundary.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.experiments.common import KB, traced_fio_point
+from repro.experiments.runner import SweepPoint, run_points
+from repro.metrics.report import Row
+from repro.obs import request_breakdowns
+
+#: (x label, system, io_size, read_fraction) — the attribution points.
+OBS_POINTS = (
+    ("rd128K", "Linux", 128 * KB, 1.0),
+    ("rd128K", "SPDK", 128 * KB, 1.0),
+    ("rd128K", "dRAID", 128 * KB, 1.0),
+    ("wr4K", "Linux", 4 * KB, 0.0),
+    ("wr4K", "SPDK", 4 * KB, 0.0),
+    ("wr4K", "dRAID", 4 * KB, 0.0),
+)
+
+#: Breakdown categories reported as table columns (microseconds each).
+BREAKDOWN_COLUMNS = ("disk", "transfer", "compute", "queue-wait", "lock-wait")
+
+
+def obs_point(x, system: str, io_size: int, read_fraction: float,
+              fast: bool = True, seed: int = 1234) -> Row:
+    """One armed FIO run -> a row of breakdown + utilization metrics."""
+    result, obs = traced_fio_point(
+        system, io_size=io_size, read_fraction=read_fraction, fast=fast, seed=seed
+    )
+    breakdowns = request_breakdowns(obs.tracer)
+    n = max(1, len(breakdowns))
+    mean_parts = {}
+    for b in breakdowns:
+        for cat, ns in b["parts"].items():
+            mean_parts[cat] = mean_parts.get(cat, 0) + ns
+    report = obs.sampler.report()
+    metrics = {
+        "bandwidth_mb_s": result.bandwidth_mb_s,
+        "avg_latency_us": result.latency.mean_us,
+    }
+    for cat in BREAKDOWN_COLUMNS:
+        metrics[f"{cat}_us"] = mean_parts.get(cat, 0) / n / 1000
+    other = sum(mean_parts.values()) - sum(
+        mean_parts.get(c, 0) for c in BREAKDOWN_COLUMNS
+    )
+    metrics["other_us"] = other / n / 1000
+    for cls in ("host-nic", "drive", "server-cpu", "raid-thread"):
+        metrics[f"{cls}-util"] = report.utilization.get(cls, 0.0)
+    return Row(x=f"{x}[{report.bottleneck}]", system=system, metrics=metrics)
+
+
+def obs_rows(fast: bool = True, jobs: Optional[int] = None) -> List[Row]:
+    """All attribution points, fanned out like every other figure sweep."""
+    points = [
+        SweepPoint(obs_point, dict(x=x, system=system, io_size=io,
+                                   read_fraction=rf, fast=fast))
+        for x, system, io, rf in OBS_POINTS
+    ]
+    return run_points(points, jobs=jobs)

@@ -217,6 +217,17 @@ def run_integrity(fast: bool = True):
     )
 
 
+def run_obs(fast: bool = True):
+    from repro.experiments.obs_figures import obs_rows
+
+    rows = obs_rows(fast=fast)
+    return (
+        "Observability: per-request critical path and bottleneck attribution "
+        "(x label carries the sampler's verdict)",
+        rows,
+    )
+
+
 EXPERIMENTS: Dict[str, Callable[[bool], Tuple[str, List[Row]]]] = {
     "table1": run_table1,
     "fig09": run_fig09,
@@ -243,6 +254,7 @@ EXPERIMENTS: Dict[str, Callable[[bool], Tuple[str, List[Row]]]] = {
     "fig30": run_fig30,
     "reliability": run_reliability,
     "integrity": run_integrity,
+    "obs": run_obs,
 }
 
 

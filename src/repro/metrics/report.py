@@ -27,19 +27,30 @@ def format_table(
         for key in row.metrics:
             if key not in metrics:
                 metrics.append(key)
-    systems: List[str] = []
-    for row in rows:
-        if row.system not in systems:
-            systems.append(row.system)
+    # Per-column widths grow with content (long metric names, multi-digit-GB
+    # bandwidths) but never shrink below the historical 12/10/16 minimums, so
+    # tables whose cells fit render byte-identically to earlier releases.
+    x_cells = [str(row.x) for row in rows]
+    cell_rows = [
+        [f"{row.metrics.get(m, float('nan')):.1f}" for m in metrics] for row in rows
+    ]
+    x_width = max([12, len(x_label), *(len(c) for c in x_cells)] if x_cells else [12, len(x_label)])
+    system_width = max([10, *(len(row.system) for row in rows)] if rows else [10])
+    # the +1 guarantees at least one space between adjacent metric columns
+    # (they have no explicit separator) once content reaches the 16 minimum
+    widths = [
+        max([16, len(m) + 1, *(len(r[i]) + 1 for r in cell_rows)] if cell_rows else [16, len(m) + 1])
+        for i, m in enumerate(metrics)
+    ]
     lines = [title, "=" * len(title)]
-    header = f"{x_label:>12} {'system':>10}" + "".join(f"{m:>16}" for m in metrics)
+    header = f"{x_label:>{x_width}} {'system':>{system_width}}" + "".join(
+        f"{m:>{w}}" for m, w in zip(metrics, widths)
+    )
     lines.append(header)
     lines.append("-" * len(header))
-    for row in rows:
-        cells = "".join(
-            f"{row.metrics.get(m, float('nan')):>16.1f}" for m in metrics
-        )
-        lines.append(f"{str(row.x):>12} {row.system:>10}{cells}")
+    for row, cells in zip(rows, cell_rows):
+        body = "".join(f"{c:>{w}}" for c, w in zip(cells, widths))
+        lines.append(f"{str(row.x):>{x_width}} {row.system:>{system_width}}{body}")
     return "\n".join(lines)
 
 

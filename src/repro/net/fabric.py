@@ -55,13 +55,21 @@ class ConnectionEnd:
             message=message,
         )
 
-    def rdma_read(self, nbytes: int) -> Event:
-        """One-sided READ: pull ``nbytes`` from the peer's memory."""
-        return self.connection._transfer(src=self.peer.nic, dst=self.nic, nbytes=nbytes)
+    def rdma_read(self, nbytes: int, ctx: Any = None) -> Event:
+        """One-sided READ: pull ``nbytes`` from the peer's memory.
 
-    def rdma_write(self, nbytes: int) -> Event:
+        ``ctx`` (an optional :class:`repro.obs.TraceContext`) attributes the
+        wire time to a traced request when the fabric's tracer is armed.
+        """
+        return self.connection._transfer(
+            src=self.peer.nic, dst=self.nic, nbytes=nbytes, ctx=ctx
+        )
+
+    def rdma_write(self, nbytes: int, ctx: Any = None) -> Event:
         """One-sided WRITE: push ``nbytes`` into the peer's memory."""
-        return self.connection._transfer(src=self.nic, dst=self.peer.nic, nbytes=nbytes)
+        return self.connection._transfer(
+            src=self.nic, dst=self.peer.nic, nbytes=nbytes, ctx=ctx
+        )
 
     def recv(self) -> Event:
         """Event yielding the next message in this end's inbox."""
@@ -104,13 +112,27 @@ class RdmaConnection:
         nbytes: int,
         deliver_to: Optional[Store] = None,
         message: Any = None,
+        ctx: Any = None,
     ) -> Event:
         """Move ``nbytes`` from ``src`` to ``dst``.
 
         Bytes occupy src.tx and dst.rx; the transfer completes when both
         directions have drained it, plus fabric propagation and the RDMA
         op overhead.  O(1): one completion event per transfer.
+
+        When the fabric's tracer is armed and the transfer belongs to a
+        traced request (``ctx`` passed explicitly, or carried as a
+        ``.trace`` attribute of ``message``), the fully determined
+        schedule is recorded as queue-wait + transfer spans — tracing
+        reads the future completion time, it never changes it.
         """
+        tracer = self.fabric.tracer
+        wait = 0
+        if tracer is not None:
+            if ctx is None and message is not None:
+                ctx = getattr(message, "trace", None)
+            if ctx is not None and src is not dst:
+                wait = max(src.tx.queue_delay_ns(), dst.rx.queue_delay_ns())
         if src is dst:
             # loopback (co-located bdevs): no NIC occupancy, memcpy-scale delay
             done = self.env.now + self.fabric.loopback_ns
@@ -124,7 +146,21 @@ class RdmaConnection:
         jitter_fn = self.fabric.jitter_ns_fn
         if jitter_fn is not None:
             done += jitter_fn()
-        event = self.env.timeout(done - self.env.now, value=nbytes)
+        now = self.env.now
+        if tracer is not None and ctx is not None:
+            track = f"net.{self.name}"
+            if wait:
+                tracer.record(ctx, f"{src.name}.tx-queue", "queue-wait", track, now, now + wait)
+            tracer.record(
+                ctx,
+                f"{src.name}->{dst.name}",
+                "transfer",
+                track,
+                now + wait,
+                done,
+                {"bytes": nbytes},
+            )
+        event = self.env.timeout(done - now, value=nbytes)
         if deliver_to is not None:
             event.callbacks.append(lambda _ev: deliver_to.put(message))
         return event
@@ -153,6 +189,10 @@ class Fabric:
         #: non-negative jitter (ns) added to the completion time.  Drive it
         #: from a seeded RNG so runs stay deterministic.
         self.jitter_ns_fn = None
+        #: Observability: a :class:`repro.obs.Tracer` armed by
+        #: :class:`repro.obs.Observability`; None (default) disables all
+        #: transfer-span recording at the cost of one ``is None`` check.
+        self.tracer = None
         self._counter = 0
         self.connections = []
 

@@ -33,6 +33,10 @@ class RemoteBdev:
         #: sim time of the last completion seen from this member — the
         #: liveness signal prolonged-failure fencing keys off (§5.4)
         self.last_completion_ns = 0
+        #: Observability: armed by the controller when ``cluster.obs`` is set.
+        self.tracer = None
+        #: cid -> (reserved envelope context, submit time ns, op name)
+        self._inflight_spans: Dict[int, Any] = {}
         self._receiver = self.env.process(self._receive(), name=f"{name}.cq")
 
     @property
@@ -43,6 +47,14 @@ class RemoteBdev:
         while True:
             completion: NvmeOfCompletion = yield self.end.recv()
             self.last_completion_ns = self.env.now
+            if self._inflight_spans:
+                entry = self._inflight_spans.pop(completion.cid, None)
+                if entry is not None:
+                    ectx, start_ns, op = entry
+                    self.tracer.record_at(
+                        ectx, f"{self.name}.{op}", "rpc",
+                        f"host.{self.name}", start_ns, self.env.now,
+                    )
             event = self._pending.pop(completion.cid, None)
             if event is None or event.triggered:
                 continue  # late completion for a timed-out command
@@ -51,8 +63,16 @@ class RemoteBdev:
             else:
                 event.fail(IoError(f"{self.name}: {completion.error}"))
 
-    def _submit(self, opcode: Opcode, offset: int, length: int, data: Any = None) -> Event:
+    def _submit(
+        self, opcode: Opcode, offset: int, length: int, data: Any = None, ctx: Any = None
+    ) -> Event:
         command = NvmeOfCommand(next_cid(), opcode, offset, length, data=data)
+        if self.tracer is not None and ctx is not None:
+            # Reserve the remote-op envelope span now so the capsule, target
+            # and drive spans nest under it; its end is recorded on completion.
+            ectx = self.tracer.derive(ctx)
+            command.trace = ectx
+            self._inflight_spans[command.cid] = (ectx, self.env.now, opcode.value)
         completion = self.env.event()
         self._pending[command.cid] = completion
         # Write payloads are pulled by the target via one-sided READ after
@@ -60,12 +80,12 @@ class RemoteBdev:
         self.end.send(command)
         return completion
 
-    def read(self, offset: int, length: int) -> Event:
+    def read(self, offset: int, length: int, ctx: Any = None) -> Event:
         """Completion event whose value is the data (functional mode)."""
-        return self._submit(Opcode.READ, offset, length)
+        return self._submit(Opcode.READ, offset, length, ctx=ctx)
 
-    def write(self, offset: int, length: int, data: Any = None) -> Event:
-        return self._submit(Opcode.WRITE, offset, length, data=data)
+    def write(self, offset: int, length: int, data: Any = None, ctx: Any = None) -> Event:
+        return self._submit(Opcode.WRITE, offset, length, data=data, ctx=ctx)
 
     def cancel(self, event: Event) -> None:
         """Abandon a pending command (used by timeout handling)."""

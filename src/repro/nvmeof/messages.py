@@ -24,6 +24,9 @@ def next_cid() -> int:
 
 
 class Opcode(Enum):
+    """Standard NVMe-oF I/O opcodes (dRAID's extensions live in
+    :mod:`repro.draid.protocol`)."""
+
     READ = "read"
     WRITE = "write"
 
@@ -42,6 +45,9 @@ class NvmeOfCommand:
     length: int
     #: Payload for functional-mode writes (timing mode: None).
     data: Optional[Any] = None
+    #: Observability: :class:`repro.obs.TraceContext` of the traced request
+    #: this command belongs to (None when tracing is unarmed).
+    trace: Optional[Any] = None
 
     def __post_init__(self) -> None:
         if self.length <= 0:
@@ -59,3 +65,6 @@ class NvmeOfCompletion:
     #: Read payload in functional mode.
     data: Optional[Any] = None
     error: Optional[str] = None
+    #: Observability: trace context of the originating command, so the
+    #: response capsule's wire time is attributed to the same request.
+    trace: Optional[Any] = None

@@ -38,6 +38,8 @@ class NvmeOfTarget:
         self.down_until = 0
         self.crashes = 0
         self.commands_served = 0
+        #: Observability: armed by the controller when ``cluster.obs`` is set.
+        self.tracer = None
         self._service = self.env.process(self._serve(), name=f"{server.name}.nvmf")
 
     def crash(self, down_ns: int) -> None:
@@ -67,30 +69,46 @@ class NvmeOfTarget:
     def _handle(self, command: NvmeOfCommand):
         cpu = self.server.cpu
         profile = self.server.cpu_profile
+        tracer = self.tracer
+        ctx = command.trace if tracer is not None else None
+        track = f"{self.server.name}.cpu"
+        t0 = self.env.now
         yield cpu.execute(profile.cmd_handle_ns)
+        if ctx is not None:
+            tracer.record(ctx, "nvmf.parse", "compute", track, t0, self.env.now)
         try:
             if command.opcode is Opcode.READ:
-                data = yield self.server.drive.read(command.offset, command.length)
+                data = yield self.server.drive.read(
+                    command.offset, command.length, ctx=ctx
+                )
+                t0 = self.env.now
                 yield cpu.execute(profile.completion_ns)
+                if ctx is not None:
+                    tracer.record(ctx, "nvmf.complete", "compute", track, t0, self.env.now)
                 # read payload rides back with the response
                 self.host_end.send(
-                    NvmeOfCompletion(command.cid, ok=True, data=data),
+                    NvmeOfCompletion(command.cid, ok=True, data=data, trace=ctx),
                     payload_bytes=command.length,
                     header_bytes=RESPONSE_BYTES,
                 )
             else:
                 # target pulls the payload from host memory (one-sided READ)
-                yield self.host_end.rdma_read(command.length)
-                yield self.server.drive.write(command.offset, command.length, command.data)
+                yield self.host_end.rdma_read(command.length, ctx=ctx)
+                yield self.server.drive.write(
+                    command.offset, command.length, command.data, ctx=ctx
+                )
+                t0 = self.env.now
                 yield cpu.execute(profile.completion_ns)
+                if ctx is not None:
+                    tracer.record(ctx, "nvmf.complete", "compute", track, t0, self.env.now)
                 self.host_end.send(
-                    NvmeOfCompletion(command.cid, ok=True),
+                    NvmeOfCompletion(command.cid, ok=True, trace=ctx),
                     payload_bytes=0,
                     header_bytes=RESPONSE_BYTES,
                 )
         except (DriveFailedError, ValueError) as exc:
             self.host_end.send(
-                NvmeOfCompletion(command.cid, ok=False, error=str(exc)),
+                NvmeOfCompletion(command.cid, ok=False, error=str(exc), trace=ctx),
                 payload_bytes=0,
                 header_bytes=RESPONSE_BYTES,
             )

@@ -1,0 +1,84 @@
+"""``repro.obs``: zero-cost-when-disabled tracing and utilization observability.
+
+Arm a cluster by passing ``ClusterConfig(observability=ObservabilityConfig())``
+to :func:`repro.cluster.builder.build_cluster`.  That attaches an
+:class:`Observability` hub to ``cluster.obs`` — a :class:`~repro.obs.trace.Tracer`
+that components record spans into, plus a
+:class:`~repro.obs.sampler.UtilizationSampler` ready to be started around a
+measurement window.  When the knob is left ``None`` (the default), every
+instrumentation site short-circuits on a single ``is None`` check, no trace
+context objects are created, and no sampling events are scheduled — runs are
+byte-identical to an unobserved simulation.
+
+See ``docs/OBSERVABILITY.md`` for the span taxonomy and how to open an
+exported trace in Perfetto.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from repro.obs.sampler import RESOURCE_CLASSES, BottleneckReport, UtilizationSampler
+from repro.obs.trace import (
+    CATEGORY_PRIORITY,
+    Span,
+    TraceContext,
+    Tracer,
+    breakdown_table,
+    chrome_trace_events,
+    chrome_trace_json,
+    request_breakdowns,
+    validate_chrome_trace,
+)
+
+__all__ = [
+    "ObservabilityConfig",
+    "Observability",
+    "Tracer",
+    "TraceContext",
+    "Span",
+    "CATEGORY_PRIORITY",
+    "chrome_trace_events",
+    "chrome_trace_json",
+    "validate_chrome_trace",
+    "request_breakdowns",
+    "breakdown_table",
+    "UtilizationSampler",
+    "BottleneckReport",
+    "RESOURCE_CLASSES",
+]
+
+
+@dataclass(frozen=True)
+class ObservabilityConfig:
+    """Knobs for the observability layer of one cluster.
+
+    ``trace`` enables span collection (per-I/O trace contexts threaded
+    through the datapath); ``sample_interval_ns`` sets the utilization
+    sampler's period in simulated nanoseconds.  The sampler is created
+    either way but only runs between explicit ``start()``/``stop()`` calls.
+    """
+
+    trace: bool = True
+    sample_interval_ns: int = 200_000
+
+
+class Observability:
+    """Per-cluster observability hub: one tracer plus one sampler.
+
+    Built by :func:`repro.cluster.builder.build_cluster` when
+    ``ClusterConfig.observability`` is set; arming wires the tracer into
+    the fabric and every drive so transport- and media-level spans are
+    recorded without per-call plumbing.
+    """
+
+    def __init__(self, cluster: Any, config: ObservabilityConfig) -> None:
+        self.config = config
+        self.cluster = cluster
+        self.tracer: Optional[Tracer] = Tracer() if config.trace else None
+        self.sampler = UtilizationSampler(cluster, config.sample_interval_ns)
+        cluster.fabric.tracer = self.tracer
+        for server in cluster.servers:
+            for drive in server.drives:
+                drive._tracer = self.tracer

@@ -23,6 +23,10 @@ from repro.raid.geometry import RaidGeometry, StripeExtent
 
 
 class WriteMode(Enum):
+    """How a stripe write produces its new parity: read-modify-write (read
+    old data + old parity), reconstruct-write (read the untouched
+    complement), or full-stripe (no reads at all)."""
+
     READ_MODIFY_WRITE = "rmw"
     RECONSTRUCT_WRITE = "rcw"
     FULL_STRIPE = "full"

@@ -30,6 +30,10 @@ from repro.sim.core import Environment, Event
 
 @dataclass
 class RebuildStats:
+    """Progress counters of one rebuild job: chunk/stripe counts,
+    ``bytes_written`` in bytes, ``started_ns``/``finished_ns`` in simulated
+    nanoseconds."""
+
     stripes_rebuilt: int = 0
     data_chunks_rebuilt: int = 0
     parity_chunks_rebuilt: int = 0

@@ -85,6 +85,9 @@ class NvmeDrive:
         self._armed_corruptions: List[Tuple[str, int]] = []
         self._integrity = None
         self._integrity_index = -1
+        # Observability: a repro.obs.Tracer armed by the Observability hub;
+        # None (default) keeps I/O on the zero-cost untraced path.
+        self._tracer = None
         self._data: Optional[np.ndarray] = None
         if functional_capacity:
             self._data = np.zeros(functional_capacity, dtype=np.uint8)
@@ -148,8 +151,12 @@ class NvmeDrive:
 
     # -- public I/O interface -----------------------------------------------
 
-    def read(self, offset: int, nbytes: int) -> Event:
-        """Read ``nbytes`` at ``offset``; event value is the data (or None)."""
+    def read(self, offset: int, nbytes: int, ctx=None) -> Event:
+        """Read ``nbytes`` at ``offset``; event value is the data (or None).
+
+        ``ctx`` (optional :class:`repro.obs.TraceContext`) attributes the
+        queueing and media time to a traced request when tracing is armed.
+        """
         self._check(offset, nbytes)
         self.stats.read_ops += 1
         self.stats.bytes_read += nbytes
@@ -161,12 +168,14 @@ class NvmeDrive:
             latency_ns = int(round(latency_ns * factor))
         done = self._dispatch(work_ns)
         completion = done + latency_ns - self.env.now
+        if self._tracer is not None and ctx is not None:
+            self._record_io(ctx, "read", done, work_ns, latency_ns, nbytes)
         value = None
         if self._data is not None:
             value = self._data[offset : offset + nbytes].copy()
         return self.env.timeout(completion, value=value)
 
-    def write(self, offset: int, nbytes: int, data=None) -> Event:
+    def write(self, offset: int, nbytes: int, data=None, ctx=None) -> Event:
         """Write ``nbytes`` at ``offset``; ``data`` required in functional mode."""
         self._check(offset, nbytes)
         self.stats.write_ops += 1
@@ -190,6 +199,8 @@ class NvmeDrive:
                 )
         done = self._dispatch(work_ns)
         completion = done + latency_ns - self.env.now
+        if self._tracer is not None and ctx is not None:
+            self._record_io(ctx, "write", done, work_ns, latency_ns, nbytes)
         pending = self._armed_corruptions.pop(0) if self._armed_corruptions else None
         backup = None
         if self._data is not None:
@@ -209,6 +220,31 @@ class NvmeDrive:
             # a clean overwrite cures whatever poison it covers
             self._clear_poison(offset, nbytes)
         return self.env.timeout(completion)
+
+    def _record_io(
+        self, ctx, op: str, done: int, work_ns: int, latency_ns: int, nbytes: int
+    ) -> None:
+        """Record queue-wait + media spans for one traced I/O.
+
+        The drive's schedule is fully determined at submission (``done`` is
+        the absolute channel-drain time computed by :meth:`_dispatch`), so
+        spans are recorded immediately without touching the event calendar.
+        """
+        now = self.env.now
+        start = done - work_ns
+        if start > now:
+            self._tracer.record(
+                ctx, f"{self.name}.queue", "queue-wait", self.name, now, start
+            )
+        self._tracer.record(
+            ctx,
+            f"{self.name}.{op}",
+            "disk",
+            self.name,
+            start,
+            done + latency_ns,
+            {"bytes": nbytes},
+        )
 
     # -- failure injection ----------------------------------------------------
 

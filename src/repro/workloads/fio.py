@@ -75,23 +75,46 @@ class FioWorkload:
         self._measuring = False
         #: I/Os that exhausted the array's retry budget (fault injection)
         self.io_errors = 0
+        obs = getattr(array.cluster, "obs", None) if hasattr(array, "cluster") else None
+        self._obs = obs
+        #: armed tracer (or None): every *measured* I/O opens a root span
+        self._tracer = None if obs is None else obs.tracer
 
     def _worker(self, stop_event):
+        tracer = self._tracer
         while not stop_event.triggered:
             offset = self._rng.randrange(self._slots) * self.io_size
             is_read = self._rng.random() < self.read_fraction
+            ctx = None
+            if tracer is not None and self._measuring:
+                ctx = tracer.new_request()
             start = self.env.now
             try:
+                # only pass the kwarg when armed so wrappers that predate
+                # tracing (QoS shims, rebuild views) keep working untraced
                 if is_read:
-                    yield self.array.read(offset, self.io_size)
+                    yield (self.array.read(offset, self.io_size, ctx=ctx)
+                           if ctx is not None
+                           else self.array.read(offset, self.io_size))
                 else:
-                    yield self.array.write(offset, self.io_size)
+                    yield (self.array.write(offset, self.io_size, ctx=ctx)
+                           if ctx is not None
+                           else self.array.write(offset, self.io_size))
             except (IoError, ChecksumError):
                 # terminal failure after the §5.4 retry budget (or an
                 # unrecoverable checksum mismatch on an armed array): the
                 # real FIO would log an error and carry on
                 self.io_errors += 1
                 continue
+            if ctx is not None:
+                tracer.record_root(
+                    ctx,
+                    "read" if is_read else "write",
+                    "host.io",
+                    start,
+                    self.env.now,
+                    args={"offset": offset, "nbytes": self.io_size},
+                )
             if self._measuring:
                 latency = self.env.now - start
                 (self.reads if is_read else self.writes).record(latency)
@@ -103,7 +126,12 @@ class FioWorkload:
         return merged.summarize()
 
     def run(self, warmup_ns: int = 2_000_000, measure_ns: int = 30_000_000) -> FioResult:
-        """Warm up, measure for ``measure_ns``, return windowed results."""
+        """Warm up, measure for ``measure_ns``, return windowed results.
+
+        On an observability-armed cluster the utilization sampler runs
+        exactly over the measurement window, so its
+        :class:`~repro.obs.sampler.BottleneckReport` excludes warmup.
+        """
         stop = self.env.event()
         for _ in range(self.queue_depth):
             self.env.process(self._worker(stop), name="fio")
@@ -111,8 +139,14 @@ class FioWorkload:
         self._measuring = True
         self._bytes_done = 0
         start = self.env.now
+        sampler = None if self._obs is None else self._obs.sampler
+        if sampler is not None:
+            sampler.attach_array(self.array)
+            sampler.start()
         self.env.run(until=start + measure_ns)
         self._measuring = False
+        if sampler is not None:
+            sampler.stop()
         elapsed = self.env.now - start
         stop.succeed()
         # let inflight I/Os drain so worker processes terminate cleanly

@@ -61,6 +61,10 @@ YCSB_WORKLOADS: Dict[str, YcsbSpec] = {
 
 @dataclass(frozen=True)
 class YcsbResult:
+    """Outcome of one YCSB measurement window: throughput in thousands of
+    operations per second, the operation latency distribution (ns), and the
+    window length ``measured_ns`` in simulated nanoseconds."""
+
     kiops: float
     latency: LatencySummary
     ops_completed: int
