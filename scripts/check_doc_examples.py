@@ -34,6 +34,7 @@ DOC_FILES = (
     "EXPERIMENTS.md",
     "docs/ARCHITECTURE.md",
     "docs/OBSERVABILITY.md",
+    "docs/VERIFICATION.md",
 )
 
 FENCE = re.compile(r"```python\n(.*?)```", re.DOTALL)

@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""CI fuzz smoke: a fixed grid of differential-fuzz schedules, printed as
+deterministic one-line outcomes.
+
+Ten SHA-256-derived seeds rotate round-robin over the three controllers
+(MD, SPDK POC, dRAID) with the kernel sanitizer and protocol checker
+armed.  Every line is fully determined by the schedule — op offsets,
+payload seeds and fault times are frozen into the schedule at generation
+time — so two runs of this script must be byte-identical, and both must
+match the committed golden (``tests/golden/fuzz_smoke.golden``).  A diff
+means the datapath (or the fuzzer harness) lost determinism, or the
+golden needs a deliberate regeneration via ``--write-golden``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.verify.fuzz import (  # noqa: E402
+    FUZZ_SYSTEMS,
+    derive_seed,
+    make_schedule,
+    run_schedule,
+)
+
+SMOKE_SEEDS = 10
+SMOKE_BASE_SEED = 0
+GOLDEN = Path(__file__).resolve().parent.parent / "tests" / "golden" / "fuzz_smoke.golden"
+
+
+def smoke_report() -> str:
+    lines = []
+    for i in range(SMOKE_SEEDS):
+        system = FUZZ_SYSTEMS[i % len(FUZZ_SYSTEMS)]
+        schedule = make_schedule(system, derive_seed(SMOKE_BASE_SEED, i))
+        outcome = run_schedule(schedule)
+        lines.append(outcome.row())
+        if not outcome.ok:
+            raise SystemExit(
+                f"fuzz schedule failed:\n{outcome.row()}\n{outcome.detail}"
+            )
+    return "\n".join(lines) + "\n"
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--write-golden",
+        action="store_true",
+        help=f"regenerate {GOLDEN} instead of printing to stdout",
+    )
+    args = parser.parse_args()
+    report = smoke_report()
+    if args.write_golden:
+        GOLDEN.parent.mkdir(parents=True, exist_ok=True)
+        GOLDEN.write_text(report)
+        print(f"wrote {GOLDEN}")
+        return 0
+    sys.stdout.write(report)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

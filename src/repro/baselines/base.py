@@ -123,6 +123,16 @@ class HostCentricRaid:
         #: cluster was built without an observability config.  Every traced
         #: branch below short-circuits on this being None.
         self._tracer = None if cluster.obs is None else cluster.obs.tracer
+        #: Verification (repro.verify): the cluster's Verifier hub, or None
+        #: when the cluster was built without a verify config.  Every
+        #: checked branch short-circuits on these being None, exactly like
+        #: the tracer above.
+        self._verifier = cluster.verify
+        self._protocol_verifier = (
+            None if cluster.verify is None else cluster.verify.protocol
+        )
+        if self._verifier is not None:
+            self._verifier.watch_array(self)
         self._attach_transport()
 
     def _attach_transport(self) -> None:
@@ -139,6 +149,7 @@ class HostCentricRaid:
                 name=f"{self.name}.bdev{i}",
             )
             bdev.tracer = self._tracer
+            bdev.verifier = self._protocol_verifier
             self.bdevs.append(bdev)
 
     # -- failure management ---------------------------------------------------
@@ -222,10 +233,10 @@ class HostCentricRaid:
         """
         tracer = self._tracer
         if tracer is None or ctx is None:
-            yield self.locks.acquire(stripe)
+            yield self.locks.acquire(stripe, ctx)
             return
         t0 = self.env.now
-        yield self.locks.acquire(stripe)
+        yield self.locks.acquire(stripe, ctx)
         tracer.record(
             ctx, f"stripe-{stripe}", "lock-wait", "host.locks", t0, self.env.now
         )
@@ -325,6 +336,7 @@ class HostCentricRaid:
         only a dead one stops completing them.
         """
         now = self.env.now
+        fenced = 0
         for i, bdev in enumerate(self.bdevs):
             if i in self.failed or not bdev.outstanding:
                 continue
@@ -336,8 +348,13 @@ class HostCentricRaid:
                 break
             self.failed.add(i)
             self.cluster.servers[i].drive.fail()
+            fenced += 1
             self.fault_stats.prolonged_failures += 1
             self.fault_stats.degraded_transitions += 1
+        if fenced and self._verifier is not None:
+            # real (injected) failures may legitimately exceed parity; a
+            # *fencing decision* must never be what crosses the line
+            self._verifier.check_fence(self)
 
     def _retry_loop(self, make_body, stripe: int, kind: str, drain: bool, ctx=None):
         """Attempt/backoff loop shared by resilient reads and pre-reads."""

@@ -16,6 +16,7 @@ from repro.net.fabric import Fabric, RdmaConnection
 from repro.net.nic import GOODPUT_100G, Nic
 from repro.obs import Observability, ObservabilityConfig
 from repro.sim.core import Environment
+from repro.verify import Verifier, VerifyConfig
 from repro.storage.drive import NvmeDrive
 from repro.storage.profiles import DELL_AGN_MU, DriveProfile
 
@@ -49,6 +50,11 @@ class ClusterConfig:
     #: an :class:`repro.obs.ObservabilityConfig` to attach a
     #: :class:`repro.obs.Observability` hub at ``cluster.obs``.
     observability: Optional[ObservabilityConfig] = None
+    #: None (the default) leaves the sanitizer/protocol checker entirely
+    #: unarmed — runs are byte-identical to an unverified simulation.  Set
+    #: a :class:`repro.verify.VerifyConfig` to attach a
+    #: :class:`repro.verify.Verifier` hub at ``cluster.verify``.
+    verify: Optional[VerifyConfig] = None
 
 
 class Cluster:
@@ -83,6 +89,11 @@ class Cluster:
         #: hub (tracer + utilization sampler).  None keeps every
         #: instrumentation site on its zero-cost short-circuit path.
         self.obs = None
+        #: Armed by :func:`build_cluster` when ``config.verify`` is set: a
+        #: :class:`repro.verify.Verifier` hub (kernel sanitizer + protocol
+        #: checker).  None keeps every check site on its zero-cost
+        #: short-circuit path.
+        self.verify = None
 
     @property
     def num_servers(self) -> int:
@@ -207,4 +218,6 @@ def build_cluster(env: Environment, config: Optional[ClusterConfig] = None) -> C
     )
     if config.observability is not None:
         cluster.obs = Observability(cluster, config.observability)
+    if config.verify is not None:
+        cluster.verify = Verifier(cluster, config.verify)
     return cluster

@@ -119,6 +119,10 @@ class DraidBdevServer:
         #: Observability: armed by the host controller when ``cluster.obs``
         #: is set; server-side spans parent to each command's ``trace``.
         self.tracer = None
+        #: Verification: armed by the host controller when ``cluster.verify``
+        #: is set; a :class:`repro.verify.protocol.ProtocolChecker` that
+        #: audits every completion/fold this bdev produces.
+        self.verifier = None
         self.env.process(self._serve(self.host_end), name=f"{self.server.name}.draid")
         for end in self.peer_ends.values():
             self.env.process(self._serve(end), name=f"{self.server.name}.peer")
@@ -137,6 +141,8 @@ class DraidBdevServer:
             raise ValueError(f"crash duration must be positive, got {down_ns}")
         self.down_until = max(self.down_until, self.env.now + down_ns)
         self.crashes += 1
+        if self.verifier is not None:
+            self.verifier.on_server_crash(self.index)
         self._parity_states.clear()
         self._recon_states.clear()
         self.host_end.inbox.clear()
@@ -170,6 +176,10 @@ class DraidBdevServer:
         """Send a completion back to the end the command came from —
         normally the host, or the controller server when the host-side
         controller is offloaded (§7)."""
+        if self.verifier is not None:
+            self.verifier.on_server_completion(
+                self.index, cid, kind, ok, io_offset=io_offset, trace=ctx
+            )
         origin.send(
             DraidCompletion(cid, kind, ok=ok, data=data, io_offset=io_offset,
                             error=error, trace=ctx),
@@ -416,6 +426,8 @@ class DraidBdevServer:
             state.old_parity = (cmd.fwd_offset, old)
         state.wait_num = (state.wait_num or 0) + cmd.wait_num
         state.cmd = cmd
+        if self.verifier is not None:
+            self.verifier.on_parity_cmd(self.index, cmd.cid, key, cmd.wait_num)
         if state.cmd_arrived is not None and not state.cmd_arrived.triggered:
             # wake peers held at the §5.2 barrier (ablation mode only)
             state.cmd_arrived.succeed()
@@ -483,6 +495,8 @@ class DraidBdevServer:
             state = self._parity_state(msg.key)
             state.partials.append((msg.fwd_offset, msg.data))
             state.received += 1
+            if self.verifier is not None:
+                self.verifier.on_parity_fold(self.index, msg.key)
             yield from self._maybe_finish_parity(msg.key)
 
     # -- Reconstruction (§6.1) ---------------------------------------------------

@@ -123,6 +123,7 @@ class DraidArray(HostCentricRaid):
         ]
         for bdev_server in self.bdev_servers:
             bdev_server.tracer = self._tracer
+            bdev_server.verifier = self._protocol_verifier
         self.host_ends = [
             self.cluster.host_end(i) for i in range(self.cluster.num_servers)
         ]
@@ -133,6 +134,8 @@ class DraidArray(HostCentricRaid):
     def _receive(self, end, member: int):
         while True:
             comp: DraidCompletion = yield end.recv()
+            if self._protocol_verifier is not None:
+                self._protocol_verifier.on_host_completion(member, comp)
             waiter = self._waiters.get(comp.cid)
             if waiter is None:
                 continue
@@ -154,10 +157,14 @@ class DraidArray(HostCentricRaid):
             self.failed.add(member)
             self.fault_stats.fail_slow_ejections += 1
             self.fault_stats.degraded_transitions += 1
+            if self._verifier is not None:
+                self._verifier.check_fence(self)
 
     def _register(
         self, cid: int, expected: Dict[str, int], participants=()
     ) -> _OpWaiter:
+        if self._protocol_verifier is not None:
+            self._protocol_verifier.on_register(cid, expected, participants)
         waiter = _OpWaiter(self.env, expected, participants)
         self._waiters[cid] = waiter
         return waiter
@@ -194,9 +201,12 @@ class DraidArray(HostCentricRaid):
                     if not waiter.event.triggered:
                         self._fence_unresponsive(waiter)
         del self._waiters[cid]
+        if self._protocol_verifier is not None:
+            self._protocol_verifier.on_deregister(cid)
         return expired
 
     def _fence_unresponsive(self, waiter: _OpWaiter) -> None:
+        fenced = 0
         for member in sorted(waiter.participants - waiter.responded):
             if member in self.failed:
                 continue
@@ -208,6 +218,11 @@ class DraidArray(HostCentricRaid):
             self.cluster.servers[self._server_of(member)].drive.fail()
             self.fault_stats.prolonged_failures += 1
             self.fault_stats.degraded_transitions += 1
+            fenced += 1
+        if fenced and self._verifier is not None:
+            # real (injected) failures may legitimately exceed parity; a
+            # *fencing decision* must never be what crosses the line
+            self._verifier.check_fence(self)
 
     def _mark_prolonged_failures(self, waiter: _OpWaiter) -> None:
         """§5.4 prolonged failure: faulty drives detected via error status."""
@@ -527,6 +542,19 @@ class DraidArray(HostCentricRaid):
                     pause = self.backoff.backoff_ns(attempts, self._retry_rng)
                     if pause:
                         yield from self._backoff_pause(pause, ctx)
+                failed = self.failed_in_stripe(ext.stripe)
+                gaps = self._stripe_gaps(ext)
+                g = self.geometry
+                if any(g.data_drive(ext.stripe, d) in failed for d, _, _ in gaps):
+                    # Write hole (same guard as the host-centric resilient
+                    # path): the failed attempt may have torn parity, and a
+                    # gap chunk now lives on a failed member — reconstructing
+                    # it from that parity would launder garbage into the new
+                    # parity.  Surface a terminal error; resync repairs the
+                    # stripe once the member returns.
+                    if self.resilient:
+                        self.fault_stats.io_errors += 1
+                    raise IoError(f"{self.name}: write hole on stripe {ext.stripe}")
                 ok = yield from self._write_host_fallback(
                     ext, io_data, attempt=attempts, ctx=ctx
                 )

@@ -35,6 +35,10 @@ class RemoteBdev:
         self.last_completion_ns = 0
         #: Observability: armed by the controller when ``cluster.obs`` is set.
         self.tracer = None
+        #: Verification: armed by the controller when ``cluster.verify`` is
+        #: set — a :class:`repro.verify.ProtocolChecker` watching the
+        #: completion stream for duplicate acks.
+        self.verifier = None
         #: cid -> (reserved envelope context, submit time ns, op name)
         self._inflight_spans: Dict[int, Any] = {}
         self._receiver = self.env.process(self._receive(), name=f"{name}.cq")
@@ -47,6 +51,10 @@ class RemoteBdev:
         while True:
             completion: NvmeOfCompletion = yield self.end.recv()
             self.last_completion_ns = self.env.now
+            if self.verifier is not None:
+                self.verifier.on_nvmeof_completion(
+                    self.name, completion.cid, completion.ok
+                )
             if self._inflight_spans:
                 entry = self._inflight_spans.pop(completion.cid, None)
                 if entry is not None:

@@ -80,6 +80,18 @@ class Event:
             raise SimulationError("event has no value yet")
         return self._value
 
+    def _abandoned(self) -> None:
+        """Hook: the process waiting on this event was interrupted away.
+
+        :meth:`Process.interrupt` detaches the consumer and then calls this
+        so resource-wait events (queued :class:`~repro.sim.resources.Store`
+        gets, :class:`~repro.sim.resources.CapacityResource` requests,
+        stripe-lock acquires) can withdraw from their wait queue — or, if
+        the grant already happened, hand the slot back — instead of leaking
+        it to a consumer that will never resume.  The base event has no
+        resource attached, so this is a no-op.
+        """
+
     def succeed(self, value: Any = None) -> "Event":
         """Trigger the event successfully with ``value``."""
         if self._ok is not None:
@@ -200,6 +212,9 @@ class Process(Event):
             # it, so defuse instead of crashing the simulation.
             target.callbacks.append(_defuse_on_failure)
         self._target = None
+        # Let resource-wait events return queued positions or granted
+        # slots; a plain Event's hook is a no-op.
+        target._abandoned()
         interrupt_event.callbacks = [self._resume]
         self.env._schedule(interrupt_event)
 

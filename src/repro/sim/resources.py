@@ -24,6 +24,72 @@ from repro.sim.core import Environment, Event
 NS_PER_S = 1_000_000_000
 
 
+class _StoreGet(Event):
+    """A queued ``Store.get`` wait that survives ``Process.interrupt``.
+
+    When the waiting process is interrupted the kernel calls
+    :meth:`_abandoned`: a still-queued getter withdraws from the store's
+    wait queue; a getter that was already handed an item (triggered but not
+    yet resumed) returns that item to the store so it is not lost.
+    """
+
+    __slots__ = ("store",)
+
+    def __init__(self, store: "Store") -> None:
+        super().__init__(store.env)
+        self.store = store
+
+    def _abandoned(self) -> None:
+        store, self.store = self.store, None
+        if store is None:  # pragma: no cover - double interrupt, defensive
+            return
+        if self._ok is None:
+            try:
+                store._getters.remove(self)
+            except ValueError:  # pragma: no cover - already granted/removed
+                pass
+        elif self._ok:
+            # Granted but never consumed: the item goes back to the store
+            # (front of the line for the oldest still-live getter).
+            store.put(self._value)
+
+
+class _CapacityRequest(Event):
+    """A queued ``CapacityResource.request`` that survives interrupts.
+
+    Cancel path (the PR-1 fast-path bug): an interrupted waiter used to
+    linger untriggered in the waiter queue, so a later ``release`` would
+    grant the slot to a consumer that never resumes — leaking one unit of
+    capacity forever.  The :meth:`_abandoned` hook removes a still-queued
+    waiter outright and re-releases a slot that was granted between the
+    grant and the resume.
+    """
+
+    __slots__ = ("resource", "proc")
+
+    def __init__(self, resource: "CapacityResource") -> None:
+        super().__init__(resource.env)
+        self.resource = resource
+        #: requesting process (for the sanitizer's leaked-hold report)
+        self.proc = resource.env._active_process
+
+    def _abandoned(self) -> None:
+        resource, self.resource = self.resource, None
+        if resource is None:  # pragma: no cover - double interrupt, defensive
+            return
+        if self._ok is None:
+            try:
+                resource._waiters.remove(self)
+            except ValueError:  # pragma: no cover - already granted/removed
+                pass
+        elif self._ok:
+            # Granted but never consumed: hand the slot to the next live
+            # waiter (or return it to the free pool).
+            if resource.sanitizer is not None:
+                resource.sanitizer.on_resource_abandon(resource, self)
+            resource._pass_on()
+
+
 class Store:
     """Unbounded FIFO store of items with event-based ``get``."""
 
@@ -62,19 +128,24 @@ class Store:
         a trip through the event calendar.  Getters that must wait are woken
         through the calendar as before, preserving FIFO fairness.
         """
-        event = Event(self.env)
         if self._items:
+            event = Event(self.env)
             event._ok = True
             event._value = self._items.popleft()
             event.callbacks = None
             event._scheduled = True
         else:
+            event = _StoreGet(self)
             self._getters.append(event)
         return event
 
 
 class CapacityResource:
     """A counted resource (semaphore) with FIFO request ordering."""
+
+    #: Armed by :class:`repro.verify.kernel.KernelSanitizer.watch_resource`;
+    #: None keeps request/release on their zero-cost paths.
+    sanitizer = None
 
     def __init__(self, env: Environment, capacity: int, name: str = "resource") -> None:
         if capacity < 1:
@@ -100,28 +171,39 @@ class CapacityResource:
         process continues inline without touching the event calendar;
         contended requests queue and are woken FIFO through the calendar.
         """
-        event = Event(self.env)
         if self._in_use < self.capacity:
             self._in_use += 1
+            event = Event(self.env)
             event._ok = True
             event._value = self
             event.callbacks = None
             event._scheduled = True
+            if self.sanitizer is not None:
+                self.sanitizer.on_resource_grant(self)
         else:
+            event = _CapacityRequest(self)
             self._waiters.append(event)
         return event
 
-    def release(self) -> None:
-        """Release a held slot, handing it to the oldest waiter if any."""
-        if self._in_use <= 0:
-            raise RuntimeError(f"{self.name}: release without matching request")
+    def _pass_on(self) -> None:
+        """Hand a freed slot to the oldest live waiter, else free it."""
         while self._waiters:
             waiter = self._waiters.popleft()
             if waiter.triggered:
                 continue
             waiter.succeed(self)
+            if self.sanitizer is not None:
+                self.sanitizer.on_resource_grant(self, waiter)
             return
         self._in_use -= 1
+
+    def release(self) -> None:
+        """Release a held slot, handing it to the oldest waiter if any."""
+        if self._in_use <= 0:
+            raise RuntimeError(f"{self.name}: release without matching request")
+        if self.sanitizer is not None:
+            self.sanitizer.on_resource_release(self)
+        self._pass_on()
 
 
 class BandwidthChannel:

@@ -1,0 +1,179 @@
+"""Property-based tests for the stripe lock manager (hypothesis).
+
+Four machine-checked properties:
+
+* grants are FIFO in request order, however holds interleave;
+* no waiter starves under contention — every acquire is eventually
+  granted as long as holders release;
+* mutual exclusion holds under scrubber/foreground interleavings (an
+  ordered sweep racing random writers, the online-scrub pattern);
+* interrupting waiters at arbitrary times never corrupts the lock:
+  survivors still win exactly once and the manager ends quiescent.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.raid.locks import StripeLockManager
+from repro.sim import Environment, Interrupt
+
+
+@given(
+    holds=st.lists(st.integers(min_value=1, max_value=20), min_size=2, max_size=8),
+    stagger=st.integers(min_value=0, max_value=3),
+)
+@settings(max_examples=60, deadline=None)
+def test_fifo_grant_order(holds, stagger):
+    env = Environment()
+    locks = StripeLockManager(env)
+    grants = []
+
+    def worker(index, hold_ns):
+        yield env.timeout(index * stagger)
+        yield locks.acquire(0)
+        grants.append(index)
+        yield env.timeout(hold_ns)
+        locks.release(0)
+
+    for i, hold in enumerate(holds):
+        env.process(worker(i, hold))
+    env.run()
+    assert grants == list(range(len(holds)))
+    assert not locks.held(0)
+    assert locks.queue_length(0) == 0
+
+
+@given(
+    requests=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=3),  # stripe
+            st.integers(min_value=0, max_value=30),  # arrival
+            st.integers(min_value=1, max_value=10),  # hold
+        ),
+        min_size=1,
+        max_size=12,
+    )
+)
+@settings(max_examples=60, deadline=None)
+def test_no_starvation_and_mutual_exclusion(requests):
+    env = Environment()
+    locks = StripeLockManager(env)
+    active = {}  # stripe -> holders (must never exceed 1)
+    completed = []
+
+    def worker(index, stripe, arrival, hold_ns):
+        yield env.timeout(arrival)
+        yield locks.acquire(stripe)
+        active[stripe] = active.get(stripe, 0) + 1
+        assert active[stripe] == 1, f"two holders on stripe {stripe}"
+        yield env.timeout(hold_ns)
+        active[stripe] -= 1
+        locks.release(stripe)
+        completed.append(index)
+
+    for i, (stripe, arrival, hold) in enumerate(requests):
+        env.process(worker(i, stripe, arrival, hold))
+    env.run()
+    # no starvation: every requester finished
+    assert sorted(completed) == list(range(len(requests)))
+    assert all(not locks.held(s) for s in range(4))
+
+
+@given(
+    writers=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=5),  # stripe
+            st.integers(min_value=0, max_value=40),  # arrival
+        ),
+        min_size=1,
+        max_size=10,
+    ),
+    scrub_pace=st.integers(min_value=1, max_value=8),
+)
+@settings(max_examples=60, deadline=None)
+def test_scrubber_foreground_interleaving(writers, scrub_pace):
+    """An ordered scrub sweep racing random writers (the ScrubDaemon
+    pattern) keeps exclusion and both sides complete."""
+    env = Environment()
+    locks = StripeLockManager(env)
+    num_stripes = 6
+    active = {}
+    scrubbed = []
+    wrote = []
+
+    def scrubber():
+        for stripe in range(num_stripes):
+            yield locks.acquire(stripe)
+            active[stripe] = active.get(stripe, 0) + 1
+            assert active[stripe] == 1
+            yield env.timeout(scrub_pace)
+            active[stripe] -= 1
+            locks.release(stripe)
+            scrubbed.append(stripe)
+
+    def writer(index, stripe, arrival):
+        yield env.timeout(arrival)
+        yield locks.acquire(stripe)
+        active[stripe] = active.get(stripe, 0) + 1
+        assert active[stripe] == 1
+        yield env.timeout(2)
+        active[stripe] -= 1
+        locks.release(stripe)
+        wrote.append(index)
+
+    env.process(scrubber())
+    for i, (stripe, arrival) in enumerate(writers):
+        env.process(writer(i, stripe, arrival))
+    env.run()
+    assert scrubbed == list(range(num_stripes))
+    assert sorted(wrote) == list(range(len(writers)))
+    assert all(not locks.held(s) for s in range(num_stripes))
+
+
+@given(
+    waiters=st.integers(min_value=2, max_value=6),
+    cancel_mask=st.lists(st.booleans(), min_size=2, max_size=6),
+    cancel_at=st.integers(min_value=0, max_value=25),
+    hold_ns=st.integers(min_value=1, max_value=10),
+)
+@settings(max_examples=80, deadline=None)
+def test_cancel_safety(waiters, cancel_mask, cancel_at, hold_ns):
+    """Interrupting any subset of waiters at any time leaves the lock
+    usable: every survivor is granted exactly once and nothing leaks."""
+    env = Environment()
+    locks = StripeLockManager(env)
+    mask = (cancel_mask * waiters)[:waiters]
+    granted = []
+    interrupted = []
+    procs = []
+
+    def worker(index):
+        try:
+            yield locks.acquire(0)
+        except Interrupt:
+            interrupted.append(index)
+            return
+        granted.append(index)
+        try:
+            yield env.timeout(hold_ns)
+        except Interrupt:
+            pass  # interrupted while holding: still releases below
+        locks.release(0)
+
+    for i in range(waiters):
+        procs.append(env.process(worker(i)))
+
+    def killer():
+        yield env.timeout(cancel_at)
+        for i, proc in enumerate(procs):
+            if mask[i] and proc.is_alive:
+                proc.interrupt("cancelled")
+
+    env.process(killer())
+    env.run()
+    # each worker either got the lock once or was interrupted while waiting
+    assert sorted(granted + interrupted) == list(range(waiters))
+    assert len(set(granted)) == len(granted)
+    # quiescent: no held stripe, no queued waiter
+    assert not locks.held(0)
+    assert locks.queue_length(0) == 0

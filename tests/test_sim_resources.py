@@ -217,3 +217,173 @@ class TestBandwidthChannel:
         ch = BandwidthChannel(env, rate_bytes_per_s=1.0)
         with pytest.raises(ValueError):
             ch.transfer(-1)
+
+
+class TestCancelSafety:
+    """Interrupting a waiter must never leak slots or items.
+
+    Regression tests for the PR-1 fast-path bug: a request cancelled
+    between grant and resume bypassed the waiter bookkeeping, leaking the
+    slot (or the store item) forever.  ``Event._abandoned`` now hands the
+    grant back; the kernel sanitizer's leaked-hold check pins it.
+    """
+
+    def test_capacity_cancel_while_queued(self):
+        env = Environment()
+        resource = CapacityResource(env, capacity=1)
+        order = []
+
+        def holder():
+            yield resource.request()
+            yield env.timeout(10)
+            resource.release()
+
+        def waiter(tag):
+            try:
+                yield resource.request()
+            except Exception:
+                order.append((tag, "interrupted"))
+                return
+            order.append((tag, env.now))
+            resource.release()
+
+        env.process(holder())
+        victim = env.process(waiter("victim"))
+        env.process(waiter("heir"))
+
+        def killer():
+            yield env.timeout(5)  # before the release at t=10
+            victim.interrupt("cancelled")
+
+        env.process(killer())
+        env.run()
+        # the heir — not the cancelled victim — got the slot at release time
+        assert order == [("victim", "interrupted"), ("heir", 10)]
+        assert resource.in_use == 0
+        assert not resource._waiters
+
+    def test_capacity_cancel_between_grant_and_resume(self):
+        env = Environment()
+        resource = CapacityResource(env, capacity=1)
+        order = []
+
+        def holder():
+            yield resource.request()
+            yield env.timeout(10)
+            resource.release()  # grants the victim at t=10 ...
+
+        def waiter(tag):
+            try:
+                yield resource.request()
+            except Exception:
+                order.append((tag, "interrupted"))
+                return
+            order.append((tag, env.now))
+            resource.release()
+
+        env.process(holder())
+        victim = env.process(waiter("victim"))
+        env.process(waiter("heir"))
+
+        def killer():
+            yield env.timeout(10)  # ... and the interrupt lands before
+            victim.interrupt("cancelled")  # the victim ever resumes
+
+        env.process(killer())
+        env.run()
+        # the heir inherited the slot at t=10 (resuming just before the
+        # victim's interrupt lands); nothing leaked
+        assert sorted(order) == [("heir", 10), ("victim", "interrupted")]
+        assert resource.in_use == 0
+
+    def test_store_cancel_while_queued(self):
+        env = Environment()
+        store = Store(env)
+        got = []
+
+        def getter(tag):
+            try:
+                item = yield store.get()
+            except Exception:
+                got.append((tag, "interrupted"))
+                return
+            got.append((tag, item))
+
+        victim = env.process(getter("victim"))
+        env.process(getter("heir"))
+
+        def producer():
+            yield env.timeout(10)
+            store.put("item")
+
+        def killer():
+            yield env.timeout(5)
+            victim.interrupt("cancelled")
+
+        env.process(producer())
+        env.process(killer())
+        env.run()
+        # the item goes to the heir, not into the cancelled getter's void
+        assert got == [("victim", "interrupted"), ("heir", "item")]
+        assert len(store) == 0
+
+    def test_store_cancel_between_grant_and_resume(self):
+        env = Environment()
+        store = Store(env)
+        got = []
+
+        def getter(tag):
+            try:
+                item = yield store.get()
+            except Exception:
+                got.append((tag, "interrupted"))
+                return
+            got.append((tag, item))
+
+        victim = env.process(getter("victim"))
+
+        def producer():
+            yield env.timeout(10)
+            store.put("item")  # grants the victim at t=10 ...
+
+        def killer():
+            yield env.timeout(10)  # ... then the interrupt lands first
+            victim.interrupt("cancelled")
+
+        env.process(producer())
+        env.process(killer())
+        env.run()
+        assert got == [("victim", "interrupted")]
+        # the granted item went back into the store, not into the void
+        assert len(store) == 1
+
+    def test_cancelled_paths_pass_leak_check(self):
+        from repro.verify import KernelSanitizer
+
+        env = Environment()
+        sanitizer = KernelSanitizer(env)
+        resource = CapacityResource(env, capacity=1, name="slots")
+        sanitizer.watch_resource(resource)
+
+        def holder():
+            yield resource.request()
+            yield env.timeout(10)
+            resource.release()
+
+        def victim_proc():
+            try:
+                yield resource.request()
+            except Exception:
+                return
+
+        env.process(holder())
+        victim = env.process(victim_proc())
+
+        def killer():
+            yield env.timeout(10)
+            victim.interrupt("cancelled")
+
+        env.process(killer())
+        env.run()  # the armed run loop leak-checks at drain
+        assert sanitizer.violations == []
+        sanitizer.check_quiescent()
