@@ -1,22 +1,31 @@
 #!/usr/bin/env python
 """Wall-clock benchmark harness: kernel events/sec + figure sweep seconds.
 
-Writes ``BENCH_wallclock.json`` so every PR has a perf trajectory to track::
+Maintains ``BENCH_wallclock.json`` so every PR has a perf trajectory: the
+``latest`` section holds the most recent run and ``history`` accumulates a
+timestamped entry per invocation (the file is read-modify-write, never
+clobbered)::
 
     PYTHONPATH=src python scripts/bench_wallclock.py                 # default set
+    PYTHONPATH=src python scripts/bench_wallclock.py --quick         # kernel only
     PYTHONPATH=src python scripts/bench_wallclock.py --figures fig11,fig13
     PYTHONPATH=src python scripts/bench_wallclock.py --jobs 8        # parallel sweeps
     PYTHONPATH=src python scripts/bench_wallclock.py --serial-too    # record speedup
+    PYTHONPATH=src python scripts/bench_wallclock.py --quick --floor-pingpong 500000
 
 The kernel section times the canonical microbench workloads in
-``repro.sim.benchkit`` (simulated operations per wall-clock second); the
-figures section times whole sweep regenerations, serially and (optionally)
-with the parallel executor, recording the measured speedup.
+``repro.sim.benchkit`` (simulated operations per wall-clock second) and
+records each workload's calendar event count, so events/s is auditable
+against the fixed operation count.  The figures section times whole sweep
+regenerations, serially and (optionally) with the parallel executor,
+recording the measured speedup.  ``--floor-pingpong`` turns the run into a
+CI gate: exit non-zero when pingpong events/s lands below the floor.
 """
 
 from __future__ import annotations
 
 import argparse
+import datetime
 import json
 import os
 import pathlib
@@ -27,10 +36,18 @@ import time
 sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
 
 from repro.experiments.registry import EXPERIMENTS  # noqa: E402
-from repro.experiments.runner import JOBS_ENV_VAR, resolve_jobs  # noqa: E402
+from repro.experiments.runner import (  # noqa: E402
+    JOBS_ENV_VAR,
+    resolve_jobs,
+    warm_pool,
+)
+from repro.sim import benchkit  # noqa: E402
 from repro.sim.benchkit import KERNEL_WORKLOADS, run_workload  # noqa: E402
 
 DEFAULT_FIGURES = ("fig11", "fig13")
+
+#: Cap on retained history entries (oldest dropped first).
+HISTORY_LIMIT = 200
 
 
 def time_figure(exp_id: str, jobs: int) -> float:
@@ -38,6 +55,10 @@ def time_figure(exp_id: str, jobs: int) -> float:
     previous = os.environ.get(JOBS_ENV_VAR)
     os.environ[JOBS_ENV_VAR] = str(jobs)
     try:
+        if jobs > 1:
+            # measure steady-state sweep time: worker start-up and module
+            # pre-import are one-time session costs, not per-sweep costs
+            warm_pool(jobs)
         start = time.perf_counter()
         EXPERIMENTS[exp_id](True)
         return time.perf_counter() - start
@@ -48,11 +69,26 @@ def time_figure(exp_id: str, jobs: int) -> float:
             os.environ[JOBS_ENV_VAR] = previous
 
 
+def load_report(path: pathlib.Path) -> dict:
+    """Existing report file, migrated to the latest+history schema."""
+    if not path.exists():
+        return {"latest": {}, "history": []}
+    try:
+        data = json.loads(path.read_text())
+    except (OSError, ValueError):
+        return {"latest": {}, "history": []}
+    if "history" in data and isinstance(data.get("history"), list):
+        return data
+    # pre-history schema: the whole file was one (unstamped) run record
+    return {"latest": data, "history": []}
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
-        "--figures", default=",".join(DEFAULT_FIGURES),
-        help="comma-separated experiment ids to time (default: %(default)s)",
+        "--figures", default=None,
+        help="comma-separated experiment ids to time "
+        f"(default: {','.join(DEFAULT_FIGURES)}; empty string skips figures)",
     )
     parser.add_argument(
         "--jobs", type=int, default=None,
@@ -67,55 +103,99 @@ def main(argv=None) -> int:
         help="kernel microbench repeats, best-of (default: %(default)s)",
     )
     parser.add_argument(
+        "--quick", action="store_true",
+        help="fast CI mode: kernel workloads only (no figure sweeps), "
+        "best-of-2 unless --repeats is given explicitly",
+    )
+    parser.add_argument(
+        "--floor-pingpong", type=float, default=None, metavar="EVENTS_PER_S",
+        help="fail (exit 1) when pingpong events/s is below this floor",
+    )
+    parser.add_argument(
         "--output", default="BENCH_wallclock.json",
         help="output path (default: %(default)s)",
     )
     args = parser.parse_args(argv)
 
-    figures = [f for f in args.figures.split(",") if f]
+    if args.figures is None:
+        figures = [] if args.quick else list(DEFAULT_FIGURES)
+    else:
+        figures = [f for f in args.figures.split(",") if f]
     unknown = [f for f in figures if f not in EXPERIMENTS]
     if unknown:
         print(f"unknown figures: {', '.join(unknown)}", file=sys.stderr)
         return 2
+    repeats = args.repeats
+    if args.quick and "--repeats" not in (argv if argv is not None else sys.argv):
+        repeats = 2
     jobs = resolve_jobs(args.jobs)
 
     suite_start = time.perf_counter()
-    report = {
+    entry = {
+        "timestamp": datetime.datetime.now(datetime.timezone.utc).isoformat(
+            timespec="seconds"
+        ),
         "host": {
             "platform": platform.platform(),
             "python": platform.python_version(),
             "cpus": os.cpu_count(),
         },
+        "quick": args.quick,
         "kernel": {},
         "figures": {},
     }
 
     print("== kernel microbenchmarks ==")
     for name in KERNEL_WORKLOADS:
-        events_per_s, ops = run_workload(name, repeats=args.repeats)
-        report["kernel"][name] = {
+        events_per_s, ops = run_workload(name, repeats=repeats)
+        entry["kernel"][name] = {
             "events_per_s": round(events_per_s, 1),
             "operations": ops,
+            "calendar_events": benchkit.LAST_EVENT_COUNT,
         }
-        print(f"  {name:<18} {events_per_s:>12,.0f} events/s")
-
-    print(f"== figure sweeps (jobs={jobs}) ==")
-    for exp_id in figures:
-        entry = {"jobs": jobs, "seconds": round(time_figure(exp_id, jobs), 3)}
-        if args.serial_too and jobs > 1:
-            entry["serial_seconds"] = round(time_figure(exp_id, 1), 3)
-            entry["speedup"] = round(entry["serial_seconds"] / entry["seconds"], 2)
-        report["figures"][exp_id] = entry
-        extra = (
-            f"  (serial {entry['serial_seconds']:.2f}s, {entry['speedup']}x)"
-            if "serial_seconds" in entry else ""
+        print(
+            f"  {name:<18} {events_per_s:>12,.0f} events/s   "
+            f"({ops:,} ops, {benchkit.LAST_EVENT_COUNT:,} calendar events)"
         )
-        print(f"  {exp_id:<8} {entry['seconds']:>8.2f}s{extra}")
 
-    report["suite_total_s"] = round(time.perf_counter() - suite_start, 3)
+    if figures:
+        print(f"== figure sweeps (jobs={jobs}) ==")
+    for exp_id in figures:
+        fig = {"jobs": jobs, "seconds": round(time_figure(exp_id, jobs), 3)}
+        if args.serial_too and jobs > 1:
+            fig["serial_seconds"] = round(time_figure(exp_id, 1), 3)
+            fig["speedup"] = round(fig["serial_seconds"] / fig["seconds"], 2)
+        entry["figures"][exp_id] = fig
+        extra = (
+            f"  (serial {fig['serial_seconds']:.2f}s, {fig['speedup']}x)"
+            if "serial_seconds" in fig else ""
+        )
+        print(f"  {exp_id:<8} {fig['seconds']:>8.2f}s{extra}")
+
+    entry["suite_total_s"] = round(time.perf_counter() - suite_start, 3)
     out = pathlib.Path(args.output)
+    report = load_report(out)
+    report["latest"] = entry
+    report["history"] = (report["history"] + [entry])[-HISTORY_LIMIT:]
     out.write_text(json.dumps(report, indent=2) + "\n")
-    print(f"wrote {out} (suite total {report['suite_total_s']:.1f}s)")
+    print(
+        f"wrote {out} (suite total {entry['suite_total_s']:.1f}s, "
+        f"{len(report['history'])} history entries)"
+    )
+
+    if args.floor_pingpong is not None:
+        measured = entry["kernel"]["pingpong"]["events_per_s"]
+        if measured < args.floor_pingpong:
+            print(
+                f"FAIL: pingpong {measured:,.0f} events/s is below the "
+                f"floor {args.floor_pingpong:,.0f}",
+                file=sys.stderr,
+            )
+            return 1
+        print(
+            f"floor check OK: pingpong {measured:,.0f} >= "
+            f"{args.floor_pingpong:,.0f} events/s"
+        )
     return 0
 
 

@@ -3,9 +3,17 @@
 Every figure in the paper is a sweep of fully independent measurement
 points: each point builds its own :class:`~repro.sim.Environment`, seeds its
 own RNGs and never shares state with its neighbours.  That isolation makes
-process-level parallelism *exact*: fanning the points out over a
-``ProcessPoolExecutor`` and reassembling the rows in submission order yields
-byte-identical results to running them serially.
+process-level parallelism *exact*: fanning the points out over a process
+pool and reassembling the rows in submission order yields byte-identical
+results to running them serially.
+
+The pool is *warm and persistent*: the first parallel ``run_points`` call
+creates it (workers pre-import the experiment stack in their initializer)
+and later sweeps in the same driver run reuse it, so short sweep points no
+longer pay process spawn + interpreter warm-up per sweep — the overhead
+that made small ``-j`` runs slower than serial.  ``shutdown_pool()`` tears
+it down (registered via ``atexit``); asking for a different worker count
+recreates it at the new size.
 
 Usage::
 
@@ -15,13 +23,17 @@ Usage::
 
 ``fn`` must be a module-level callable returning a picklable result (a
 :class:`~repro.metrics.report.Row` for figure sweeps) so it can cross the
-process boundary under both the ``fork`` and ``spawn`` start methods.
+process boundary under both the ``fork`` and ``spawn`` start methods.  A
+point crossing the boundary is just ``(fn reference, small kwargs dict)`` —
+configs are built inside the worker, not shipped.
 """
 
 from __future__ import annotations
 
+import atexit
 import os
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -73,18 +85,67 @@ def _execute(point: SweepPoint) -> Any:
     return point.execute()
 
 
+def _warm_worker() -> None:
+    """Worker initializer: pre-import the heavy experiment stack once per
+    worker process so the first sweep point does not pay for it."""
+    import repro.experiments.common  # noqa: F401
+    import repro.metrics.report  # noqa: F401
+    import repro.workloads.fio  # noqa: F401
+
+
+#: The persistent pool and the worker count it was built with.
+_pool: Optional[ProcessPoolExecutor] = None
+_pool_jobs: int = 0
+
+
+def warm_pool(jobs: Optional[int] = None) -> ProcessPoolExecutor:
+    """Return the persistent worker pool, creating (or resizing) it.
+
+    Workers are started once and reused by every subsequent parallel
+    ``run_points`` call, so a driver running many sweeps pays process
+    start-up and module-import cost a single time.  Requesting a different
+    ``jobs`` count tears the old pool down and builds a new one.
+    """
+    global _pool, _pool_jobs
+    jobs = resolve_jobs(jobs)
+    if _pool is not None and _pool_jobs != jobs:
+        shutdown_pool()
+    if _pool is None:
+        _pool = ProcessPoolExecutor(max_workers=jobs, initializer=_warm_worker)
+        _pool_jobs = jobs
+    return _pool
+
+
+def shutdown_pool() -> None:
+    """Tear down the persistent pool (no-op when none exists)."""
+    global _pool, _pool_jobs
+    if _pool is not None:
+        _pool.shutdown(wait=True)
+        _pool = None
+        _pool_jobs = 0
+
+
+atexit.register(shutdown_pool)
+
+
 def run_points(points: Sequence[SweepPoint], jobs: Optional[int] = None) -> List[Any]:
     """Execute every point and return their results in submission order.
 
     ``jobs == 1`` (or a single point) runs in-process with no executor, so
     debuggers, profilers and coverage tools see straight-line code.  With
-    more workers the points are distributed over a ``ProcessPoolExecutor``;
+    more workers the points are distributed over the warm persistent pool;
     ``Executor.map`` preserves input order, and per-point isolation makes
     the assembled result list byte-identical to the serial path.
     """
     points = list(points)
-    jobs = resolve_jobs(jobs, len(points))
+    jobs = resolve_jobs(jobs)
     if jobs <= 1 or len(points) <= 1:
         return [point.execute() for point in points]
-    with ProcessPoolExecutor(max_workers=jobs) as pool:
+    pool = warm_pool(jobs)
+    try:
         return list(pool.map(_execute, points, chunksize=1))
+    except BrokenProcessPool:
+        # A crashed worker poisons the whole pool: drop it so the next
+        # call starts fresh instead of failing forever.
+        shutdown_pool()
+        raise

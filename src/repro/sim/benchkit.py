@@ -17,6 +17,13 @@ from typing import Callable, Dict, Tuple
 from repro.sim.core import Environment
 from repro.sim.resources import NS_PER_S, BandwidthChannel, CapacityResource, Store
 
+#: Calendar events created by the most recent workload run (``env._eid``
+#: after the run: every scheduled event — timer, wake-up, process start —
+#: consumes exactly one id, whether it is dispatched through the heap, the
+#: now-queue or the batch-advance path).  Lets harnesses report an
+#: auditable event count next to the fixed operation count.
+LAST_EVENT_COUNT = 0
+
 
 def pingpong(rounds: int = 30_000) -> int:
     """Two processes exchange a token via two stores.
@@ -39,6 +46,8 @@ def pingpong(rounds: int = 30_000) -> int:
     env.process(player(ping, pong, serve_first=False), name="ponger")
     env.process(player(pong, ping, serve_first=True), name="pinger")
     env.run()
+    global LAST_EVENT_COUNT
+    LAST_EVENT_COUNT = env._eid
     return rounds * 4
 
 
@@ -56,6 +65,8 @@ def timeout_churn(processes: int = 64, rounds: int = 600) -> int:
     for i in range(processes):
         env.process(ticker(3 + (i * 7) % 97), name=f"ticker{i}")
     env.run()
+    global LAST_EVENT_COUNT
+    LAST_EVENT_COUNT = env._eid
     return processes * rounds
 
 
@@ -84,6 +95,8 @@ def bandwidth_sweep(
     for _ in range(workers):
         env.process(worker(), name="xfer")
     env.run()
+    global LAST_EVENT_COUNT
+    LAST_EVENT_COUNT = env._eid
     return per_worker * workers
 
 

@@ -10,6 +10,12 @@ Three primitives cover every piece of hardware this repository models:
   transfers are served in order.  This is the model used for NIC directions,
   SSD data channels and CPU cores (where "bytes" are replaced by
   nanoseconds of work).
+
+Hot-path note: uncontended ``Store.get`` / ``CapacityResource.request``
+return *pre-processed* grant events drawn from the environment's event
+arena, and queued waiters (:class:`_StoreGet`, :class:`_CapacityRequest`)
+are recycled through per-class free lists once consumed or cancelled —
+see :mod:`repro.sim.core` for the arena's aliasing guarantees.
 """
 
 from __future__ import annotations
@@ -18,7 +24,7 @@ import heapq
 from collections import deque
 from typing import Any, Deque, List, Tuple
 
-from repro.sim.core import Environment, Event
+from repro.sim.core import Environment, Event, _PENDING
 
 #: Nanoseconds per second; all rates are converted to bytes/ns internally.
 NS_PER_S = 1_000_000_000
@@ -35,9 +41,21 @@ class _StoreGet(Event):
 
     __slots__ = ("store",)
 
+    #: dispatched instances are recycled through the environment arena
+    _poolable = True
+
     def __init__(self, store: "Store") -> None:
         super().__init__(store.env)
         self.store = store
+
+    def _reinit(self, store: "Store") -> None:
+        """Reset a recycled instance to freshly-constructed state."""
+        self.store = store
+        self.callbacks = []
+        self._value = _PENDING
+        self._ok = None
+        self._defused = False
+        self._scheduled = False
 
     def _abandoned(self) -> None:
         store, self.store = self.store, None
@@ -67,11 +85,24 @@ class _CapacityRequest(Event):
 
     __slots__ = ("resource", "proc")
 
+    #: dispatched instances are recycled through the environment arena
+    _poolable = True
+
     def __init__(self, resource: "CapacityResource") -> None:
         super().__init__(resource.env)
         self.resource = resource
         #: requesting process (for the sanitizer's leaked-hold report)
         self.proc = resource.env._active_process
+
+    def _reinit(self, resource: "CapacityResource") -> None:
+        """Reset a recycled instance to freshly-constructed state."""
+        self.resource = resource
+        self.proc = resource.env._active_process
+        self.callbacks = []
+        self._value = _PENDING
+        self._ok = None
+        self._defused = False
+        self._scheduled = False
 
     def _abandoned(self) -> None:
         resource, self.resource = self.resource, None
@@ -104,11 +135,22 @@ class Store:
 
     def put(self, item: Any) -> None:
         """Add ``item``; wakes the oldest waiting getter if any."""
-        while self._getters:
-            getter = self._getters.popleft()
-            if getter.triggered:  # cancelled getter
+        getters = self._getters
+        while getters:
+            getter = getters.popleft()
+            if getter._ok is not None:  # cancelled getter
                 continue
-            getter.succeed(item)
+            # inlined getter.succeed(item) — put/wake is a kernel hot path
+            getter._ok = True
+            getter._value = item
+            if not getter._scheduled:
+                getter._scheduled = True
+                env = self.env
+                env._eid += 1
+                if env._fast:
+                    env._nowq.append((env._eid, getter))
+                else:
+                    heapq.heappush(env._queue, (env.now, env._eid, getter))
             return
         self._items.append(item)
 
@@ -128,15 +170,35 @@ class Store:
         a trip through the event calendar.  Getters that must wait are woken
         through the calendar as before, preserving FIFO fairness.
         """
-        if self._items:
-            event = Event(self.env)
+        env = self.env
+        items = self._items
+        if items:
+            # inlined env.grant_event(items.popleft())
+            pool = env._event_pool
+            if pool:
+                event = pool.pop()
+                event._value = items.popleft()
+                event._defused = False
+                return event
+            event = Event(env)
             event._ok = True
-            event._value = self._items.popleft()
+            event._value = items.popleft()
             event.callbacks = None
             event._scheduled = True
+            return event
+        # inlined env.waiter_event(_StoreGet, self)
+        pool = env._waiter_pool.get(_StoreGet)
+        if pool:
+            event = pool.pop()
+            event.store = self
+            event.callbacks = []
+            event._value = _PENDING
+            event._ok = None
+            event._defused = False
+            event._scheduled = False
         else:
             event = _StoreGet(self)
-            self._getters.append(event)
+        self._getters.append(event)
         return event
 
 
@@ -171,27 +233,58 @@ class CapacityResource:
         process continues inline without touching the event calendar;
         contended requests queue and are woken FIFO through the calendar.
         """
+        env = self.env
         if self._in_use < self.capacity:
             self._in_use += 1
-            event = Event(self.env)
-            event._ok = True
-            event._value = self
-            event.callbacks = None
-            event._scheduled = True
+            # inlined env.grant_event(self)
+            pool = env._event_pool
+            if pool:
+                event = pool.pop()
+                event._value = self
+                event._defused = False
+            else:
+                event = Event(env)
+                event._ok = True
+                event._value = self
+                event.callbacks = None
+                event._scheduled = True
             if self.sanitizer is not None:
                 self.sanitizer.on_resource_grant(self)
         else:
-            event = _CapacityRequest(self)
+            # inlined env.waiter_event(_CapacityRequest, self)
+            pool = env._waiter_pool.get(_CapacityRequest)
+            if pool:
+                event = pool.pop()
+                event.resource = self
+                event.proc = env._active_process
+                event.callbacks = []
+                event._value = _PENDING
+                event._ok = None
+                event._defused = False
+                event._scheduled = False
+            else:
+                event = _CapacityRequest(self)
             self._waiters.append(event)
         return event
 
     def _pass_on(self) -> None:
         """Hand a freed slot to the oldest live waiter, else free it."""
-        while self._waiters:
-            waiter = self._waiters.popleft()
-            if waiter.triggered:
+        waiters = self._waiters
+        while waiters:
+            waiter = waiters.popleft()
+            if waiter._ok is not None:  # cancelled waiter
                 continue
-            waiter.succeed(self)
+            # inlined waiter.succeed(self)
+            waiter._ok = True
+            waiter._value = self
+            if not waiter._scheduled:
+                waiter._scheduled = True
+                env = self.env
+                env._eid += 1
+                if env._fast:
+                    env._nowq.append((env._eid, waiter))
+                else:
+                    heapq.heappush(env._queue, (env.now, env._eid, waiter))
             if self.sanitizer is not None:
                 self.sanitizer.on_resource_grant(self, waiter)
             return
@@ -203,6 +296,9 @@ class CapacityResource:
             raise RuntimeError(f"{self.name}: release without matching request")
         if self.sanitizer is not None:
             self.sanitizer.on_resource_release(self)
+        if not self._waiters:  # uncontended fast path
+            self._in_use -= 1
+            return
         self._pass_on()
 
 
@@ -213,7 +309,9 @@ class BandwidthChannel:
     of ``nbytes`` takes ``per_op_overhead_ns + nbytes / rate``; its
     completion event fires when the transfer (and everything queued before
     it) has drained.  Scheduling is O(1) per transfer: the channel only
-    tracks the time at which it becomes free.
+    tracks the time at which it becomes free — the completion timestamp of
+    the whole reservation queue is computed in closed form, so no per-grant
+    events exist at all.
 
     ``parallelism`` models devices with internal channels (e.g. NAND dies):
     ``k`` independent FIFO servers each running at ``rate / k``, with new
@@ -238,12 +336,18 @@ class BandwidthChannel:
         self.per_op_overhead_ns = int(per_op_overhead_ns)
         self.parallelism = parallelism
         self._rate = float(rate_bytes_per_s)
+        self._per_server_rate = self._rate / parallelism
         self._free_at = [0] * parallelism
         # (free_at, idx) min-heap mirror of _free_at: earliest-free server
         # selection in O(log k) instead of an O(k) min() scan per reserve.
         # Only consulted when parallelism > 1; ties break on lowest index,
         # exactly like min() over the list.
         self._free_heap: List[Tuple[int, int]] = [(0, i) for i in range(parallelism)]
+        # Cached between reservations: the earliest-free head and the raw
+        # sum of all server free times, so queue_delay_ns/backlog_ns are
+        # O(1) in the saturated (all servers beyond ``now``) regime.
+        self._earliest_free = 0
+        self._free_sum = 0
         # accounting
         self.bytes_transferred = 0
         self.ops = 0
@@ -258,24 +362,27 @@ class BandwidthChannel:
         if value <= 0:
             raise ValueError(f"rate must be positive, got {value}")
         self._rate = float(value)
+        self._per_server_rate = self._rate / self.parallelism
 
     def service_ns(self, nbytes: int) -> int:
         """Pure service time of ``nbytes`` (no queueing)."""
-        per_server_rate = self._rate / self.parallelism
-        return self.per_op_overhead_ns + int(round(nbytes * NS_PER_S / per_server_rate))
+        return self.per_op_overhead_ns + int(
+            round(nbytes * NS_PER_S / self._per_server_rate)
+        )
 
     def queue_delay_ns(self) -> int:
         """Wait a transfer submitted now would incur before service starts."""
-        if self.parallelism == 1:
-            free_at = self._free_at[0]
-        else:
-            free_at = self._free_heap[0][0]
-        return max(0, free_at - self.env.now)
+        free_at = self._earliest_free
+        return free_at - self.env.now if free_at > self.env.now else 0
 
     def backlog_ns(self) -> int:
         """Total remaining work across all internal servers (congestion signal)."""
         now = self.env.now
-        return sum(max(0, f - now) for f in self._free_at)
+        if self._earliest_free >= now:
+            # saturated regime: every server is booked past ``now``, so the
+            # cached raw sum gives the backlog without an O(k) scan
+            return self._free_sum - now * self.parallelism
+        return sum(f - now for f in self._free_at if f > now)
 
     def reserve(self, nbytes: int, extra_ns: int = 0) -> int:
         """Queue a transfer and return its *absolute* completion time.
@@ -287,20 +394,29 @@ class BandwidthChannel:
         """
         if nbytes < 0:
             raise ValueError(f"negative transfer size {nbytes}")
-        service = self.service_ns(nbytes) + int(extra_ns)
+        # inlined service_ns(nbytes) — reserve is the resource hot path
+        service = (
+            self.per_op_overhead_ns
+            + int(round(nbytes * NS_PER_S / self._per_server_rate))
+            + int(extra_ns)
+        )
         now = self.env.now
         if self.parallelism == 1:
             free = self._free_at[0]
             start = free if free > now else now
             done = start + service
             self._free_at[0] = done
+            self._earliest_free = done
+            self._free_sum = done
         else:
             # earliest-free internal server via the heap mirror
             free, idx = heapq.heappop(self._free_heap)
             start = free if free > now else now
             done = start + service
+            self._free_sum += done - self._free_at[idx]
             self._free_at[idx] = done
             heapq.heappush(self._free_heap, (done, idx))
+            self._earliest_free = self._free_heap[0][0]
         self.bytes_transferred += nbytes
         self.ops += 1
         self.busy_ns += service

@@ -72,6 +72,13 @@ class NvmeDrive:
         # (free_at, idx) min-heap mirror of _free_at (see BandwidthChannel):
         # consulted only when the profile has internal parallelism > 1.
         self._free_heap = [(0, i) for i in range(profile.parallelism)]
+        # Cached between dispatches (profiles are immutable): per-server
+        # transfer rates, plus the earliest-free head and the raw sum of
+        # server free times so backlog_ns is O(1) in the saturated regime.
+        self._read_per_server = profile.read_bw_bytes_per_s / profile.parallelism
+        self._write_per_server = profile.write_bw_bytes_per_s / profile.parallelism
+        self._earliest_free = 0
+        self._free_sum = 0
         self._gc_budget = profile.gc_after_bytes_written
         # Fault-injection state (repro.faults): transient error bursts and
         # fail-slow latency multipliers.  All keyed off the sim clock.
@@ -107,12 +114,16 @@ class NvmeDrive:
             start = free if free > now else now
             done = start + work_ns
             self._free_at[0] = done
+            self._earliest_free = done
+            self._free_sum = done
         else:
             free, idx = heapq.heappop(self._free_heap)
             start = free if free > now else now
             done = start + work_ns
+            self._free_sum += done - self._free_at[idx]
             self._free_at[idx] = done
             heapq.heappush(self._free_heap, (done, idx))
+            self._earliest_free = self._free_heap[0][0]
         self.stats.busy_ns += work_ns
         return done
 
@@ -120,6 +131,13 @@ class NvmeDrive:
         # internal servers each run at rate/parallelism
         per_server = rate / self.profile.parallelism
         return int(round(nbytes * NS_PER_S / per_server))
+
+    def _rebuild_free_caches(self) -> None:
+        """Recompute the free-server caches after a bulk ``_free_at`` edit
+        (GC stall, heal)."""
+        self._free_heap = sorted((f, i) for i, f in enumerate(self._free_at))
+        self._earliest_free = self._free_heap[0][0]
+        self._free_sum = sum(self._free_at)
 
     def _slow_factor(self) -> float:
         """Current fail-slow latency multiplier (1.0 when healthy)."""
@@ -160,7 +178,7 @@ class NvmeDrive:
         self._check(offset, nbytes)
         self.stats.read_ops += 1
         self.stats.bytes_read += nbytes
-        work_ns = self._transfer_ns(nbytes, self.profile.read_bw_bytes_per_s)
+        work_ns = int(round(nbytes * NS_PER_S / self._read_per_server))
         latency_ns = self.profile.read_latency_ns
         factor = self._slow_factor()
         if factor != 1.0:
@@ -180,7 +198,7 @@ class NvmeDrive:
         self._check(offset, nbytes)
         self.stats.write_ops += 1
         self.stats.bytes_written += nbytes
-        work_ns = self._transfer_ns(nbytes, self.profile.write_bw_bytes_per_s)
+        work_ns = int(round(nbytes * NS_PER_S / self._write_per_server))
         latency_ns = self.profile.write_latency_ns
         factor = self._slow_factor()
         if factor != 1.0:
@@ -194,9 +212,7 @@ class NvmeDrive:
                 self.stats.gc_events += 1
                 stall_until = max(self._free_at) + self.profile.gc_pause_ns
                 self._free_at = [max(f, stall_until) for f in self._free_at]
-                self._free_heap = sorted(
-                    (f, i) for i, f in enumerate(self._free_at)
-                )
+                self._rebuild_free_caches()
         done = self._dispatch(work_ns)
         completion = done + latency_ns - self.env.now
         if self._tracer is not None and ctx is not None:
@@ -304,7 +320,7 @@ class NvmeDrive:
         self._armed_corruptions.clear()
         now = self.env.now
         self._free_at = [min(f, now) for f in self._free_at]
-        self._free_heap = sorted((f, i) for i, f in enumerate(self._free_at))
+        self._rebuild_free_caches()
 
     # -- silent corruption ------------------------------------------------------
 
@@ -463,6 +479,9 @@ class NvmeDrive:
 
     def backlog_ns(self) -> int:
         now = self.env.now
+        if self._earliest_free >= now:
+            # saturated regime: every server is booked past ``now``
+            return self._free_sum - now * len(self._free_at)
         return sum(max(0, f - now) for f in self._free_at)
 
 

@@ -52,6 +52,19 @@ class KernelSanitizer:
         #: per resource id: list of holder Processes (None for non-process)
         self._res_holders: Dict[int, List[Any]] = {}
         self.events_checked = 0
+        # Degrade the kernel to the fully-checked pure-heap path: no
+        # batch-advance inside Process._resume, no now-queue bypass — every
+        # event flows through the heap and our _dispatch sees it.  Events
+        # already sitting in the now-queue keep their ids, so migrating
+        # them into the heap preserves dispatch order exactly.
+        env._fast = False
+        deferred = env._deferred
+        if deferred is not None:
+            env._deferred = None
+            heapq.heappush(env._queue, (deferred._time, deferred._teid, deferred))
+        while env._nowq:
+            eid, event = env._nowq.popleft()
+            heapq.heappush(env._queue, (env.now, eid, event))
         # Rebind the hot entry points on the *instance* — unarmed
         # environments never see these attributes and keep the class-level
         # inlined loops.

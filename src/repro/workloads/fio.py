@@ -121,9 +121,7 @@ class FioWorkload:
                 self._bytes_done += self.io_size
 
     def combined_latency(self) -> LatencySummary:
-        merged = LatencyRecorder()
-        merged._samples = self.reads._samples + self.writes._samples
-        return merged.summarize()
+        return LatencyRecorder.merged(self.reads, self.writes).summarize()
 
     def run(self, warmup_ns: int = 2_000_000, measure_ns: int = 30_000_000) -> FioResult:
         """Warm up, measure for ``measure_ns``, return windowed results.
