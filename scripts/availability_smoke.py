@@ -1,0 +1,94 @@
+#!/usr/bin/env python
+"""CI availability smoke: a seeded mini Monte Carlo durability grid.
+
+Every line is fully determined by the (system, process, seed) triple —
+fault timelines, foreground workload, rebuild scheduling and exposure
+sampling all key off seeded RNGs and the sim clock — so two runs of this
+script must be byte-identical, and both must match the committed golden
+(``tests/golden/availability_smoke.golden``).  The script also enforces
+the figure's headline invariant on the mini grid: under the correlated
+storm process dRAID must not lose more data than either host-centric
+baseline.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.experiments.availability import (  # noqa: E402
+    AVAIL_PROCESSES,
+    AVAIL_SYSTEMS,
+    aggregate_rows,
+    availability_point,
+)
+
+SMOKE_SEEDS = (1, 2)
+GOLDEN = (
+    Path(__file__).resolve().parent.parent
+    / "tests"
+    / "golden"
+    / "availability_smoke.golden"
+)
+
+
+def smoke_report() -> str:
+    lines = []
+    results = []
+    for process in AVAIL_PROCESSES:
+        for system in AVAIL_SYSTEMS:
+            for seed in SMOKE_SEEDS:
+                r = availability_point(system, process, seed)
+                results.append(r)
+                lines.append(
+                    f"{process:<12} {system:<6} seed={seed} "
+                    f"loss={r['loss_events']} "
+                    f"worst={r['worst_erasures']} "
+                    f"degraded_ms={r['degraded_ms']:.3f} "
+                    f"zero_ms={r['zero_redundancy_ms']:.3f} "
+                    f"rebuild_ms={r['rebuild_ms']:.3f} "
+                    f"rebuilt={r['rebuilds_completed']} "
+                    f"spare_waits={r['spare_waits']}"
+                )
+    losses = {
+        (r["process"], r["system"]): 0 for r in results
+    }
+    for r in results:
+        losses[(r["process"], r["system"])] += r["loss_events"]
+    for baseline in ("Linux", "SPDK"):
+        if losses[("correlated", "dRAID")] > losses[("correlated", baseline)]:
+            raise SystemExit(
+                f"dRAID lost more data than {baseline} under correlated storms: "
+                f"{losses}"
+            )
+    for row in aggregate_rows(results):
+        metrics = " ".join(
+            f"{key}={value:.3f}" for key, value in sorted(row.metrics.items())
+        )
+        lines.append(f"agg {row.x:<12} {row.system:<6} {metrics}")
+    return "\n".join(lines) + "\n"
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--write-golden",
+        action="store_true",
+        help=f"regenerate {GOLDEN} instead of printing to stdout",
+    )
+    args = parser.parse_args()
+    report = smoke_report()
+    if args.write_golden:
+        GOLDEN.parent.mkdir(parents=True, exist_ok=True)
+        GOLDEN.write_text(report)
+        print(f"wrote {GOLDEN}")
+        return 0
+    sys.stdout.write(report)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

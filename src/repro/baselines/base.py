@@ -106,6 +106,12 @@ class HostCentricRaid:
         self.failed: set = set()
         #: drive -> first stripe NOT yet rebuilt (see :meth:`drive_failed`)
         self.rebuild_watermark: Dict[int, int] = {}
+        #: drive -> stripes already rebuilt *out of order* (risk-prioritized
+        #: recovery, :mod:`repro.raid.recovery`).  Sequential rebuilds use
+        #: the contiguous watermark above; this set exists only while an
+        #: out-of-order rebuild is in flight, so healthy and
+        #: sequential-rebuild paths never pay the extra lookup.
+        self.rebuilt_stripes: Dict[int, set] = {}
         self.functional = cluster.config.functional_capacity > 0
         #: §5.4 hardening: I/O deadline (escalates per retry attempt) and
         #: fault bookkeeping.  ``timeout_ns`` may be reassigned on the
@@ -155,8 +161,16 @@ class HostCentricRaid:
     # -- failure management ---------------------------------------------------
 
     def fail_drive(self, index: int) -> None:
-        """Mark a member faulty; the array enters degraded state."""
+        """Mark a member faulty; the array enters degraded state.
+
+        Any rebuild progress recorded for the member is invalidated: a
+        drive that fails again mid-rebuild restarts from scratch — resuming
+        a stale watermark would serve reads from a replacement that never
+        received those stripes' content.
+        """
         self.failed.add(index)
+        self.rebuild_watermark.pop(index, None)
+        self.rebuilt_stripes.pop(index, None)
         self.cluster.servers[index].drive.fail()
         if len(self.failed) > self.geometry.num_parity:
             raise ArrayFailureError(
@@ -167,6 +181,7 @@ class HostCentricRaid:
     def repair_drive(self, index: int) -> None:
         self.failed.discard(index)
         self.rebuild_watermark.pop(index, None)
+        self.rebuilt_stripes.pop(index, None)
         self.cluster.servers[index].drive.repair()
         if self.failslow_detector is not None:
             self.failslow_detector.forget(index)
@@ -200,12 +215,19 @@ class HostCentricRaid:
         During an online rebuild (:mod:`repro.raid.rebuild`) stripes below
         the rebuild watermark have already been reconstructed onto the
         replacement, so the drive is healthy *for those stripes* while
-        still failed beyond the watermark.
+        still failed beyond the watermark.  Risk-prioritized rebuilds
+        (:mod:`repro.raid.recovery`) sweep stripes out of order and record
+        them in :attr:`rebuilt_stripes` instead.
         """
         if drive not in self.failed:
             return False
         watermark = self.rebuild_watermark.get(drive)
-        return watermark is None or stripe >= watermark
+        if watermark is not None and stripe < watermark:
+            return False
+        rebuilt = self.rebuilt_stripes.get(drive)
+        if rebuilt is not None and stripe in rebuilt:
+            return False
+        return True
 
     def failed_in_stripe(self, stripe: int) -> set:
         """The member drives to treat as failed for ``stripe``."""

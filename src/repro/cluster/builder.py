@@ -8,7 +8,10 @@ full mesh of server-to-server connections (used only by dRAID).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+
+if TYPE_CHECKING:  # annotation only: keep repro.cluster import-light
+    from repro.faults.domains import DomainTopology
 
 from repro.cluster.machines import HostMachine, StorageServer
 from repro.cluster.profiles import DEFAULT_CPU, CpuProfile
@@ -55,6 +58,13 @@ class ClusterConfig:
     #: a :class:`repro.verify.VerifyConfig` to attach a
     #: :class:`repro.verify.Verifier` hub at ``cluster.verify``.
     verify: Optional[VerifyConfig] = None
+    #: None (the default) gives faults no shape — every fault event is
+    #: independent, exactly as before.  Set a
+    #: :class:`repro.faults.domains.DomainTopology` to give correlated
+    #: events (``DomainOutage``, ``BatchFailureStorm``) and the
+    #: domain-aware chaos budget a blast-radius map.  Pure bookkeeping:
+    #: attaching a topology changes nothing until an event references it.
+    domains: Optional["DomainTopology"] = None
 
 
 class Cluster:
@@ -94,6 +104,11 @@ class Cluster:
         #: checker).  None keeps every check site on its zero-cost
         #: short-circuit path.
         self.verify = None
+        #: Armed by :class:`repro.raid.recovery.RecoveryOrchestrator`; when
+        #: set, the fault injector routes heal-triggered rebuilds through
+        #: the orchestrator (risk-ordered, SLO-paced) instead of kicking
+        #: off a plain sequential :class:`~repro.raid.rebuild.RebuildJob`.
+        self.recovery = None
 
     @property
     def num_servers(self) -> int:

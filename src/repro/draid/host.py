@@ -153,8 +153,11 @@ class DraidArray(HostCentricRaid):
         so reads reconstruct around it instead of waiting on it."""
         if member in self.failed or len(self.failed) >= self.geometry.num_parity:
             return
-        if self.failslow_detector.suspect(member, exclude=self.failed):
+        if self.failslow_detector.suspect(
+            member, exclude=self.failed, now_ns=self.env.now
+        ):
             self.failed.add(member)
+            self.failslow_detector.note_eject(member, self.env.now)
             self.fault_stats.fail_slow_ejections += 1
             self.fault_stats.degraded_transitions += 1
             if self._verifier is not None:

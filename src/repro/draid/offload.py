@@ -128,6 +128,10 @@ class OffloadedController(DraidArray):
 
     def fail_drive(self, index: int) -> None:
         self.failed.add(index)
+        # a re-failing member restarts any rebuild from scratch (see
+        # HostCentricRaid.fail_drive)
+        self.rebuild_watermark.pop(index, None)
+        self.rebuilt_stripes.pop(index, None)
         self.cluster.servers[self._server_of(index)].drive.fail()
         if len(self.failed) > self.geometry.num_parity:
             from repro.baselines.base import ArrayFailureError
@@ -137,6 +141,7 @@ class OffloadedController(DraidArray):
     def repair_drive(self, index: int) -> None:
         self.failed.discard(index)
         self.rebuild_watermark.pop(index, None)
+        self.rebuilt_stripes.pop(index, None)
         self.cluster.servers[self._server_of(index)].drive.repair()
 
     def _mark_prolonged_failures(self, waiter) -> None:

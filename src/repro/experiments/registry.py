@@ -217,6 +217,17 @@ def run_integrity(fast: bool = True):
     )
 
 
+def run_availability(fast: bool = True):
+    from repro.experiments.availability import availability_rows
+
+    rows = availability_rows(fast=fast)
+    return (
+        "Availability: Monte Carlo data-loss rate and rebuild exposure, "
+        "independent vs correlated (batch-storm) fault processes",
+        rows,
+    )
+
+
 def run_obs(fast: bool = True):
     from repro.experiments.obs_figures import obs_rows
 
@@ -252,6 +263,7 @@ EXPERIMENTS: Dict[str, Callable[[bool], Tuple[str, List[Row]]]] = {
     "fig28": run_fig28,
     "fig29": run_fig29,
     "fig30": run_fig30,
+    "availability": run_availability,
     "reliability": run_reliability,
     "integrity": run_integrity,
     "obs": run_obs,

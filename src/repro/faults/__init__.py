@@ -12,13 +12,23 @@ keep this package free of controller dependencies).
 
 from repro.faults.backoff import BackoffPolicy
 from repro.faults.detect import FailSlowDetector
+from repro.faults.domains import (
+    DOMAIN_KINDS,
+    DomainTopology,
+    FailureDomain,
+    default_topology,
+)
 from repro.faults.events import (
+    BatchFailureStorm,
     BitRot,
+    DomainOutage,
     DriveErrorBurst,
     DriveFail,
     DriveFailSlow,
     DriveHeal,
     FaultEvent,
+    GrayDriveStutter,
+    GrayNicFlap,
     LinkStall,
     LostWrite,
     MisdirectedWrite,
@@ -32,15 +42,22 @@ from repro.faults.plan import FaultPlan, chaos_plan
 
 __all__ = [
     "BackoffPolicy",
+    "BatchFailureStorm",
     "BitRot",
+    "DOMAIN_KINDS",
+    "DomainOutage",
+    "DomainTopology",
     "DriveErrorBurst",
     "DriveFail",
     "DriveFailSlow",
     "DriveHeal",
     "FailSlowDetector",
+    "FailureDomain",
     "FaultEvent",
     "FaultInjector",
     "FaultPlan",
+    "GrayDriveStutter",
+    "GrayNicFlap",
     "LinkStall",
     "LostWrite",
     "MisdirectedWrite",
@@ -49,4 +66,5 @@ __all__ = [
     "ServerCrash",
     "TornWrite",
     "chaos_plan",
+    "default_topology",
 ]

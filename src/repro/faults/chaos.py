@@ -128,6 +128,9 @@ def run_chaos_schedule(
     corruption_events: int = 0,
     scrub_pace_ns: Optional[int] = None,
     integrity_eager: bool = False,
+    raid6: bool = False,
+    correlated_events: int = 0,
+    gray_events: int = 0,
 ) -> ChaosOutcome:
     """Run one seeded fault storm against ``system`` and verify recovery.
 
@@ -139,6 +142,16 @@ def run_chaos_schedule(
     *during* the storm at that pace.  The recovery playbook then gains
     scrub-repair passes so the schedule must end with zero unrecoverable
     chunks, a clean parity scrub and byte-exact shadow-model data.
+
+    ``correlated_events > 0`` adds domain-shaped hard faults (enclosure
+    outages, shared-batch failure storms) budgeted against the array's
+    parity, and ``gray_events > 0`` adds sub-ejection-threshold NIC flaps
+    and drive stutters; both attach the default
+    :class:`~repro.faults.domains.DomainTopology` to the cluster config so
+    the injector resolves domains exactly as the plan budgeted them.
+    ``raid6=True`` runs the schedule on a RAID-6 geometry (required for
+    multi-member correlated storms — RAID-5 has no budget for them).
+    All defaults keep existing ``(system, seed)`` outcomes byte-identical.
     """
     import random
 
@@ -159,8 +172,13 @@ def run_chaos_schedule(
         functional_capacity=stripes * chunk,
         io_timeout_ns=timeout_ns,
     )
+    if correlated_events or gray_events:
+        from repro.faults.domains import default_topology
+
+        config.domains = default_topology(drives)
     cluster = build_cluster(env, config)
-    geometry = RaidGeometry(RaidLevel.RAID5, drives, chunk)
+    level = RaidLevel.RAID6 if raid6 else RaidLevel.RAID5
+    geometry = RaidGeometry(level, drives, chunk)
     if plan is None:
         plan = chaos_plan(
             seed,
@@ -170,6 +188,9 @@ def run_chaos_schedule(
             corruption_events=corruption_events,
             chunk_bytes=chunk,
             num_stripes=stripes,
+            correlated_events=correlated_events,
+            gray_events=gray_events,
+            topology=config.domains,
         )
     n_corrupt = sum(
         1

@@ -103,6 +103,68 @@ class ServerCrash(FaultEvent):
 
 
 @dataclass(frozen=True)
+class DomainOutage(FaultEvent):
+    """Take a whole failure domain down at once (shared enclosure, rack or
+    power feed): every member server of ``(kind, domain_id)`` in the
+    cluster's :class:`~repro.faults.domains.DomainTopology` crashes for
+    ``down_ns``, losing queued commands and in-flight parity state exactly
+    like per-server :class:`ServerCrash` events."""
+
+    kind_name: str  #: domain kind ("enclosure", "rack", "power", "batch")
+    domain_id: int
+    down_ns: int
+
+
+@dataclass(frozen=True)
+class BatchFailureStorm(FaultEvent):
+    """Correlated drive deaths from one manufacturing batch.
+
+    ``count`` members of batch ``batch_id`` hard-fail at staggered times
+    drawn from a seeded Weibull-style hazard curve starting at ``at_ns``
+    (shared latent defect: once the first drive of a cohort dies, its
+    siblings follow quickly).  ``spread_ns`` scales the stagger;
+    ``shape`` < 1 front-loads the hazard (infant mortality), > 1 delays
+    it (wear-out).  Victims and offsets depend only on ``seed``.
+    """
+
+    batch_id: int
+    count: int
+    spread_ns: int
+    shape: float = 1.0
+    seed: int = 0
+
+
+@dataclass(frozen=True)
+class GrayNicFlap(FaultEvent):
+    """Gray network failure: ``server``'s NICs repeatedly dip to
+    ``factor`` × their base rate for ``up_ns`` out of every ``period_ns``,
+    ``flaps`` times.  Each dip is short and shallow enough not to trip
+    fencing, but the accumulated tail-latency damage is real — the
+    canonical sub-ejection-threshold failure mode."""
+
+    server: int
+    factor: float
+    period_ns: int
+    up_ns: int
+    flaps: int
+
+
+@dataclass(frozen=True)
+class GrayDriveStutter(FaultEvent):
+    """Gray drive failure: ``server``'s drive stutters — latency multiplied
+    by ``multiplier`` for ``up_ns`` out of every ``period_ns``, ``repeats``
+    times.  Between stutters the drive looks healthy, so a naive EWMA
+    detector oscillates around its threshold instead of cleanly ejecting
+    (the flapping regime the detector's hysteresis band exists for)."""
+
+    server: int
+    multiplier: float
+    period_ns: int
+    up_ns: int
+    repeats: int
+
+
+@dataclass(frozen=True)
 class BitRot(FaultEvent):
     """Silently flip bytes of ``server``'s drive at ``[offset, offset+length)``
     with a seeded nonzero XOR mask (media decay — the drive keeps answering

@@ -16,12 +16,16 @@ import random
 from typing import List, Optional
 
 from repro.faults.events import (
+    BatchFailureStorm,
     BitRot,
+    DomainOutage,
     DriveErrorBurst,
     DriveFail,
     DriveFailSlow,
     DriveHeal,
     FaultEvent,
+    GrayDriveStutter,
+    GrayNicFlap,
     LinkStall,
     LostWrite,
     MisdirectedWrite,
@@ -30,6 +34,7 @@ from repro.faults.events import (
     ServerCrash,
     TornWrite,
 )
+from repro.faults.domains import DomainTopology, default_topology
 from repro.faults.plan import FaultPlan
 from repro.nvmeof.messages import IoError
 from repro.raid.rebuild import RebuildJob
@@ -56,6 +61,7 @@ class FaultInjector:
         self.rebuild_failures = 0
         self._helpers: List[Event] = []
         self._nic_degrades = {i: 0 for i in range(self.cluster.num_servers)}
+        self._default_topology = None
         if arm:
             self.cluster.fault_injection = self
         self.process = self.env.process(self._run(), name=f"{array.name}.faults")
@@ -87,14 +93,7 @@ class FaultInjector:
     def _apply(self, event: FaultEvent) -> None:
         array = self.array
         if isinstance(event, DriveFail):
-            if event.server not in array.failed:
-                from repro.baselines.base import ArrayFailureError
-
-                try:
-                    array.fail_drive(event.server)
-                except ArrayFailureError:
-                    pass  # still marked failed; the datapath surfaces IoError
-                array.fault_stats.degraded_transitions += 1
+            self._fail_member(event.server)
         elif isinstance(event, DriveHeal):
             self._spawn(self._heal(event.server), f"{array.name}.heal{event.server}")
         elif isinstance(event, DriveErrorBurst):
@@ -123,6 +122,21 @@ class FaultInjector:
             )
         elif isinstance(event, ServerCrash):
             self._server_side(event.server).crash(event.down_ns)
+        elif isinstance(event, DomainOutage):
+            for server in self.topology.members(event.kind_name, event.domain_id):
+                self._server_side(server).crash(event.down_ns)
+        elif isinstance(event, BatchFailureStorm):
+            self._spawn(
+                self._batch_storm(event), f"{array.name}.batch-storm{event.batch_id}"
+            )
+        elif isinstance(event, GrayNicFlap):
+            self._spawn(
+                self._gray_nic_flap(event), f"{array.name}.gray-nic{event.server}"
+            )
+        elif isinstance(event, GrayDriveStutter):
+            self._spawn(
+                self._gray_stutter(event), f"{array.name}.gray-drive{event.server}"
+            )
         elif isinstance(event, BitRot):
             self._drive(event.server).corrupt(
                 "bitrot", offset=event.offset, length=event.length, seed=event.seed
@@ -139,6 +153,32 @@ class FaultInjector:
             raise TypeError(f"unknown fault event {event!r}")
         self.applied += 1
         array.fault_stats.record_injected(event.kind)
+
+    def _fail_member(self, server: int) -> None:
+        """Hard-fail one member (idempotent; tolerance overruns are kept
+        as marked failures and surface as datapath ``IoError``)."""
+        array = self.array
+        if server in array.failed:
+            return
+        from repro.baselines.base import ArrayFailureError
+
+        try:
+            array.fail_drive(server)
+        except ArrayFailureError:
+            pass  # still marked failed; the datapath surfaces IoError
+        array.fault_stats.degraded_transitions += 1
+
+    @property
+    def topology(self) -> DomainTopology:
+        """The cluster's failure-domain map (``ClusterConfig.domains``),
+        or the default blast-radius shape when none was configured."""
+        topology = self.cluster.config.domains
+        if topology is None:
+            topology = self._default_topology
+            if topology is None:
+                topology = default_topology(self.cluster.num_servers)
+                self._default_topology = topology
+        return topology
 
     def _drive(self, server: int):
         return self.cluster.servers[server].drive
@@ -158,6 +198,16 @@ class FaultInjector:
     def _heal(self, server: int):
         array = self.array
         if server in array.failed:
+            orchestrator = self.cluster.recovery
+            if orchestrator is not None and orchestrator.array is array:
+                # availability-aware path: the orchestrator owns spare
+                # allocation, risk-ordered stripe scheduling and pacing
+                try:
+                    yield orchestrator.request_rebuild(server)
+                    self.rebuilds += 1
+                except (IoError, RuntimeError):
+                    self.rebuild_failures += 1
+                return
             num_stripes = self._num_stripes
             if num_stripes is None:
                 num_stripes = (
@@ -174,6 +224,41 @@ class FaultInjector:
                 self.rebuild_failures += 1
         else:
             self._drive(server).heal()
+
+    def _batch_storm(self, event: BatchFailureStorm):
+        """Stagger ``count`` correlated deaths over a seeded hazard curve."""
+        from repro.faults.domains import batch_storm_victims
+
+        for victim, fail_at in batch_storm_victims(self.topology, event):
+            wait = fail_at - self.env.now
+            if wait > 0:
+                yield self.env.timeout(wait)
+            self._fail_member(victim)
+
+    def _gray_nic_flap(self, event: GrayNicFlap):
+        """Periodic short NIC dips (refcounted against overlapping
+        ``NicDegrade`` windows so restores never race)."""
+        server = self.cluster.servers[event.server]
+        for flap in range(event.flaps):
+            for nic in server.nics:
+                nic.degrade(event.factor)
+            self._nic_degrades[event.server] += 1
+            yield self.env.timeout(event.up_ns)
+            self._nic_degrades[event.server] -= 1
+            if self._nic_degrades[event.server] == 0:
+                for nic in server.nics:
+                    nic.restore()
+            rest = event.period_ns - event.up_ns
+            if rest > 0 and flap + 1 < event.flaps:
+                yield self.env.timeout(rest)
+
+    def _gray_stutter(self, event: GrayDriveStutter):
+        """Periodic sub-ejection-threshold latency stutters."""
+        drive = self._drive(event.server)
+        for repeat in range(event.repeats):
+            drive.set_fail_slow(event.multiplier, event.up_ns)
+            if repeat + 1 < event.repeats:
+                yield self.env.timeout(event.period_ns)
 
     def _nic_restore(self, server: int, duration_ns: int):
         yield self.env.timeout(duration_ns)

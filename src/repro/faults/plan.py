@@ -10,15 +10,20 @@ the chaos harness and CI golden files rely on.
 from __future__ import annotations
 
 import random
-from typing import Iterable, List, Sequence
+from typing import Iterable, List, Optional, Sequence
 
+from repro.faults.domains import DomainTopology, batch_storm_victims, default_topology
 from repro.faults.events import (
+    BatchFailureStorm,
     BitRot,
+    DomainOutage,
     DriveErrorBurst,
     DriveFail,
     DriveFailSlow,
     DriveHeal,
     FaultEvent,
+    GrayDriveStutter,
+    GrayNicFlap,
     LinkStall,
     LostWrite,
     MisdirectedWrite,
@@ -68,6 +73,9 @@ def chaos_plan(
     corruption_events: int = 0,
     chunk_bytes: int = 0,
     num_stripes: int = 0,
+    correlated_events: int = 0,
+    gray_events: int = 0,
+    topology: Optional[DomainTopology] = None,
 ) -> FaultPlan:
     """A seeded random fault storm over ``[0, horizon_ns)``.
 
@@ -86,6 +94,20 @@ def chaos_plan(
     so their count is capped rather than placed.  Bit rot and misdirected
     writes need the array layout (``chunk_bytes``; bit rot additionally
     ``num_stripes``).
+
+    ``correlated_events > 0`` adds domain-shaped hard faults (enclosure
+    :class:`DomainOutage`, shared-batch :class:`BatchFailureStorm`) drawn
+    from their own child RNG, budgeted *domain-aware*: every member of an
+    affected domain counts against the same ``num_parity`` simultaneous
+    hard-fault limit as the independent faults above, so no stripe's
+    surviving set is ever scheduled past parity.  ``gray_events > 0``
+    likewise adds sub-ejection-threshold :class:`GrayNicFlap` /
+    :class:`GrayDriveStutter` degradation (soft — exempt from the hard
+    budget).  ``topology`` supplies the blast-radius map (defaults to
+    :func:`~repro.faults.domains.default_topology`); pass the same one
+    to ``ClusterConfig.domains`` so the injector resolves domains the
+    way the plan budgeted them.  All three knobs default off, leaving
+    existing plans for a given seed byte-identical.
     """
     if servers < 3:
         raise ValueError(f"chaos needs >= 3 servers, got {servers}")
@@ -96,9 +118,11 @@ def chaos_plan(
     #: members scheduled dead/crashed, with the time they come back
     unavailable_until = {}
 
+    def live_hard_faults(at_ns: int) -> int:
+        return sum(1 for t in unavailable_until.values() if t > at_ns)
+
     def hard_fault_budget_ok(at_ns: int) -> bool:
-        live_faults = sum(1 for t in unavailable_until.values() if t > at_ns)
-        return live_faults < num_parity
+        return live_hard_faults(at_ns) < num_parity
 
     kinds: Sequence[str] = (
         "fail",
@@ -225,4 +249,87 @@ def chaos_plan(
                     MisdirectedWrite(at_ns, server=server, shift_bytes=chunk_bytes)
                 )
             made += 1
+    if correlated_events > 0:
+        # independent child RNG: adding correlated faults must not perturb
+        # the loud-fault or corruption streams above for the same seed
+        topo = topology if topology is not None else default_topology(servers)
+        drng = random.Random(f"repro.chaos.domains:{seed}")
+        made = 0
+        attempts = 0
+        while made < correlated_events and attempts < correlated_events * 20:
+            attempts += 1
+            at_ns = drng.randrange(0, horizon_ns)
+            if drng.random() < 0.5 and allow_crashes:
+                # whole-enclosure outage: every member crashes at once, so
+                # the *domain size* counts against the hard-fault budget
+                domain_id = drng.choice(topo.domains("enclosure"))
+                members = topo.members("enclosure", domain_id)
+                if live_hard_faults(at_ns) + len(members) > num_parity:
+                    continue
+                down_ns = drng.randint(5 * MS, 20 * MS)
+                events.append(
+                    DomainOutage(
+                        at_ns, kind_name="enclosure", domain_id=domain_id, down_ns=down_ns
+                    )
+                )
+                # crashed members may be fenced by prolonged-failure
+                # handling; heal each so the array returns to full strength
+                for member in members:
+                    heal_at = at_ns + down_ns + drng.randint(15 * MS, 40 * MS)
+                    events.append(DriveHeal(heal_at, server=member))
+                    unavailable_until[member] = heal_at
+            else:
+                # shared-batch hazard storm: k correlated drive deaths
+                batch_id = drng.choice(topo.domains("batch"))
+                batch = topo.members("batch", batch_id)
+                count = drng.randint(1, max(1, min(len(batch), num_parity)))
+                if live_hard_faults(at_ns) + count > num_parity:
+                    continue
+                storm = BatchFailureStorm(
+                    at_ns,
+                    batch_id=batch_id,
+                    count=count,
+                    spread_ns=drng.randint(2 * MS, 10 * MS),
+                    shape=drng.choice((0.7, 1.0, 1.5)),
+                    seed=drng.randrange(1 << 30),
+                )
+                events.append(storm)
+                # the storm's victim timeline is deterministic in its seed:
+                # replay it here to budget and to schedule per-victim heals
+                for victim, fail_at in batch_storm_victims(topo, storm):
+                    heal_at = fail_at + drng.randint(10 * MS, 40 * MS)
+                    events.append(DriveHeal(heal_at, server=victim))
+                    unavailable_until[victim] = heal_at
+            made += 1
+    if gray_events > 0:
+        grng = random.Random(f"repro.chaos.gray:{seed}")
+        for _ in range(gray_events):
+            at_ns = grng.randrange(0, horizon_ns)
+            server = grng.randrange(servers)
+            period_ns = grng.randint(2 * MS, 6 * MS)
+            up_ns = grng.randint(period_ns // 4, period_ns // 2)
+            if grng.random() < 0.5:
+                events.append(
+                    GrayNicFlap(
+                        at_ns,
+                        server=server,
+                        factor=grng.choice((0.1, 0.25)),
+                        period_ns=period_ns,
+                        up_ns=up_ns,
+                        flaps=grng.randint(3, 8),
+                    )
+                )
+            else:
+                # multipliers below the detector's 3x ratio: the member
+                # degrades without ever cleanly tripping ejection
+                events.append(
+                    GrayDriveStutter(
+                        at_ns,
+                        server=server,
+                        multiplier=grng.choice((1.5, 2.0, 2.5)),
+                        period_ns=period_ns,
+                        up_ns=up_ns,
+                        repeats=grng.randint(3, 8),
+                    )
+                )
     return FaultPlan(events)

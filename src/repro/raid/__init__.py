@@ -11,7 +11,8 @@ from repro.raid.bitmap import WriteIntentBitmap
 from repro.raid.geometry import ChunkSegment, RaidGeometry, RaidLevel, StripeExtent
 from repro.raid.locks import StripeLockManager
 from repro.raid.modes import WriteMode, classify_write
-from repro.raid.rebuild import RebuildJob, RebuildStats
+from repro.raid.rebuild import RebuildJob, RebuildStats, rebuild_member_stripe
+from repro.raid.recovery import RecoveryOrchestrator, RecoveryStats, SparePool
 from repro.raid.resync import resync_after_crash, resync_stripes
 from repro.raid.scrub import ScrubReport, scrub_array, scrub_stripe
 from repro.raid.scrubber import ScrubDaemon, ScrubPassReport
@@ -22,6 +23,9 @@ __all__ = [
     "RaidLevel",
     "RebuildJob",
     "RebuildStats",
+    "RecoveryOrchestrator",
+    "RecoveryStats",
+    "SparePool",
     "ScrubDaemon",
     "ScrubPassReport",
     "ScrubReport",
@@ -30,6 +34,7 @@ __all__ = [
     "WriteIntentBitmap",
     "WriteMode",
     "classify_write",
+    "rebuild_member_stripe",
     "resync_after_crash",
     "resync_stripes",
     "scrub_array",

@@ -89,60 +89,88 @@ class RebuildJob:
 
     def _run(self):
         array = self.array
-        geometry = array.geometry
         # physically replace the drive; the controller still treats it as
         # failed beyond the (initially zero) watermark.  heal() (not just
         # repair()) so the replacement carries no queued-channel, GC or
         # fail-slow residue from its previous life.
-        array.cluster.servers[self.drive].drive.heal()
+        replacement = array.cluster.servers[self.drive].drive
+        replacement.heal()
         array.rebuild_watermark[self.drive] = 0
         self.stats.started_ns = self.env.now
-        for stripe in range(self.num_stripes):
-            yield array.locks.acquire(stripe)
-            try:
-                yield from self._rebuild_stripe(stripe)
-                array.rebuild_watermark[self.drive] = stripe + 1
-            finally:
-                array.locks.release(stripe)
-            if self.throttle_ns:
-                yield self.env.timeout(self.throttle_ns)
-            self.stats.stripes_rebuilt += 1
+        try:
+            for stripe in range(self.num_stripes):
+                yield array.locks.acquire(stripe)
+                try:
+                    yield from self._rebuild_stripe(stripe)
+                    array.rebuild_watermark[self.drive] = stripe + 1
+                finally:
+                    array.locks.release(stripe)
+                if self.throttle_ns:
+                    yield self.env.timeout(self.throttle_ns)
+                self.stats.stripes_rebuilt += 1
+        except BaseException:
+            if replacement.failed:
+                # the replacement itself died mid-rebuild: nothing written
+                # so far survives, so the next rebuild must restart from
+                # stripe 0 — a stale watermark would serve reads from a
+                # dead (or re-replaced, still-empty) drive
+                array.rebuild_watermark.pop(self.drive, None)
+                array.rebuilt_stripes.pop(self.drive, None)
+            raise
         array.repair_drive(self.drive)
         self.stats.finished_ns = self.env.now
         return self.stats
 
     def _rebuild_stripe(self, stripe: int):
-        array = self.array
-        geometry = array.geometry
-        chunk = geometry.chunk_bytes
-        drive = array.cluster.servers[self.drive].drive
-        parity_drives = geometry.parity_drives(stripe)
-        if self.drive in parity_drives:
-            yield from self._rebuild_parity(stripe, parity_drives.index(self.drive))
-            self.stats.parity_chunks_rebuilt += 1
-        else:
-            data_index = geometry.data_index_of_drive(stripe, self.drive)
-            offset = stripe * geometry.stripe_data_bytes + data_index * chunk
-            # degraded read: dRAID reconstructs peer-to-peer, the baselines
-            # pull width-1 chunks through the host (unlocked: the stripe
-            # lock is already held by the rebuild loop)
-            data = yield array.read_unlocked(offset, chunk)
-            yield drive.write(stripe * chunk, chunk, data)
-            self.stats.data_chunks_rebuilt += 1
-        self.stats.bytes_written += chunk
+        drive = self.array.cluster.servers[self.drive].drive
+        yield from rebuild_member_stripe(
+            self.array, self.drive, stripe, drive, self.stats
+        )
 
-    def _rebuild_parity(self, stripe: int, parity_index: int):
-        array = self.array
-        geometry = array.geometry
-        chunk = geometry.chunk_bytes
-        drive = array.cluster.servers[self.drive].drive
-        offset = stripe * geometry.stripe_data_bytes
-        data = yield array.read_unlocked(offset, geometry.stripe_data_bytes)
-        block: Optional[np.ndarray] = None
-        if data is not None:
-            chunks = [data[d * chunk : (d + 1) * chunk] for d in range(geometry.data_per_stripe)]
-            if geometry.level is RaidLevel.RAID5 or parity_index == 0:
-                block = xor_blocks(chunks)
-            else:
-                _, block = raid6_pq(chunks)
-        yield drive.write(stripe * chunk, chunk, block)
+
+def rebuild_member_stripe(array, member: int, stripe: int, drive, stats=None):
+    """Reconstruct ``member``'s chunk of ``stripe`` onto replacement
+    ``drive`` (a generator; the caller must hold the stripe lock).
+
+    Shared by the sequential :class:`RebuildJob` sweep and the
+    risk-ordered scheduler in :mod:`repro.raid.recovery`: the failed
+    member's *data* chunk is rebuilt through the array's degraded read
+    path (for dRAID the §6.1 peer-to-peer reconstruction), its *parity*
+    chunk is recomputed from the stripe's data.
+    """
+    geometry = array.geometry
+    chunk = geometry.chunk_bytes
+    parity_drives = geometry.parity_drives(stripe)
+    if member in parity_drives:
+        yield from _rebuild_parity_chunk(
+            array, stripe, parity_drives.index(member), drive
+        )
+        if stats is not None:
+            stats.parity_chunks_rebuilt += 1
+    else:
+        data_index = geometry.data_index_of_drive(stripe, member)
+        offset = stripe * geometry.stripe_data_bytes + data_index * chunk
+        # degraded read: dRAID reconstructs peer-to-peer, the baselines
+        # pull width-1 chunks through the host (unlocked: the stripe
+        # lock is already held by the caller)
+        data = yield array.read_unlocked(offset, chunk)
+        yield drive.write(stripe * chunk, chunk, data)
+        if stats is not None:
+            stats.data_chunks_rebuilt += 1
+    if stats is not None:
+        stats.bytes_written += chunk
+
+
+def _rebuild_parity_chunk(array, stripe: int, parity_index: int, drive):
+    geometry = array.geometry
+    chunk = geometry.chunk_bytes
+    offset = stripe * geometry.stripe_data_bytes
+    data = yield array.read_unlocked(offset, geometry.stripe_data_bytes)
+    block: Optional[np.ndarray] = None
+    if data is not None:
+        chunks = [data[d * chunk : (d + 1) * chunk] for d in range(geometry.data_per_stripe)]
+        if geometry.level is RaidLevel.RAID5 or parity_index == 0:
+            block = xor_blocks(chunks)
+        else:
+            _, block = raid6_pq(chunks)
+    yield drive.write(stripe * chunk, chunk, block)

@@ -196,6 +196,7 @@ class Timeout(Event):
         self._defused = False
         self._scheduled = True
         self.delay = delay
+        self._time = env.now + delay
         env._eid += 1
         heapq.heappush(env._queue, (env.now + delay, env._eid, self))
 
@@ -508,12 +509,12 @@ class Environment:
             t.delay = delay
             self._eid += 1
             time = self.now + delay
+            t._time = time
             queue = self._queue
             if self._fast and (not queue or time < queue[0][0]):
                 # Earliest known event: defer the heap insertion — odds are
                 # the creator yields it next and batch-advance consumes it
                 # without the calendar ever seeing it.
-                t._time = time
                 t._teid = self._eid
                 self._deferred = t
                 return t
@@ -679,6 +680,13 @@ class Environment:
         if deferred is not None:
             self._deferred = None
             heapq.heappush(queue, (deferred._time, deferred._teid, deferred))
+        if isinstance(until, Event) and until.__class__ is Timeout and until.callbacks is not None:
+            # Timeouts are pre-succeeded at creation (``_ok`` is True long
+            # before they dispatch), so the event-wait loop below would
+            # return immediately having simulated nothing.  An undispatched
+            # timer passed as ``until`` therefore runs as the integer
+            # horizon it denotes.
+            until = until._time
         if isinstance(until, Event):
             stop_event = until
             self._horizon = _NO_HORIZON

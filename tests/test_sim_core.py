@@ -380,3 +380,25 @@ def test_determinism_two_runs_identical():
         return log
 
     assert build() == build()
+
+
+def test_run_until_timeout_event_runs_to_its_horizon():
+    """Regression: timeouts are pre-succeeded at creation, so the
+    event-wait branch of ``run`` used to see ``until=env.timeout(n)`` as
+    already triggered and return instantly having simulated nothing."""
+    env = Environment()
+    fired = []
+
+    def proc():
+        yield env.timeout(1_000)
+        fired.append(env.now)
+
+    env.process(proc())
+    env.run(until=env.timeout(5_000))
+    assert fired == [1_000]
+    assert env.now == 5_000
+    # a timer that already dispatched is genuinely "triggered": no-op
+    stale = env.timeout(1_000)
+    env.run(until=10_000)
+    env.run(until=stale)
+    assert env.now == 10_000
