@@ -1,0 +1,110 @@
+#!/usr/bin/env python
+"""CI overload smoke: a seeded mini goodput-collapse grid.
+
+Every line is fully determined by the (system, protected, point) triple —
+open-loop arrivals, admission decisions, deadline checks and retry-budget
+accounting all key off seeded RNGs and the sim clock — so two runs of this
+script must be byte-identical, and both must match the committed golden
+(``tests/golden/overload_smoke.golden``).  The script also enforces the
+figure's headline invariants on the mini grid, for every controller:
+
+* **collapse** — the raw datapath's goodput at 2x saturation must fall
+  below 60% of its goodput at saturation;
+* **retention** — the protected datapath must retain at least 80% of the
+  saturation goodput at 2x offered load;
+* **metastability** — after the load-spike storm, protected goodput must
+  be at least double raw goodput.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.experiments.overload import (  # noqa: E402
+    OVERLOAD_SYSTEMS,
+    metastable_point,
+    overload_point,
+)
+
+SMOKE_MULTIPLIERS = (1.0, 2.0)
+GOLDEN = (
+    Path(__file__).resolve().parent.parent
+    / "tests"
+    / "golden"
+    / "overload_smoke.golden"
+)
+
+
+def smoke_report() -> str:
+    lines = []
+    goodput = {}
+    for system in OVERLOAD_SYSTEMS:
+        for protected in (False, True):
+            arm = "protected" if protected else "raw"
+            for multiplier in SMOKE_MULTIPLIERS:
+                r = overload_point(system, protected, multiplier)
+                goodput[(system, arm, r["x"])] = r["goodput_mb_s"]
+                lines.append(_format(system, arm, r))
+            r = metastable_point(system, protected)
+            goodput[(system, arm, "meta")] = r["goodput_mb_s"]
+            lines.append(_format(system, arm, r))
+    for system in OVERLOAD_SYSTEMS:
+        raw_peak = goodput[(system, "raw", "1x")]
+        if goodput[(system, "raw", "2x")] > 0.6 * raw_peak:
+            raise SystemExit(
+                f"{system}: raw goodput did not collapse past saturation "
+                f"({goodput[(system, 'raw', '2x')]:.0f} vs peak {raw_peak:.0f})"
+            )
+        peak = goodput[(system, "protected", "1x")]
+        if goodput[(system, "protected", "2x")] < 0.8 * peak:
+            raise SystemExit(
+                f"{system}: protected goodput fell below 80% retention at 2x "
+                f"({goodput[(system, 'protected', '2x')]:.0f} vs peak {peak:.0f})"
+            )
+        if goodput[(system, "protected", "meta")] < 2.0 * goodput[(system, "raw", "meta")]:
+            raise SystemExit(
+                f"{system}: protection did not survive the metastable storm "
+                f"({goodput[(system, 'protected', 'meta')]:.0f} vs raw "
+                f"{goodput[(system, 'raw', 'meta')]:.0f})"
+            )
+    return "\n".join(lines) + "\n"
+
+
+def _format(system: str, arm: str, r: dict) -> str:
+    return (
+        f"{system:<6} {arm:<9} {r['x']:<5} "
+        f"offered={r['offered_mb_s']:.1f} "
+        f"goodput={r['goodput_mb_s']:.1f} "
+        f"frac={r['goodput_fraction']:.3f} "
+        f"busy={r['busy_rejections']} "
+        f"deadline={r['deadline_failures']} "
+        f"late={r['late_completions']} "
+        f"ioerr={r['io_errors']} "
+        f"p99_us={r['p99_us']:.1f}"
+    )
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--write-golden",
+        action="store_true",
+        help=f"regenerate {GOLDEN} instead of printing to stdout",
+    )
+    args = parser.parse_args()
+    report = smoke_report()
+    if args.write_golden:
+        GOLDEN.parent.mkdir(parents=True, exist_ok=True)
+        GOLDEN.write_text(report)
+        print(f"wrote {GOLDEN}")
+        return 0
+    sys.stdout.write(report)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -34,6 +34,8 @@ from repro.metrics.integrity import IntegrityStats
 from repro.nvmeof.initiator import RemoteBdev
 from repro.nvmeof.messages import IoError
 from repro.nvmeof.target import NvmeOfTarget
+from repro.qos.admission import PRIORITY_BACKGROUND, PRIORITY_FOREGROUND
+from repro.qos.errors import Busy, DeadlineExceeded
 from repro.raid.bitmap import WriteIntentBitmap
 from repro.raid.geometry import ChunkSegment, RaidGeometry, RaidLevel, StripeExtent
 from repro.raid.locks import StripeLockManager
@@ -137,16 +139,26 @@ class HostCentricRaid:
         self._protocol_verifier = (
             None if cluster.verify is None else cluster.verify.protocol
         )
+        #: Overload control (repro.qos): the cluster's QosControl hub, or
+        #: None when the cluster was built without an overload config.
+        #: Every admission/deadline/budget/breaker branch short-circuits on
+        #: this being None, exactly like the tracer above.
+        self.qos = cluster.qos
         if self._verifier is not None:
             self._verifier.watch_array(self)
         self._attach_transport()
 
     def _attach_transport(self) -> None:
         """Wire up the remote-storage transport (overridden by dRAID)."""
+        qos = self.qos
+        target_depth = None if qos is None else qos.config.target_queue_depth
+        breaker_on = qos is not None and qos.breaker is not None
         self.targets: List[NvmeOfTarget] = []
         self.bdevs: List[RemoteBdev] = []
         for i, server in enumerate(self.cluster.servers):
-            target = NvmeOfTarget(server, self.cluster.server_end(i))
+            target = NvmeOfTarget(
+                server, self.cluster.server_end(i), queue_depth=target_depth
+            )
             target.tracer = self._tracer
             self.targets.append(target)
             bdev = RemoteBdev(
@@ -156,6 +168,10 @@ class HostCentricRaid:
             )
             bdev.tracer = self._tracer
             bdev.verifier = self._protocol_verifier
+            if breaker_on:
+                bdev.on_result = (
+                    lambda ok, member=i: self._breaker_observe(member, ok)
+                )
             self.bdevs.append(bdev)
 
     # -- failure management ---------------------------------------------------
@@ -199,6 +215,17 @@ class HostCentricRaid:
         sequence of the healthy paths (committed figures unchanged).
         """
         return self._force_resilient or self.cluster.fault_injection is not None
+
+    @property
+    def _guarded(self) -> bool:
+        """Whether member completions may fail and need a subscriber.
+
+        True on the resilient path (injected faults produce error
+        completions) and whenever overload control is armed (bounded
+        targets produce typed busy/deadline error completions even with no
+        fault injector attached).
+        """
+        return self.resilient or self.qos is not None
 
     @property
     def integrity(self):
@@ -272,18 +299,123 @@ class HostCentricRaid:
                 ctx, "retry-backoff", "backoff", "host.cpu", t0, self.env.now
             )
 
+    # -- overload control (repro.qos) -------------------------------------------
+    #
+    # Every helper here short-circuits when ``self.qos`` is None (or the
+    # relevant sub-knob is off), so unarmed arrays keep the seed's exact
+    # event sequence.
+
+    def _qos_deadline(self, deadline_ns):
+        """The effective absolute deadline (ns) for a new request.
+
+        An explicit caller deadline wins; otherwise the armed config's
+        ``default_deadline_ns`` is added to *now*; otherwise None.
+        """
+        if deadline_ns is not None:
+            return deadline_ns
+        qos = self.qos
+        if qos is None or qos.config.default_deadline_ns is None:
+            return None
+        return self.env.now + qos.config.default_deadline_ns
+
+    def _deadline_remaining(self, deadline_ns):
+        """Budget (ns) left before ``deadline_ns``; None when undeadlined."""
+        if deadline_ns is None:
+            return None
+        return deadline_ns - self.env.now
+
+    def _deadline_spent(self, kind: str, stripe: int):
+        """Terminal abandon: the request's deadline budget is exhausted."""
+        if self.qos is not None:
+            self.qos.stats.deadline_exceeded += 1
+        self.fault_stats.io_errors += 1
+        raise DeadlineExceeded(
+            f"{self.name}: {kind} on stripe {stripe} exceeded its deadline"
+        )
+
+    def _charge_retry(self, kind: str, stripe: int) -> None:
+        """Spend one retry-budget token; terminal IoError when denied.
+
+        Caps retry amplification under overload (the SRE retry-budget
+        rule): when the whole array is failing, retries stop being free.
+        """
+        qos = self.qos
+        if qos is None or qos.retry_budget is None:
+            return
+        if not qos.retry_budget.try_spend():
+            qos.stats.retries_denied += 1
+            self.fault_stats.io_errors += 1
+            raise IoError(
+                f"{self.name}: {kind} on stripe {stripe}: retry budget exhausted"
+            )
+
+    def _note_success(self) -> None:
+        """Deposit a fractional retry token on operation success."""
+        qos = self.qos
+        if qos is not None and qos.retry_budget is not None:
+            qos.retry_budget.note_success()
+
+    def _admitted(self, body, priority: str):
+        """Run a top-level I/O under the bounded admission queue.
+
+        Only reached when overload control is armed; with no admission
+        bound configured this is a transparent pass-through.  A refused
+        admission is a typed :class:`Busy` fast-reject — no datapath work,
+        no queueing.
+        """
+        adm = self.qos.admission
+        if adm is None:
+            result = yield from body
+            return result
+        if not adm.try_admit(priority):
+            stats = self.qos.stats
+            if priority == PRIORITY_BACKGROUND:
+                stats.shed_background += 1
+                raise Busy(f"{self.name}: background I/O shed under pressure")
+            stats.busy_rejections += 1
+            raise Busy(f"{self.name}: admission queue full")
+        try:
+            result = yield from body
+        finally:
+            adm.release()
+        return result
+
+    def _breaker_observe(self, member: int, ok: bool) -> None:
+        """Feed one completion result into the per-member circuit breaker.
+
+        A member whose EWMA error/timeout rate crosses the trip threshold
+        is fenced (reads route around it through reconstruction) — but
+        never past parity headroom: tripping the last redundant member
+        would convert sickness into data loss.
+        """
+        breaker = self.qos.breaker
+        breaker.record(member, ok)
+        if ok or member in self.failed:
+            return
+        if len(self.failed) >= self.geometry.num_parity:
+            return
+        if not breaker.should_trip(member, self.env.now):
+            return
+        breaker.note_trip(member, self.env.now)
+        self.qos.stats.breaker_trips += 1
+        self.failed.add(member)
+        self.fault_stats.degraded_transitions += 1
+        if self._verifier is not None:
+            self._verifier.check_fence(self)
+
     # -- §5.4 resilience machinery ---------------------------------------------
 
     def _gather(self, events):
         """Collect the values of ``events`` in order.
 
         On the healthy path this yields them one by one (the seed's exact
-        event sequence).  On the resilient path it subscribes all of them
-        at once through :class:`AllOf`, so an error completion on any
-        member surfaces as :class:`IoError` here instead of crashing the
-        simulation as an unhandled failed event.
+        event sequence).  On the guarded path (resilient or overload
+        control armed) it subscribes all of them at once through
+        :class:`AllOf`, so an error completion on any member surfaces as
+        :class:`IoError` here instead of crashing the simulation as an
+        unhandled failed event.
         """
-        if not self.resilient:
+        if not self._guarded:
             results = []
             for event in events:
                 results.append((yield event))
@@ -301,7 +433,7 @@ class HostCentricRaid:
         simulation if the surrounding attempt is interrupted before the
         condition is ever yielded.
         """
-        if not (self.resilient and events):
+        if not (self._guarded and events):
             return None
         gathered = AllOf(self.env, events)
         gathered.callbacks.append(_defuse_on_failure)
@@ -364,6 +496,9 @@ class HostCentricRaid:
                 continue
             if now - bdev.last_completion_ns < timeout_ns:
                 continue
+            if self.qos is not None and self.qos.breaker is not None:
+                # timeouts count against the member's EWMA error rate too
+                self.qos.breaker.record(i, False)
             if len(self.failed) >= self.geometry.num_parity:
                 # fencing past redundancy converts a stall into data loss;
                 # leave the member in and let the retry budget bound the op
@@ -378,14 +513,31 @@ class HostCentricRaid:
             # *fencing decision* must never be what crosses the line
             self._verifier.check_fence(self)
 
-    def _retry_loop(self, make_body, stripe: int, kind: str, drain: bool, ctx=None):
-        """Attempt/backoff loop shared by resilient reads and pre-reads."""
+    def _retry_loop(
+        self, make_body, stripe: int, kind: str, drain: bool, ctx=None,
+        deadline_ns=None,
+    ):
+        """Attempt/backoff loop shared by resilient reads and pre-reads.
+
+        With a deadline, each attempt's timeout is clamped to the
+        remaining budget (cumulative attempt timeouts charge against the
+        request deadline), and a spent budget is a terminal
+        :class:`DeadlineExceeded` — no retry ever starts past the
+        deadline.  Each retry also spends a retry-budget token when one is
+        armed.
+        """
         attempts = 0
         while True:
             self._check_tolerance(stripe)
-            timeout_ns = self.backoff.timeout_for(attempts, self.timeout_ns)
+            remaining = self._deadline_remaining(deadline_ns)
+            if remaining is not None and remaining <= 0:
+                self._deadline_spent(kind, stripe)
+            timeout_ns = self.backoff.timeout_for(
+                attempts, self.timeout_ns, remaining_ns=remaining
+            )
             ok = yield from self._run_attempt(make_body(), timeout_ns, drain)
             if ok:
+                self._note_success()
                 return
             attempts += 1
             if attempts > self.max_retries:
@@ -394,9 +546,15 @@ class HostCentricRaid:
                     f"{self.name}: {kind} on stripe {stripe} failed after "
                     f"{attempts} attempts"
                 )
+            remaining = self._deadline_remaining(deadline_ns)
+            if remaining is not None and remaining <= 0:
+                self._deadline_spent(kind, stripe)
+            self._charge_retry(kind, stripe)
             self.stats.retries += 1
             self.fault_stats.retries += 1
             pause = self.backoff.backoff_ns(attempts, self._retry_rng)
+            if remaining is not None:
+                pause = min(pause, remaining)
             if pause:
                 yield from self._backoff_pause(pause, ctx)
 
@@ -659,6 +817,29 @@ class HostCentricRaid:
                 out[d] = q
         return out
 
+    def _bdev_read(self, drive: int, offset: int, length: int, ctx=None,
+                   deadline_ns=None):
+        """Member read, stamping the deadline on the wire command when set.
+
+        The kwarg is only forwarded when armed so transports whose proxies
+        predate the deadline field (e.g. the offload engine's) keep
+        working unmodified.
+        """
+        if deadline_ns is None:
+            return self.bdevs[drive].read(offset, length, ctx=ctx)
+        return self.bdevs[drive].read(
+            offset, length, ctx=ctx, deadline_ns=deadline_ns
+        )
+
+    def _bdev_write(self, drive: int, offset: int, length: int, data=None,
+                    ctx=None, deadline_ns=None):
+        """Member write; deadline stamping as in :meth:`_bdev_read`."""
+        if deadline_ns is None:
+            return self.bdevs[drive].write(offset, length, data, ctx=ctx)
+        return self.bdevs[drive].write(
+            offset, length, data, ctx=ctx, deadline_ns=deadline_ns
+        )
+
     def _member_read(self, drive: int, offset: int, nbytes: int):
         """Raw read of one member chunk region (integrity/scrub path)."""
         data = yield self.bdevs[drive].read(offset, nbytes)
@@ -670,14 +851,33 @@ class HostCentricRaid:
 
     # -- public block interface -----------------------------------------------
 
-    def read(self, offset: int, nbytes: int, ctx=None) -> Event:
+    def read(
+        self, offset: int, nbytes: int, ctx=None, deadline_ns=None,
+        priority: str = PRIORITY_FOREGROUND,
+    ) -> Event:
         """Read; event value is the data in functional mode, else None.
 
         ``ctx`` is an optional :class:`repro.obs.TraceContext` the spans of
-        this I/O are parented to (None = untraced).
+        this I/O are parented to (None = untraced).  ``deadline_ns`` is an
+        optional absolute sim-time deadline; with overload control armed an
+        unset deadline defaults to ``now + default_deadline_ns``.
+        ``priority`` selects the admission class (foreground vs
+        background) when an admission bound is armed.
         """
+        if self.qos is not None:
+            return self.env.process(
+                self._admitted(
+                    self._read(
+                        offset, nbytes, ctx=ctx,
+                        deadline_ns=self._qos_deadline(deadline_ns),
+                    ),
+                    priority,
+                ),
+                name=f"{self.name}.read",
+            )
         return self.env.process(
-            self._read(offset, nbytes, ctx=ctx), name=f"{self.name}.read"
+            self._read(offset, nbytes, ctx=ctx, deadline_ns=deadline_ns),
+            name=f"{self.name}.read",
         )
 
     def read_unlocked(self, offset: int, nbytes: int) -> Event:
@@ -690,11 +890,15 @@ class HostCentricRaid:
             self._read(offset, nbytes, take_locks=False), name=f"{self.name}.read"
         )
 
-    def write(self, offset: int, nbytes: int, data=None, ctx=None) -> Event:
+    def write(
+        self, offset: int, nbytes: int, data=None, ctx=None, deadline_ns=None,
+        priority: str = PRIORITY_FOREGROUND,
+    ) -> Event:
         """Write; ``data`` (bytes/ndarray) is required in functional mode.
 
         ``ctx`` is an optional :class:`repro.obs.TraceContext` the spans of
-        this I/O are parented to (None = untraced).
+        this I/O are parented to (None = untraced).  ``deadline_ns`` and
+        ``priority`` behave exactly as on :meth:`read`.
         """
         if self.functional and data is None:
             raise ValueError("functional mode requires write data")
@@ -702,8 +906,20 @@ class HostCentricRaid:
             data = np.frombuffer(data, dtype=np.uint8) if isinstance(data, (bytes, bytearray)) else np.asarray(data, dtype=np.uint8)
             if len(data) != nbytes:
                 raise ValueError(f"data length {len(data)} != nbytes {nbytes}")
+        if self.qos is not None:
+            return self.env.process(
+                self._admitted(
+                    self._write(
+                        offset, nbytes, data, ctx=ctx,
+                        deadline_ns=self._qos_deadline(deadline_ns),
+                    ),
+                    priority,
+                ),
+                name=f"{self.name}.write",
+            )
         return self.env.process(
-            self._write(offset, nbytes, data, ctx=ctx), name=f"{self.name}.write"
+            self._write(offset, nbytes, data, ctx=ctx, deadline_ns=deadline_ns),
+            name=f"{self.name}.write",
         )
 
     # -- CPU cost hooks (overridden by MdRaid) ---------------------------------
@@ -740,12 +956,19 @@ class HostCentricRaid:
 
     # -- top-level read/write processes ----------------------------------------
 
-    def _read(self, offset: int, nbytes: int, take_locks: bool = True, ctx=None):
+    def _read(
+        self, offset: int, nbytes: int, take_locks: bool = True, ctx=None,
+        deadline_ns=None,
+    ):
         yield from self._span_wait(self._charge_submit(), ctx, "submit")
         extents = self.geometry.map_extent(offset, nbytes)
         buffer = np.zeros(nbytes, dtype=np.uint8) if self.functional else None
         done = [
-            self.env.process(self._read_extent(ext, buffer, offset, take_locks, ctx))
+            self.env.process(
+                self._read_extent(
+                    ext, buffer, offset, take_locks, ctx, deadline_ns=deadline_ns
+                )
+            )
             for ext in extents
         ]
         yield AllOf(self.env, done)
@@ -754,11 +977,13 @@ class HostCentricRaid:
         self.stats.reads += 1
         return buffer
 
-    def _write(self, offset: int, nbytes: int, data, ctx=None):
+    def _write(self, offset: int, nbytes: int, data, ctx=None, deadline_ns=None):
         yield from self._span_wait(self._charge_submit(), ctx, "submit")
         extents = self.geometry.map_extent(offset, nbytes)
         done = [
-            self.env.process(self._write_extent(ext, data, ctx))
+            self.env.process(
+                self._write_extent(ext, data, ctx, deadline_ns=deadline_ns)
+            )
             for ext in extents
         ]
         yield AllOf(self.env, done)
@@ -767,7 +992,8 @@ class HostCentricRaid:
     # -- read paths ---------------------------------------------------------------
 
     def _read_extent(
-        self, ext: StripeExtent, buffer, io_base: int, take_locks: bool = True, ctx=None
+        self, ext: StripeExtent, buffer, io_base: int, take_locks: bool = True,
+        ctx=None, deadline_ns=None,
     ):
         lock = self.lock_reads and take_locks
         if lock:
@@ -778,29 +1004,38 @@ class HostCentricRaid:
                 # with an escalated deadline (reconstructing around any
                 # member that has been fenced in the meantime)
                 yield from self._retry_loop(
-                    lambda: self._read_extent_once(ext, buffer, ctx),
+                    lambda: self._read_extent_once(
+                        ext, buffer, ctx, deadline_ns=deadline_ns
+                    ),
                     ext.stripe,
                     "read",
                     drain=False,
                     ctx=ctx,
+                    deadline_ns=deadline_ns,
                 )
             else:
-                yield from self._read_extent_once(ext, buffer, ctx)
+                yield from self._read_extent_once(
+                    ext, buffer, ctx, deadline_ns=deadline_ns
+                )
         finally:
             if lock:
                 self.locks.release(ext.stripe)
 
-    def _read_extent_once(self, ext: StripeExtent, buffer, ctx=None):
+    def _read_extent_once(self, ext: StripeExtent, buffer, ctx=None,
+                          deadline_ns=None):
         failed = self.failed_in_stripe(ext.stripe)
         healthy = [s for s in ext.segments if s.drive not in failed]
         lost = [s for s in ext.segments if s.drive in failed]
         events = [
-            self.bdevs[s.drive].read(s.drive_offset, s.length, ctx=ctx)
+            self._bdev_read(s.drive, s.drive_offset, s.length, ctx=ctx,
+                            deadline_ns=deadline_ns)
             for s in healthy
         ]
         if lost:
             events += [
-                self.env.process(self._reconstruct_segment(ext, s, ctx))
+                self.env.process(
+                    self._reconstruct_segment(ext, s, ctx, deadline_ns=deadline_ns)
+                )
                 for s in lost
             ]
         # subscribe before the staging charge so an error completion
@@ -823,7 +1058,8 @@ class HostCentricRaid:
             for seg, data in zip(list(healthy) + list(lost), results):
                 buffer[seg.io_offset : seg.io_offset + seg.length] = data
 
-    def _reconstruct_segment(self, ext: StripeExtent, seg: ChunkSegment, ctx=None):
+    def _reconstruct_segment(self, ext: StripeExtent, seg: ChunkSegment, ctx=None,
+                             deadline_ns=None):
         """Rebuild one lost data segment on the host from all survivors."""
         self.stats.degraded_reads += 1
         g = self.geometry
@@ -844,14 +1080,16 @@ class HostCentricRaid:
         events = []
         for drive, _ in sources:
             events.append(
-                self.bdevs[drive].read(
-                    ext.stripe * g.chunk_bytes + region[0], region[1], ctx=ctx
+                self._bdev_read(
+                    drive, ext.stripe * g.chunk_bytes + region[0], region[1],
+                    ctx=ctx, deadline_ns=deadline_ns,
                 )
             )
         for p in needed_parities:
             events.append(
-                self.bdevs[p].read(
-                    ext.stripe * g.chunk_bytes + region[0], region[1], ctx=ctx
+                self._bdev_read(
+                    p, ext.stripe * g.chunk_bytes + region[0], region[1],
+                    ctx=ctx, deadline_ns=deadline_ns,
                 )
             )
         blocks = yield from self._gather(events)
@@ -882,21 +1120,26 @@ class HostCentricRaid:
 
     # -- write paths -----------------------------------------------------------
 
-    def _write_extent(self, ext: StripeExtent, io_data, ctx=None):
+    def _write_extent(self, ext: StripeExtent, io_data, ctx=None, deadline_ns=None):
         self.bitmap.mark(ext.stripe)
         yield from self._lock_wait(ext.stripe, ctx)
         try:
             if self.integrity is not None:
                 yield from self._verify_stripe_before_write(ext)
             if self.resilient:
-                yield from self._write_resilient(ext, io_data, ctx)
+                yield from self._write_resilient(
+                    ext, io_data, ctx, deadline_ns=deadline_ns
+                )
             else:
-                yield from self._write_stripe_once(ext, io_data, ctx)
+                yield from self._write_stripe_once(
+                    ext, io_data, ctx, deadline_ns=deadline_ns
+                )
         finally:
             self.locks.release(ext.stripe)
             self.bitmap.clear(ext.stripe)
 
-    def _write_stripe_once(self, ext: StripeExtent, io_data, ctx=None):
+    def _write_stripe_once(self, ext: StripeExtent, io_data, ctx=None,
+                           deadline_ns=None):
         """One pass of the normal write dispatch (caller holds the lock)."""
         failed = self.failed_in_stripe(ext.stripe)
         failed_parities = [p for p in ext.parity_drives if p in failed]
@@ -915,23 +1158,25 @@ class HostCentricRaid:
             )
             if only_failed_chunk:
                 yield from self._write_degraded_region(
-                    ext, io_data, failed_touched[0], ctx
+                    ext, io_data, failed_touched[0], ctx, deadline_ns=deadline_ns
                 )
             else:
-                yield from self._write_degraded_data(ext, io_data, failed_touched, ctx)
+                yield from self._write_degraded_data(
+                    ext, io_data, failed_touched, ctx, deadline_ns=deadline_ns
+                )
         elif mode is WriteMode.FULL_STRIPE:
             self.stats.full_stripe_writes += 1
-            yield from self._write_full(ext, io_data, ctx)
+            yield from self._write_full(ext, io_data, ctx, deadline_ns=deadline_ns)
         elif mode is WriteMode.RECONSTRUCT_WRITE and not failed_untouched_data:
             self.stats.rcw_writes += 1
-            yield from self._write_rcw(ext, io_data, ctx)
+            yield from self._write_rcw(ext, io_data, ctx, deadline_ns=deadline_ns)
         else:
             # RMW; also the fallback when an untouched data drive is
             # failed (its chunk cannot be read for RCW).
             self.stats.rmw_writes += 1
             if failed_untouched_data or failed_parities:
                 self.stats.degraded_writes += 1
-            yield from self._write_rmw(ext, io_data, ctx)
+            yield from self._write_rmw(ext, io_data, ctx, deadline_ns=deadline_ns)
 
     # resilient write path (§5.4) --------------------------------------------
 
@@ -941,7 +1186,8 @@ class HostCentricRaid:
             g.data_drive(stripe, d) in members for d in range(g.data_per_stripe)
         )
 
-    def _write_resilient(self, ext: StripeExtent, io_data, ctx=None):
+    def _write_resilient(self, ext: StripeExtent, io_data, ctx=None,
+                         deadline_ns=None):
         """Timeout/retry write with the §5.4 idempotent-retry invariant.
 
         The first attempt on a stripe with no failed data member uses the
@@ -957,10 +1203,15 @@ class HostCentricRaid:
         if self._data_drives_in(ext.stripe, failed):
             self._check_tolerance(ext.stripe)
             self.stats.degraded_writes += 1
-            pinned = yield from self._pin_with_retries(ext, ctx)
+            pinned = yield from self._pin_with_retries(
+                ext, ctx, deadline_ns=deadline_ns
+            )
         attempts = 0
         while True:
             self._check_tolerance(ext.stripe)
+            remaining = self._deadline_remaining(deadline_ns)
+            if remaining is not None and remaining <= 0:
+                self._deadline_spent("write", ext.stripe)
             if pinned is None and attempts > 0:
                 failed = self.failed_in_stripe(ext.stripe)
                 gaps = self._stripe_gaps(ext)
@@ -974,14 +1225,23 @@ class HostCentricRaid:
                     raise IoError(
                         f"{self.name}: write hole on stripe {ext.stripe}"
                     )
-                pinned = yield from self._pin_with_retries(ext, ctx)
+                pinned = yield from self._pin_with_retries(
+                    ext, ctx, deadline_ns=deadline_ns
+                )
             if pinned is None:
-                body = self._write_stripe_once(ext, io_data, ctx)
+                body = self._write_stripe_once(
+                    ext, io_data, ctx, deadline_ns=deadline_ns
+                )
             else:
-                body = self._write_pinned(ext, io_data, *pinned, ctx=ctx)
-            timeout_ns = self.backoff.timeout_for(attempts, self.timeout_ns)
+                body = self._write_pinned(
+                    ext, io_data, *pinned, ctx=ctx, deadline_ns=deadline_ns
+                )
+            timeout_ns = self.backoff.timeout_for(
+                attempts, self.timeout_ns, remaining_ns=remaining
+            )
             ok = yield from self._run_attempt(body, timeout_ns, drain=True)
             if ok:
+                self._note_success()
                 return
             attempts += 1
             if attempts > self.max_retries:
@@ -990,26 +1250,34 @@ class HostCentricRaid:
                     f"{self.name}: write to stripe {ext.stripe} failed after "
                     f"{attempts} attempts"
                 )
+            remaining = self._deadline_remaining(deadline_ns)
+            if remaining is not None and remaining <= 0:
+                self._deadline_spent("write", ext.stripe)
+            self._charge_retry("write", ext.stripe)
             self.stats.retries += 1
             self.fault_stats.retries += 1
             pause = self.backoff.backoff_ns(attempts, self._retry_rng)
+            if remaining is not None:
+                pause = min(pause, remaining)
             if pause:
                 yield from self._backoff_pause(pause, ctx)
 
-    def _pin_with_retries(self, ext: StripeExtent, ctx=None):
+    def _pin_with_retries(self, ext: StripeExtent, ctx=None, deadline_ns=None):
         """Degraded-aware read of every stripe region the write will not
         cover, retried like any read; returns ``(gaps, blocks)``."""
         out = {}
         yield from self._retry_loop(
-            lambda: self._pin_stripe_image(ext, out, ctx),
+            lambda: self._pin_stripe_image(ext, out, ctx, deadline_ns=deadline_ns),
             ext.stripe,
             "stripe pre-read",
             drain=False,
             ctx=ctx,
+            deadline_ns=deadline_ns,
         )
         return out["gaps"], out["blocks"]
 
-    def _pin_stripe_image(self, ext: StripeExtent, out: dict, ctx=None):
+    def _pin_stripe_image(self, ext: StripeExtent, out: dict, ctx=None,
+                          deadline_ns=None):
         g = self.geometry
         gaps = self._stripe_gaps(ext)
         stripe_base = ext.stripe * g.stripe_data_bytes
@@ -1017,12 +1285,15 @@ class HostCentricRaid:
         for d, off, length in gaps:
             buffer = np.zeros(length, dtype=np.uint8) if self.functional else None
             gap_ext, = g.map_extent(stripe_base + d * g.chunk_bytes + off, length)
-            yield from self._read_extent_once(gap_ext, buffer, ctx)
+            yield from self._read_extent_once(
+                gap_ext, buffer, ctx, deadline_ns=deadline_ns
+            )
             blocks.append(buffer)
         out["gaps"] = gaps
         out["blocks"] = blocks
 
-    def _write_pinned(self, ext: StripeExtent, io_data, gaps, gap_blocks, ctx=None):
+    def _write_pinned(self, ext: StripeExtent, io_data, gaps, gap_blocks, ctx=None,
+                      deadline_ns=None):
         """Write the stripe from the pinned image: touched segments from
         the user data, full parity recomputed from image + user data."""
         g = self.geometry
@@ -1048,8 +1319,9 @@ class HostCentricRaid:
         )
         failed = self.failed_in_stripe(ext.stripe)
         events = [
-            self.bdevs[s.drive].write(
-                s.drive_offset, s.length, self._seg_data(io_data, s), ctx=ctx
+            self._bdev_write(
+                s.drive, s.drive_offset, s.length, self._seg_data(io_data, s),
+                ctx=ctx, deadline_ns=deadline_ns,
             )
             for s in ext.segments
             if s.drive not in failed
@@ -1058,7 +1330,10 @@ class HostCentricRaid:
             if p in failed:
                 continue
             block = p_block if self._parity_index(ext, p) == 0 else q_block
-            events.append(self.bdevs[p].write(ext.parity_offset, chunk, block, ctx=ctx))
+            events.append(
+                self._bdev_write(p, ext.parity_offset, chunk, block, ctx=ctx,
+                                 deadline_ns=deadline_ns)
+            )
         if events:
             yield AllOf(self.env, events)
 
@@ -1077,7 +1352,7 @@ class HostCentricRaid:
         """0 for P, 1 for Q."""
         return ext.parity_drives.index(drive)
 
-    def _write_full(self, ext: StripeExtent, io_data, ctx=None):
+    def _write_full(self, ext: StripeExtent, io_data, ctx=None, deadline_ns=None):
         """Full-stripe write: host computes parity, writes every member."""
         g = self.geometry
         chunk = g.chunk_bytes
@@ -1102,8 +1377,9 @@ class HostCentricRaid:
         )
         failed = self.failed_in_stripe(ext.stripe)
         events = [
-            self.bdevs[s.drive].write(
-                s.drive_offset, s.length, self._seg_data(io_data, s), ctx=ctx
+            self._bdev_write(
+                s.drive, s.drive_offset, s.length, self._seg_data(io_data, s),
+                ctx=ctx, deadline_ns=deadline_ns,
             )
             for s in ext.segments
             if s.drive not in failed
@@ -1112,11 +1388,12 @@ class HostCentricRaid:
             if parity_drive in failed:
                 continue
             events.append(
-                self.bdevs[parity_drive].write(ext.parity_offset, chunk, block, ctx=ctx)
+                self._bdev_write(parity_drive, ext.parity_offset, chunk, block,
+                                 ctx=ctx, deadline_ns=deadline_ns)
             )
         yield AllOf(self.env, events)
 
-    def _write_rmw(self, ext: StripeExtent, io_data, ctx=None):
+    def _write_rmw(self, ext: StripeExtent, io_data, ctx=None, deadline_ns=None):
         """Read-modify-write: 2 reads + 2 writes of the touched extent
         through the host NIC (3 + 3 for RAID-6)."""
         g = self.geometry
@@ -1124,12 +1401,14 @@ class HostCentricRaid:
         parities = self._alive_parities(ext)
         # phase 1: read old data segments and old parity spans
         read_events = [
-            self.bdevs[s.drive].read(s.drive_offset, s.length, ctx=ctx)
+            self._bdev_read(s.drive, s.drive_offset, s.length, ctx=ctx,
+                            deadline_ns=deadline_ns)
             for s in ext.segments
         ]
         for p in parities:
             read_events.append(
-                self.bdevs[p].read(ext.parity_offset + span_off, span_len, ctx=ctx)
+                self._bdev_read(p, ext.parity_offset + span_off, span_len,
+                                ctx=ctx, deadline_ns=deadline_ns)
             )
         old_blocks = yield from self._gather(read_events)
         old_data = old_blocks[: len(ext.segments)]
@@ -1166,20 +1445,22 @@ class HostCentricRaid:
         )
         # phase 3: write new data and new parities
         write_events = [
-            self.bdevs[s.drive].write(
-                s.drive_offset, s.length, self._seg_data(io_data, s), ctx=ctx
+            self._bdev_write(
+                s.drive, s.drive_offset, s.length, self._seg_data(io_data, s),
+                ctx=ctx, deadline_ns=deadline_ns,
             )
             for s in ext.segments
         ]
         for p in parities:
             write_events.append(
-                self.bdevs[p].write(
-                    ext.parity_offset + span_off, span_len, new_parities[p], ctx=ctx
+                self._bdev_write(
+                    p, ext.parity_offset + span_off, span_len, new_parities[p],
+                    ctx=ctx, deadline_ns=deadline_ns,
                 )
             )
         yield AllOf(self.env, write_events)
 
-    def _write_rcw(self, ext: StripeExtent, io_data, ctx=None):
+    def _write_rcw(self, ext: StripeExtent, io_data, ctx=None, deadline_ns=None):
         """Reconstruct-write: read untouched data, recompute parity fully."""
         g = self.geometry
         chunk = g.chunk_bytes
@@ -1187,8 +1468,9 @@ class HostCentricRaid:
         # cover (untouched chunks and partial-chunk complements).
         gaps = self._stripe_gaps(ext)
         read_events = [
-            self.bdevs[g.data_drive(ext.stripe, d)].read(
-                ext.stripe * chunk + off, length, ctx=ctx
+            self._bdev_read(
+                g.data_drive(ext.stripe, d), ext.stripe * chunk + off, length,
+                ctx=ctx, deadline_ns=deadline_ns,
             )
             for d, off, length in gaps
         ]
@@ -1214,18 +1496,23 @@ class HostCentricRaid:
             self._charge_write_staging(staged, ext), ctx, "staging"
         )
         write_events = [
-            self.bdevs[s.drive].write(
-                s.drive_offset, s.length, self._seg_data(io_data, s), ctx=ctx
+            self._bdev_write(
+                s.drive, s.drive_offset, s.length, self._seg_data(io_data, s),
+                ctx=ctx, deadline_ns=deadline_ns,
             )
             for s in ext.segments
         ]
         for p in self._alive_parities(ext):
             block = p_block if self._parity_index(ext, p) == 0 else q_block
-            write_events.append(self.bdevs[p].write(ext.parity_offset, chunk, block, ctx=ctx))
+            write_events.append(
+                self._bdev_write(p, ext.parity_offset, chunk, block, ctx=ctx,
+                                 deadline_ns=deadline_ns)
+            )
         yield AllOf(self.env, write_events)
 
     def _write_degraded_region(
-        self, ext: StripeExtent, io_data, seg: ChunkSegment, ctx=None
+        self, ext: StripeExtent, io_data, seg: ChunkSegment, ctx=None,
+        deadline_ns=None,
     ):
         """Write covering only a failed data chunk: region-scoped parity rebuild.
 
@@ -1245,8 +1532,10 @@ class HostCentricRaid:
             if d != failed_index and g.data_drive(ext.stripe, d) not in failed
         ]
         read_events = [
-            self.bdevs[g.data_drive(ext.stripe, d)].read(
-                ext.stripe * g.chunk_bytes + region_offset, region_len, ctx=ctx
+            self._bdev_read(
+                g.data_drive(ext.stripe, d),
+                ext.stripe * g.chunk_bytes + region_offset, region_len,
+                ctx=ctx, deadline_ns=deadline_ns,
             )
             for d in survivors
         ]
@@ -1274,8 +1563,9 @@ class HostCentricRaid:
                         GF.mul_bytes_inplace_xor(block, GF.gen_pow(d), blk)
                     GF.mul_bytes_inplace_xor(block, GF.gen_pow(failed_index), new_data)
             write_events.append(
-                self.bdevs[parity_drive].write(
-                    ext.parity_offset + region_offset, region_len, block, ctx=ctx
+                self._bdev_write(
+                    parity_drive, ext.parity_offset + region_offset, region_len,
+                    block, ctx=ctx, deadline_ns=deadline_ns,
                 )
             )
         finish = self._subscribe_early(write_events)
@@ -1285,7 +1575,8 @@ class HostCentricRaid:
             )
         yield finish if finish is not None else AllOf(self.env, write_events)
 
-    def _write_degraded_data(self, ext: StripeExtent, io_data, failed_touched, ctx=None):
+    def _write_degraded_data(self, ext: StripeExtent, io_data, failed_touched,
+                             ctx=None, deadline_ns=None):
         """Write when a touched data chunk lives on a failed drive.
 
         Reconstructs the failed chunk's old content when the write only
@@ -1308,8 +1599,9 @@ class HostCentricRaid:
             if g.data_drive(ext.stripe, d) not in failed
         ]
         read_events = [
-            self.bdevs[g.data_drive(ext.stripe, d)].read(
-                ext.stripe * chunk, chunk, ctx=ctx
+            self._bdev_read(
+                g.data_drive(ext.stripe, d), ext.stripe * chunk, chunk,
+                ctx=ctx, deadline_ns=deadline_ns,
             )
             for d in survivors
         ]
@@ -1318,7 +1610,10 @@ class HostCentricRaid:
         parity_blocks: Dict[int, Optional[np.ndarray]] = {}
         parities_to_read = self._alive_parities(ext)[: len(failed_indices)] if partial_failed else []
         for p in parities_to_read:
-            read_events.append(self.bdevs[p].read(ext.parity_offset, chunk, ctx=ctx))
+            read_events.append(
+                self._bdev_read(p, ext.parity_offset, chunk, ctx=ctx,
+                                deadline_ns=deadline_ns)
+            )
         blocks = yield from self._gather(read_events)
         survivor_blocks = blocks[: len(survivors)]
         for p, blk in zip(parities_to_read, blocks[len(survivors):]):
@@ -1381,15 +1676,19 @@ class HostCentricRaid:
             self._charge_write_staging(staged, ext), ctx, "staging"
         )
         write_events = [
-            self.bdevs[s.drive].write(
-                s.drive_offset, s.length, self._seg_data(io_data, s), ctx=ctx
+            self._bdev_write(
+                s.drive, s.drive_offset, s.length, self._seg_data(io_data, s),
+                ctx=ctx, deadline_ns=deadline_ns,
             )
             for s in ext.segments
             if s.drive not in self.failed
         ]
         for p in self._alive_parities(ext):
             block = p_block if self._parity_index(ext, p) == 0 else q_block
-            write_events.append(self.bdevs[p].write(ext.parity_offset, chunk, block, ctx=ctx))
+            write_events.append(
+                self._bdev_write(p, ext.parity_offset, chunk, block, ctx=ctx,
+                                 deadline_ns=deadline_ns)
+            )
         yield AllOf(self.env, write_events)
 
     # stripe assembly helpers -----------------------------------------------

@@ -12,6 +12,7 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 if TYPE_CHECKING:  # annotation only: keep repro.cluster import-light
     from repro.faults.domains import DomainTopology
+    from repro.qos import OverloadConfig
 
 from repro.cluster.machines import HostMachine, StorageServer
 from repro.cluster.profiles import DEFAULT_CPU, CpuProfile
@@ -65,6 +66,12 @@ class ClusterConfig:
     #: domain-aware chaos budget a blast-radius map.  Pure bookkeeping:
     #: attaching a topology changes nothing until an event references it.
     domains: Optional["DomainTopology"] = None
+    #: None (the default) leaves overload control entirely unarmed — queues
+    #: stay unbounded and runs are byte-identical to the historic datapath.
+    #: Set a :class:`repro.qos.OverloadConfig` to attach a
+    #: :class:`repro.qos.QosControl` hub at ``cluster.qos`` (admission
+    #: bounds, deadlines, retry budget, circuit breaker).
+    overload: Optional["OverloadConfig"] = None
 
 
 class Cluster:
@@ -109,6 +116,11 @@ class Cluster:
         #: the orchestrator (risk-ordered, SLO-paced) instead of kicking
         #: off a plain sequential :class:`~repro.raid.rebuild.RebuildJob`.
         self.recovery = None
+        #: Armed by :func:`build_cluster` when ``config.overload`` is set: a
+        #: :class:`repro.qos.QosControl` hub (admission queue, retry budget,
+        #: circuit breaker, shared stats).  None keeps every overload check
+        #: on its zero-cost short-circuit path.
+        self.qos = None
 
     @property
     def num_servers(self) -> int:
@@ -235,4 +247,8 @@ def build_cluster(env: Environment, config: Optional[ClusterConfig] = None) -> C
         cluster.obs = Observability(cluster, config.observability)
     if config.verify is not None:
         cluster.verify = Verifier(cluster, config.verify)
+    if config.overload is not None:
+        from repro.qos import QosControl  # local: keep repro.cluster import-light
+
+        cluster.qos = QosControl(config.overload)
     return cluster

@@ -1,109 +1,11 @@
-"""QoS rate limiting for shared storage (§5.5).
+"""Back-compat alias: the QoS layer moved to :mod:`repro.qos`.
 
-"In order to build RAID on shared storage, the key challenge is to
-partition a physical drive into smaller ones with guaranteed performance
-... A QoS controller needs to implement rate limiting at run-time to
-ensure that a tenant does not exceed its I/O budget."
-
-:class:`TokenBucket` implements the Generic Cell Rate Algorithm (a token
-bucket in virtual-time form, O(1) per request); :class:`RateLimitedDevice`
-wraps any block device (a drive, a RAID array) and applies a per-tenant
-byte budget to its reads and writes.
+The §5.5 token bucket started life here; the overload-control subsystem
+(admission bounds, deadlines, retry budgets, circuit breakers) absorbed it
+into the dedicated :mod:`repro.qos` package.  This module keeps the old
+import path working for existing callers and tests.
 """
 
-from __future__ import annotations
+from repro.qos.tokens import NS_PER_S, RateLimitedDevice, TokenBucket
 
-from typing import Optional
-
-from repro.sim.core import Environment, Event
-
-NS_PER_S = 1_000_000_000
-
-
-class TokenBucket:
-    """A byte-rate token bucket (GCRA formulation).
-
-    ``rate_bytes_per_s`` is the sustained budget; ``burst_bytes`` the depth
-    of the bucket (how far a tenant may run ahead of the sustained rate).
-    ``acquire`` returns an event that fires when the requested bytes
-    conform; requests are admitted in FIFO order.
-    """
-
-    def __init__(
-        self,
-        env: Environment,
-        rate_bytes_per_s: float,
-        burst_bytes: int = 1 << 20,
-    ) -> None:
-        if rate_bytes_per_s <= 0:
-            raise ValueError(f"rate must be positive, got {rate_bytes_per_s}")
-        if burst_bytes <= 0:
-            raise ValueError(f"burst must be positive, got {burst_bytes}")
-        self.env = env
-        self.rate = float(rate_bytes_per_s)
-        self.burst_bytes = burst_bytes
-        self._tat = 0  # theoretical arrival time (GCRA state), ns
-        self.admitted_bytes = 0
-        self.throttle_events = 0
-
-    def _cost_ns(self, nbytes: int) -> int:
-        return int(round(nbytes * NS_PER_S / self.rate))
-
-    @property
-    def _limit_ns(self) -> int:
-        return int(round(self.burst_bytes * NS_PER_S / self.rate))
-
-    def acquire(self, nbytes: int) -> Event:
-        """Event firing when ``nbytes`` conform to the budget."""
-        if nbytes <= 0:
-            raise ValueError(f"nbytes must be positive, got {nbytes}")
-        now = self.env.now
-        self._tat = max(now, self._tat) + self._cost_ns(nbytes)
-        delay = self._tat - self._limit_ns - now
-        self.admitted_bytes += nbytes
-        if delay <= 0:
-            return self.env.timeout(0)
-        self.throttle_events += 1
-        return self.env.timeout(delay)
-
-
-class RateLimitedDevice:
-    """A block device view with a per-tenant byte budget.
-
-    Wraps any object exposing ``read(offset, nbytes)`` and
-    ``write(offset, nbytes, data=None)`` returning events.  Separate
-    buckets may be supplied for reads and writes; passing one bucket for
-    both models a combined budget.
-    """
-
-    def __init__(
-        self,
-        inner,
-        bucket: TokenBucket,
-        write_bucket: Optional[TokenBucket] = None,
-    ) -> None:
-        self.inner = inner
-        self.env: Environment = inner.env
-        self.read_bucket = bucket
-        self.write_bucket = write_bucket or bucket
-        # pass through attributes controllers/workloads expect
-        self.geometry = getattr(inner, "geometry", None)
-        self.functional = getattr(inner, "functional", False)
-
-    def read(self, offset: int, nbytes: int, ctx=None) -> Event:
-        return self.env.process(self._read(offset, nbytes, ctx), name="qos.read")
-
-    def _read(self, offset: int, nbytes: int, ctx=None):
-        yield self.read_bucket.acquire(nbytes)
-        result = yield (self.inner.read(offset, nbytes, ctx=ctx)
-                        if ctx is not None else self.inner.read(offset, nbytes))
-        return result
-
-    def write(self, offset: int, nbytes: int, data=None, ctx=None) -> Event:
-        return self.env.process(self._write(offset, nbytes, data, ctx), name="qos.write")
-
-    def _write(self, offset: int, nbytes: int, data, ctx=None):
-        yield self.write_bucket.acquire(nbytes)
-        result = yield (self.inner.write(offset, nbytes, data, ctx=ctx)
-                        if ctx is not None else self.inner.write(offset, nbytes, data))
-        return result
+__all__ = ["NS_PER_S", "RateLimitedDevice", "TokenBucket"]

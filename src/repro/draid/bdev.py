@@ -8,6 +8,15 @@ tolerance), and the §6.1 reconstruction participant/reducer roles.
 
 A bdev is unaware of RAID configuration: every command carries all the
 information needed (next-dest, wait-num, fwd-offset/length, ...).
+
+Overload control (armed via ``queue_depth``): intake on the *host*
+connection is bounded — a host command arriving while ``queue_depth``
+host commands are in service is fast-rejected with a typed ``"busy"``
+completion, and a host command dequeued past its ``deadline_ns`` is
+fast-failed with ``"deadline"``.  Peer messages are never bounded or
+expired: a partial parity in flight must always be allowed to land, or an
+admitted write could never reach a final state.  With the knob unset the
+historic unbounded behavior is preserved exactly.
 """
 
 from __future__ import annotations
@@ -94,7 +103,10 @@ class DraidBdevServer:
         index: int,
         pipeline: bool = True,
         blocking_reduce: bool = False,
+        queue_depth: Optional[int] = None,
     ) -> None:
+        if queue_depth is not None and queue_depth <= 0:
+            raise ValueError(f"queue_depth must be positive, got {queue_depth}")
         self.env: Environment = cluster.env
         self.cluster = cluster
         self.index = index
@@ -116,6 +128,11 @@ class DraidBdevServer:
         self.commands_served = 0
         self.down_until = 0
         self.crashes = 0
+        #: Overload control: max in-service host commands (None = unbounded).
+        self.queue_depth = queue_depth
+        self.inflight = 0
+        self.busy_rejections = 0
+        self.deadline_rejections = 0
         #: Observability: armed by the host controller when ``cluster.obs``
         #: is set; server-side spans parent to each command's ``trace``.
         self.tracer = None
@@ -152,11 +169,15 @@ class DraidBdevServer:
     # -- dispatch ---------------------------------------------------------
 
     def _serve(self, end):
+        host = end is self.host_end
         while True:
             message = yield end.recv()
             if self.env.now < self.down_until:
                 continue  # crashed: message lost, no completion ever sent
             self.commands_served += 1
+            bounded = host and not isinstance(message, PeerMsg)
+            if bounded and self._fast_reject(message, end):
+                continue
             if isinstance(message, NvmeOfCommand):
                 handler = self._handle_plain(message, end)
             elif isinstance(message, PartialWriteCmd):
@@ -169,10 +190,59 @@ class DraidBdevServer:
                 handler = self._handle_peer(message, end)
             else:
                 raise TypeError(f"unknown dRAID message {message!r}")
+            if bounded and self.queue_depth is not None:
+                self.inflight += 1
+                handler = self._run_bounded(handler)
             self.env.process(handler, name=f"{self.server.name}.op")
 
+    def _run_bounded(self, handler):
+        """Wrap a host-command handler with in-service accounting."""
+        try:
+            yield from handler
+        finally:
+            self.inflight -= 1
+
+    def _completion_kind(self, message) -> str:
+        """The DraidCompletion kind a rejection of ``message`` must carry."""
+        if isinstance(message, NvmeOfCommand):
+            return "read" if message.opcode is Opcode.READ else "write"
+        if isinstance(message, PartialWriteCmd):
+            return "data"
+        if isinstance(message, ParityCmd):
+            return "parity"
+        return "recon"
+
+    def _fast_reject(self, message, origin) -> bool:
+        """Typed busy/deadline fast-reject for host commands (armed only).
+
+        Rejecting *before* dispatch means no parity/reconstruction reduce
+        state is ever created for the command, so nothing dangles; the
+        host sees the error completion, aborts the op and retries
+        idempotently (§5.4).
+        """
+        # unknown message types carry no deadline and fall through to the
+        # dispatch table's own rejection path
+        deadline = getattr(message, "deadline_ns", None)
+        if deadline is not None and self.env.now >= deadline:
+            self.deadline_rejections += 1
+            self._complete(
+                origin, message.cid, self._completion_kind(message), ok=False,
+                error=f"{self.server.name}: deadline exceeded at target",
+                ctx=self._ctx(message), status="deadline",
+            )
+            return True
+        if self.queue_depth is not None and self.inflight >= self.queue_depth:
+            self.busy_rejections += 1
+            self._complete(
+                origin, message.cid, self._completion_kind(message), ok=False,
+                error=f"{self.server.name}: submission queue full",
+                ctx=self._ctx(message), status="busy",
+            )
+            return True
+        return False
+
     def _complete(self, origin, cid, kind, ok=True, data=None, io_offset=0,
-                  error=None, payload=0, ctx=None):
+                  error=None, payload=0, ctx=None, status=None):
         """Send a completion back to the end the command came from —
         normally the host, or the controller server when the host-side
         controller is offloaded (§7)."""
@@ -182,7 +252,7 @@ class DraidBdevServer:
             )
         origin.send(
             DraidCompletion(cid, kind, ok=ok, data=data, io_offset=io_offset,
-                            error=error, trace=ctx),
+                            error=error, trace=ctx, status=status),
             payload_bytes=payload,
             header_bytes=RESPONSE_BYTES,
         )

@@ -101,7 +101,7 @@ class EcDraidArray(DraidArray):
             return [None] * self.geometry.num_parity
         return self.code.encode(chunks)
 
-    def _write_full(self, ext: StripeExtent, io_data, ctx=None):
+    def _write_full(self, ext: StripeExtent, io_data, ctx=None, deadline_ns=None):
         g = self.geometry
         chunk = g.chunk_bytes
         yield from self._span_wait(
@@ -119,7 +119,8 @@ class EcDraidArray(DraidArray):
             if seg.drive in failed:
                 continue
             cmd = NvmeOfCommand(cid, Opcode.WRITE, seg.drive_offset, seg.length,
-                                data=self._seg_data(io_data, seg))
+                                data=self._seg_data(io_data, seg),
+                                deadline_ns=deadline_ns)
             if ectx is not None:
                 cmd.trace = ectx
             self.host_ends[seg.drive].send(cmd)
@@ -128,19 +129,20 @@ class EcDraidArray(DraidArray):
             if p in failed:
                 continue
             cmd = NvmeOfCommand(cid, Opcode.WRITE, ext.parity_offset, chunk,
-                                data=blocks[j])
+                                data=blocks[j], deadline_ns=deadline_ns)
             if ectx is not None:
                 cmd.trace = ectx
             self.host_ends[p].send(cmd)
             writes += 1
         waiter = self._register(cid, {"write": writes})
-        expired = yield from self._await_op(cid, waiter)
+        expired = yield from self._await_op(cid, waiter, deadline_ns=deadline_ns)
         self._record_envelope(ectx, "draid.write-full", sent_ns)
         if waiter.errors:
             self._mark_prolonged_failures(waiter)
         return not (waiter.errors or expired)
 
-    def _write_distributed(self, ext: StripeExtent, io_data, rcw: bool, ctx=None):
+    def _write_distributed(self, ext: StripeExtent, io_data, rcw: bool, ctx=None,
+                           deadline_ns=None):
         g = self.geometry
         chunk = g.chunk_bytes
         failed = self.failed_in_stripe(ext.stripe)
@@ -148,7 +150,9 @@ class EcDraidArray(DraidArray):
             (j, p) for j, p in enumerate(ext.parity_drives) if p not in failed
         ]
         if not alive_parities:
-            return (yield from self._plain_segment_writes(ext, io_data, ctx))
+            return (yield from self._plain_segment_writes(
+                ext, io_data, ctx, deadline_ns=deadline_ns
+            ))
         if rcw:
             fwd_off, fwd_len = 0, chunk
             subtype_parity = Subtype.RW_READ
@@ -188,6 +192,7 @@ class EcDraidArray(DraidArray):
                     dests=dests,
                     data=self._seg_data(io_data, seg) if seg is not None else None,
                     trace=ectx,
+                    deadline_ns=deadline_ns,
                 )
             )
             if seg is not None:
@@ -198,10 +203,10 @@ class EcDraidArray(DraidArray):
                           parity_drive_offset=ext.parity_offset,
                           fwd_offset=fwd_off, fwd_length=fwd_len,
                           wait_num=len(contributors), parity_index=j, key=cid,
-                          trace=ectx)
+                          trace=ectx, deadline_ns=deadline_ns)
             )
         waiter = self._register(cid, {"data": writers, "parity": len(alive_parities)})
-        expired = yield from self._await_op(cid, waiter)
+        expired = yield from self._await_op(cid, waiter, deadline_ns=deadline_ns)
         self._record_envelope(ectx, "draid.partial-write", sent_ns)
         if waiter.errors:
             self._mark_prolonged_failures(waiter)
@@ -235,7 +240,8 @@ class EcDraidArray(DraidArray):
 
     # -- degraded / fallback writes -------------------------------------------------
 
-    def _write_degraded(self, ext: StripeExtent, io_data, failed_touched, ctx=None):
+    def _write_degraded(self, ext: StripeExtent, io_data, failed_touched, ctx=None,
+                        deadline_ns=None):
         g = self.geometry
         chunk = g.chunk_bytes
         failed = self.failed_in_stripe(ext.stripe)
@@ -243,13 +249,17 @@ class EcDraidArray(DraidArray):
             (j, p) for j, p in enumerate(ext.parity_drives) if p not in failed
         ]
         if not alive_parities:
-            return (yield from self._plain_segment_writes(ext, io_data, ctx))
+            return (yield from self._plain_segment_writes(
+                ext, io_data, ctx, deadline_ns=deadline_ns
+            ))
         only_failed_chunk = (
             len(failed_touched) == len(ext.segments) == 1
             and len(failed - set(ext.parity_drives)) == 1
         )
         if not only_failed_chunk:
-            return (yield from self._write_host_fallback(ext, io_data, ctx=ctx))
+            return (yield from self._write_host_fallback(
+                ext, io_data, ctx=ctx, deadline_ns=deadline_ns
+            ))
         seg = failed_touched[0]
         failed_index = g.data_index_of_drive(ext.stripe, seg.drive)
         region_offset, region_len = seg.chunk_offset, seg.length
@@ -269,7 +279,7 @@ class EcDraidArray(DraidArray):
                     chunk_offset=0, data_index=d, fwd_offset=region_offset,
                     fwd_length=region_len, next_dest=self._server_of(alive_parities[0][1]),
                     chunk_drive_offset=ext.stripe * chunk, parity_key=cid,
-                    dests=dests, trace=ectx,
+                    dests=dests, trace=ectx, deadline_ns=deadline_ns,
                 )
             )
             contributors += 1
@@ -290,17 +300,17 @@ class EcDraidArray(DraidArray):
                           parity_drive_offset=ext.parity_offset,
                           fwd_offset=region_offset, fwd_length=region_len,
                           wait_num=contributors + 1, parity_index=j, key=cid,
-                          trace=ectx)
+                          trace=ectx, deadline_ns=deadline_ns)
             )
         waiter = self._register(cid, {"parity": len(alive_parities)})
-        expired = yield from self._await_op(cid, waiter)
+        expired = yield from self._await_op(cid, waiter, deadline_ns=deadline_ns)
         self._record_envelope(ectx, "draid.degraded-write", sent_ns)
         if waiter.errors:
             self._mark_prolonged_failures(waiter)
         return not (waiter.errors or expired)
 
     def _write_host_fallback(self, ext: StripeExtent, io_data, attempt: int = 0,
-                             ctx=None):
+                             ctx=None, deadline_ns=None):
         g = self.geometry
         chunk = g.chunk_bytes
         gaps = self._stripe_gaps(ext)
@@ -310,7 +320,9 @@ class EcDraidArray(DraidArray):
             user_offset = stripe_base + d * chunk + off
             gap_ext, = g.map_extent(user_offset, length)
             buffer = np.zeros(length, dtype=np.uint8) if self.functional else None
-            yield from self._read_extent(gap_ext, buffer, user_offset, ctx=ctx)
+            yield from self._read_extent(
+                gap_ext, buffer, user_offset, ctx=ctx, deadline_ns=deadline_ns
+            )
             gap_buffers.append(buffer)
         yield from self._span_wait(
             self._charge_gf(g.data_per_stripe * g.num_parity, chunk), ctx, "gf"
@@ -331,7 +343,7 @@ class EcDraidArray(DraidArray):
                 continue
             block = stripe_img[d] if stripe_img is not None else None
             cmd = NvmeOfCommand(cid, Opcode.WRITE, ext.stripe * chunk, chunk,
-                                data=block)
+                                data=block, deadline_ns=deadline_ns)
             if ectx is not None:
                 cmd.trace = ectx
             self.host_ends[drive].send(cmd)
@@ -340,13 +352,15 @@ class EcDraidArray(DraidArray):
             if p in failed:
                 continue
             cmd = NvmeOfCommand(cid, Opcode.WRITE, ext.parity_offset, chunk,
-                                data=blocks[j])
+                                data=blocks[j], deadline_ns=deadline_ns)
             if ectx is not None:
                 cmd.trace = ectx
             self.host_ends[p].send(cmd)
             writes += 1
         waiter = self._register(cid, {"write": writes})
-        expired = yield from self._await_op(cid, waiter, attempt=attempt)
+        expired = yield from self._await_op(
+            cid, waiter, attempt=attempt, deadline_ns=deadline_ns
+        )
         self._record_envelope(ectx, "draid.write-fallback", sent_ns)
         if waiter.errors:
             self._mark_prolonged_failures(waiter)

@@ -113,11 +113,15 @@ class DraidArray(HostCentricRaid):
     # -- transport --------------------------------------------------------
 
     def _attach_transport(self) -> None:
+        target_depth = (
+            None if self.qos is None else self.qos.config.target_queue_depth
+        )
         self.bdev_servers = [
             DraidBdevServer(
                 self.cluster, i,
                 pipeline=self.pipeline,
                 blocking_reduce=self.blocking_reduce,
+                queue_depth=target_depth,
             )
             for i in range(self.cluster.num_servers)
         ]
@@ -145,6 +149,8 @@ class DraidArray(HostCentricRaid):
                     member, self.env.now - waiter.start_ns
                 )
                 self._maybe_eject_failslow(member)
+            if self.qos is not None and self.qos.breaker is not None:
+                self._breaker_observe(member, comp.ok)
             waiter.on_completion(comp)
 
     def _maybe_eject_failslow(self, member: int) -> None:
@@ -172,19 +178,30 @@ class DraidArray(HostCentricRaid):
         self._waiters[cid] = waiter
         return waiter
 
-    def _await_op(self, cid: int, waiter: _OpWaiter, attempt: int = 0, drain: bool = True):
+    def _await_op(
+        self, cid: int, waiter: _OpWaiter, attempt: int = 0, drain: bool = True,
+        deadline_ns=None,
+    ):
         """Wait for all final states; flag expiry past the §5.4 deadline.
 
         On the resilient datapath the deadline escalates with the attempt
         number and a timed-out mutation gets a bounded drain window
         (``drain_factor x timeout``) before unresponsive participants are
         fenced; without fault injection the original unbounded wait is
-        kept so healthy-path runs are bit-identical.
+        kept so healthy-path runs are bit-identical.  A request deadline
+        (overload control) clamps the per-attempt timeout to the remaining
+        budget either way.
         """
         if self.resilient:
-            timeout_ns = self.backoff.timeout_for(attempt, self.timeout_ns)
+            timeout_ns = self.backoff.timeout_for(
+                attempt, self.timeout_ns,
+                remaining_ns=self._deadline_remaining(deadline_ns),
+            )
         else:
             timeout_ns = self.timeout_ns
+            remaining = self._deadline_remaining(deadline_ns)
+            if remaining is not None:
+                timeout_ns = min(timeout_ns, max(1, remaining))
         deadline = self.env.timeout(timeout_ns)
         yield AnyOf(self.env, [waiter.event, deadline])
         expired = not waiter.event.triggered
@@ -273,7 +290,8 @@ class DraidArray(HostCentricRaid):
     # -- reads -----------------------------------------------------------------
 
     def _read_extent(
-        self, ext: StripeExtent, buffer, io_base: int, take_locks: bool = True, ctx=None
+        self, ext: StripeExtent, buffer, io_base: int, take_locks: bool = True,
+        ctx=None, deadline_ns=None,
     ):
         # dRAID reads are lock-free (§8); take_locks is part of the shared
         # controller interface and has nothing to suppress here.
@@ -283,11 +301,16 @@ class DraidArray(HostCentricRaid):
         healthy = [s for s in ext.segments if s.drive not in failed]
         lost = [s for s in ext.segments if s.drive in failed]
         if not lost:
-            yield from self._plain_reads(ext, healthy, buffer, ctx)
+            yield from self._plain_reads(
+                ext, healthy, buffer, ctx, deadline_ns=deadline_ns
+            )
             return
-        yield from self._degraded_read(ext, healthy, lost, buffer, ctx)
+        yield from self._degraded_read(
+            ext, healthy, lost, buffer, ctx, deadline_ns=deadline_ns
+        )
 
-    def _plain_reads(self, ext: StripeExtent, segments, buffer, ctx=None):
+    def _plain_reads(self, ext: StripeExtent, segments, buffer, ctx=None,
+                     deadline_ns=None):
         pending = list(segments)
         attempts = 0
         while pending:
@@ -296,7 +319,8 @@ class DraidArray(HostCentricRaid):
             for seg in pending:
                 cid = next_cid()
                 waiter = self._register(cid, {"read": 1}, participants={seg.drive})
-                cmd = NvmeOfCommand(cid, Opcode.READ, seg.drive_offset, seg.length)
+                cmd = NvmeOfCommand(cid, Opcode.READ, seg.drive_offset, seg.length,
+                                    deadline_ns=deadline_ns)
                 ectx = self._derive(ctx)
                 if ectx is not None:
                     cmd.trace = ectx
@@ -305,7 +329,8 @@ class DraidArray(HostCentricRaid):
             retry = []
             for cid, seg, waiter, ectx, sent_ns in submitted:
                 expired = yield from self._await_op(
-                    cid, waiter, attempt=attempts, drain=False
+                    cid, waiter, attempt=attempts, drain=False,
+                    deadline_ns=deadline_ns,
                 )
                 self._record_envelope(ectx, "draid.read", sent_ns)
                 if waiter.errors or expired:
@@ -339,21 +364,31 @@ class DraidArray(HostCentricRaid):
                     if self.resilient:
                         self.fault_stats.io_errors += 1
                     raise IoError(f"{self.name}: read failed on stripe {ext.stripe}")
+                remaining = self._deadline_remaining(deadline_ns)
+                if remaining is not None and remaining <= 0:
+                    self._deadline_spent("read", ext.stripe)
+                self._charge_retry("read", ext.stripe)
                 if self.resilient:
                     self.fault_stats.retries += 1
                     pause = self.backoff.backoff_ns(attempts, self._retry_rng)
+                    if remaining is not None:
+                        pause = min(pause, remaining)
                     if pause:
                         yield from self._backoff_pause(pause, ctx)
                 failed = self.failed_in_stripe(ext.stripe)
                 still_healthy = [s for s in retry if s.drive not in failed]
                 lost = [s for s in retry if s.drive in failed]
                 if lost:
-                    yield from self._degraded_read(ext, [], lost, buffer, ctx)
+                    yield from self._degraded_read(
+                        ext, [], lost, buffer, ctx, deadline_ns=deadline_ns
+                    )
                 pending = still_healthy
             else:
                 pending = []
+        self._note_success()
 
-    def _degraded_read(self, ext: StripeExtent, healthy, lost, buffer, ctx=None):
+    def _degraded_read(self, ext: StripeExtent, healthy, lost, buffer, ctx=None,
+                       deadline_ns=None):
         """§6.1: merge normal reads into the reconstruction broadcast."""
         g = self.geometry
         remaining_healthy = {s.drive: s for s in healthy}
@@ -394,6 +429,7 @@ class DraidArray(HostCentricRaid):
                     num_data=g.data_per_stripe,
                     read_segment=read_segment,
                     lost_io_offset=seg.io_offset,
+                    deadline_ns=deadline_ns,
                 )
                 if ectx is not None:
                     cmd.trace = ectx
@@ -401,7 +437,9 @@ class DraidArray(HostCentricRaid):
             waiter = self._register(
                 cid, {"recon": 1, "read": also_read}, participants=responders
             )
-            expired = yield from self._await_op(cid, waiter, drain=False)
+            expired = yield from self._await_op(
+                cid, waiter, drain=False, deadline_ns=deadline_ns
+            )
             self._record_envelope(ectx, "draid.recon", sent_ns)
             if waiter.errors or expired:
                 # reconstruction reads are idempotent too: retry once with
@@ -417,7 +455,13 @@ class DraidArray(HostCentricRaid):
                             buffer[comp.io_offset : comp.io_offset + len(comp.data)] = comp.data
                 missing = [h for h in folded if h.io_offset not in received]
                 if missing:
-                    yield from self._plain_reads(ext, missing, buffer, ctx)
+                    yield from self._plain_reads(
+                        ext, missing, buffer, ctx, deadline_ns=deadline_ns
+                    )
+                remaining = self._deadline_remaining(deadline_ns)
+                if remaining is not None and remaining <= 0:
+                    self._deadline_spent("read", ext.stripe)
+                self._charge_retry("read", ext.stripe)
                 if self.resilient:
                     self.fault_stats.retries += 1
                 cid2 = next_cid()
@@ -441,6 +485,7 @@ class DraidArray(HostCentricRaid):
                         lost=("data", lost_index),
                         num_data=g.data_per_stripe,
                         lost_io_offset=seg.io_offset,
+                        deadline_ns=deadline_ns,
                     )
                     if ectx2 is not None:
                         cmd2.trace = ectx2
@@ -449,7 +494,7 @@ class DraidArray(HostCentricRaid):
                     cid2, {"recon": 1}, participants={reducer_member}
                 )
                 expired = yield from self._await_op(
-                    cid2, waiter, attempt=1, drain=False
+                    cid2, waiter, attempt=1, drain=False, deadline_ns=deadline_ns
                 )
                 self._record_envelope(ectx2, "draid.recon", sent2_ns)
                 if waiter.errors or expired:
@@ -465,7 +510,9 @@ class DraidArray(HostCentricRaid):
         # healthy segments not folded into any reconstruction broadcast
         leftovers = list(remaining_healthy.values())
         if leftovers:
-            yield from self._plain_reads(ext, leftovers, buffer, ctx)
+            yield from self._plain_reads(
+                ext, leftovers, buffer, ctx, deadline_ns=deadline_ns
+            )
 
     def _recon_participants(self, ext: StripeExtent) -> List[Tuple[int, Tuple[str, int]]]:
         """(server, source-role) pairs contributing to a reconstruction."""
@@ -520,7 +567,7 @@ class DraidArray(HostCentricRaid):
 
     # -- writes ----------------------------------------------------------------
 
-    def _write_extent(self, ext: StripeExtent, io_data, ctx=None):
+    def _write_extent(self, ext: StripeExtent, io_data, ctx=None, deadline_ns=None):
         # §3: the host-side controller admits one write per stripe.
         self.bitmap.mark(ext.stripe)
         yield from self._lock_wait(ext.stripe, ctx)
@@ -529,7 +576,9 @@ class DraidArray(HostCentricRaid):
                 yield from self._verify_stripe_before_write(ext)
             if self.resilient:
                 self._check_tolerance(ext.stripe)
-            ok = yield from self._write_extent_once(ext, io_data, ctx)
+            ok = yield from self._write_extent_once(
+                ext, io_data, ctx, deadline_ns=deadline_ns
+            )
             attempts = 0
             while not ok:
                 # §5.4: explicit full-stripe retry after timeout/failure.
@@ -538,11 +587,17 @@ class DraidArray(HostCentricRaid):
                     if self.resilient:
                         self.fault_stats.io_errors += 1
                     raise IoError(f"{self.name}: write failed on stripe {ext.stripe}")
+                remaining = self._deadline_remaining(deadline_ns)
+                if remaining is not None and remaining <= 0:
+                    self._deadline_spent("write", ext.stripe)
+                self._charge_retry("write", ext.stripe)
                 self.stats.retries += 1
                 if self.resilient:
                     self.fault_stats.retries += 1
                     self._check_tolerance(ext.stripe)
                     pause = self.backoff.backoff_ns(attempts, self._retry_rng)
+                    if remaining is not None:
+                        pause = min(pause, remaining)
                     if pause:
                         yield from self._backoff_pause(pause, ctx)
                 failed = self.failed_in_stripe(ext.stripe)
@@ -559,13 +614,15 @@ class DraidArray(HostCentricRaid):
                         self.fault_stats.io_errors += 1
                     raise IoError(f"{self.name}: write hole on stripe {ext.stripe}")
                 ok = yield from self._write_host_fallback(
-                    ext, io_data, attempt=attempts, ctx=ctx
+                    ext, io_data, attempt=attempts, ctx=ctx, deadline_ns=deadline_ns
                 )
+            self._note_success()
         finally:
             self.locks.release(ext.stripe)
             self.bitmap.clear(ext.stripe)
 
-    def _write_extent_once(self, ext: StripeExtent, io_data, ctx=None):
+    def _write_extent_once(self, ext: StripeExtent, io_data, ctx=None,
+                           deadline_ns=None):
         """One attempt at the optimal disaggregated write path.
 
         Returns True on clean completion, False if a retry is needed.
@@ -579,21 +636,29 @@ class DraidArray(HostCentricRaid):
         mode = classify_write(self.geometry, ext)
         if failed_touched:
             self.stats.degraded_writes += 1
-            return (yield from self._write_degraded(ext, io_data, failed_touched, ctx))
+            return (yield from self._write_degraded(
+                ext, io_data, failed_touched, ctx, deadline_ns=deadline_ns
+            ))
         if mode is WriteMode.FULL_STRIPE:
             self.stats.full_stripe_writes += 1
-            return (yield from self._write_full(ext, io_data, ctx))
+            return (yield from self._write_full(
+                ext, io_data, ctx, deadline_ns=deadline_ns
+            ))
         if mode is WriteMode.RECONSTRUCT_WRITE and not failed_untouched_data:
             self.stats.rcw_writes += 1
-            return (yield from self._write_distributed(ext, io_data, rcw=True, ctx=ctx))
+            return (yield from self._write_distributed(
+                ext, io_data, rcw=True, ctx=ctx, deadline_ns=deadline_ns
+            ))
         self.stats.rmw_writes += 1
         if failed_untouched_data:
             self.stats.degraded_writes += 1
-        return (yield from self._write_distributed(ext, io_data, rcw=False, ctx=ctx))
+        return (yield from self._write_distributed(
+            ext, io_data, rcw=False, ctx=ctx, deadline_ns=deadline_ns
+        ))
 
     # .. full-stripe (host-side parity, §3) ....................................
 
-    def _write_full(self, ext: StripeExtent, io_data, ctx=None):
+    def _write_full(self, ext: StripeExtent, io_data, ctx=None, deadline_ns=None):
         g = self.geometry
         chunk = g.chunk_bytes
         yield from self._span_wait(
@@ -621,7 +686,8 @@ class DraidArray(HostCentricRaid):
             if seg.drive in failed:
                 continue
             cmd = NvmeOfCommand(cid, Opcode.WRITE, seg.drive_offset, seg.length,
-                                data=self._seg_data(io_data, seg))
+                                data=self._seg_data(io_data, seg),
+                                deadline_ns=deadline_ns)
             if ectx is not None:
                 cmd.trace = ectx
             self.host_ends[seg.drive].send(cmd)
@@ -631,14 +697,15 @@ class DraidArray(HostCentricRaid):
             if p in failed:
                 continue
             block = p_block if idx == 0 else q_block
-            cmd = NvmeOfCommand(cid, Opcode.WRITE, ext.parity_offset, chunk, data=block)
+            cmd = NvmeOfCommand(cid, Opcode.WRITE, ext.parity_offset, chunk,
+                                data=block, deadline_ns=deadline_ns)
             if ectx is not None:
                 cmd.trace = ectx
             self.host_ends[p].send(cmd)
             writes += 1
             writers.add(p)
         waiter = self._register(cid, {"write": writes}, participants=writers)
-        expired = yield from self._await_op(cid, waiter)
+        expired = yield from self._await_op(cid, waiter, deadline_ns=deadline_ns)
         self._record_envelope(ectx, "draid.write-full", sent_ns)
         if waiter.errors:
             self._mark_prolonged_failures(waiter)
@@ -646,7 +713,8 @@ class DraidArray(HostCentricRaid):
 
     # .. the disaggregated partial-stripe write (§5) ...........................
 
-    def _write_distributed(self, ext: StripeExtent, io_data, rcw: bool, ctx=None):
+    def _write_distributed(self, ext: StripeExtent, io_data, rcw: bool, ctx=None,
+                           deadline_ns=None):
         g = self.geometry
         chunk = g.chunk_bytes
         alive_parities = [
@@ -655,7 +723,9 @@ class DraidArray(HostCentricRaid):
         ]
         if not alive_parities:
             # no parity to maintain (e.g. RAID-5 with P failed): plain writes
-            return (yield from self._plain_segment_writes(ext, io_data, ctx))
+            return (yield from self._plain_segment_writes(
+                ext, io_data, ctx, deadline_ns=deadline_ns
+            ))
         if rcw:
             fwd_off, fwd_len = 0, chunk
             subtype_parity = Subtype.RW_READ  # no parity preread
@@ -705,6 +775,7 @@ class DraidArray(HostCentricRaid):
                 parity_key=cid,
                 data=self._seg_data(io_data, seg) if seg is not None else None,
                 trace=ectx,
+                deadline_ns=deadline_ns,
             )
             self.host_ends[drive].send(cmd)
             if seg is not None:
@@ -722,6 +793,7 @@ class DraidArray(HostCentricRaid):
                     parity_index=idx,
                     key=cid,
                     trace=ectx,
+                    deadline_ns=deadline_ns,
                 )
             )
             responders.add(p)
@@ -729,13 +801,14 @@ class DraidArray(HostCentricRaid):
             cid, {"data": writers, "parity": len(alive_parities)},
             participants=responders,
         )
-        expired = yield from self._await_op(cid, waiter)
+        expired = yield from self._await_op(cid, waiter, deadline_ns=deadline_ns)
         self._record_envelope(ectx, "draid.partial-write", sent_ns)
         if waiter.errors:
             self._mark_prolonged_failures(waiter)
         return not (waiter.errors or expired)
 
-    def _plain_segment_writes(self, ext: StripeExtent, io_data, ctx=None):
+    def _plain_segment_writes(self, ext: StripeExtent, io_data, ctx=None,
+                              deadline_ns=None):
         cid = next_cid()
         writes = 0
         writers = set()
@@ -746,14 +819,15 @@ class DraidArray(HostCentricRaid):
             if seg.drive in failed:
                 continue
             cmd = NvmeOfCommand(cid, Opcode.WRITE, seg.drive_offset, seg.length,
-                                data=self._seg_data(io_data, seg))
+                                data=self._seg_data(io_data, seg),
+                                deadline_ns=deadline_ns)
             if ectx is not None:
                 cmd.trace = ectx
             self.host_ends[seg.drive].send(cmd)
             writes += 1
             writers.add(seg.drive)
         waiter = self._register(cid, {"write": writes}, participants=writers)
-        expired = yield from self._await_op(cid, waiter)
+        expired = yield from self._await_op(cid, waiter, deadline_ns=deadline_ns)
         self._record_envelope(ectx, "draid.write", sent_ns)
         if waiter.errors:
             self._mark_prolonged_failures(waiter)
@@ -761,7 +835,8 @@ class DraidArray(HostCentricRaid):
 
     # .. degraded write touching failed chunks (§3 host participation) .........
 
-    def _write_degraded(self, ext: StripeExtent, io_data, failed_touched, ctx=None):
+    def _write_degraded(self, ext: StripeExtent, io_data, failed_touched, ctx=None,
+                        deadline_ns=None):
         """Write that touches a failed data chunk.
 
         Common case (the write covers *only* the failed chunk, one data
@@ -783,13 +858,17 @@ class DraidArray(HostCentricRaid):
             (idx, p) for idx, p in enumerate(ext.parity_drives) if p not in failed
         ]
         if not alive_parities:
-            return (yield from self._plain_segment_writes(ext, io_data, ctx))
+            return (yield from self._plain_segment_writes(
+                ext, io_data, ctx, deadline_ns=deadline_ns
+            ))
         only_failed_chunk = (
             len(failed_touched) == len(ext.segments) == 1
             and len(failed - set(ext.parity_drives)) == 1
         )
         if not only_failed_chunk:
-            return (yield from self._write_host_fallback(ext, io_data, ctx=ctx))
+            return (yield from self._write_host_fallback(
+                ext, io_data, ctx=ctx, deadline_ns=deadline_ns
+            ))
         seg = failed_touched[0]
         failed_index = g.data_index_of_drive(ext.stripe, seg.drive)
         region_offset, region_len = seg.chunk_offset, seg.length
@@ -824,6 +903,7 @@ class DraidArray(HostCentricRaid):
                     chunk_drive_offset=ext.stripe * chunk,
                     parity_key=cid,
                     trace=ectx,
+                    deadline_ns=deadline_ns,
                 )
             )
             contributors += 1
@@ -850,13 +930,13 @@ class DraidArray(HostCentricRaid):
                           parity_drive_offset=ext.parity_offset,
                           fwd_offset=region_offset, fwd_length=region_len,
                           wait_num=contributors + 1, parity_index=idx, key=cid,
-                          trace=ectx)
+                          trace=ectx, deadline_ns=deadline_ns)
             )
         waiter = self._register(
             cid, {"parity": len(alive_parities)},
             participants={p for _, p in alive_parities},
         )
-        expired = yield from self._await_op(cid, waiter)
+        expired = yield from self._await_op(cid, waiter, deadline_ns=deadline_ns)
         self._record_envelope(ectx, "draid.degraded-write", sent_ns)
         if waiter.errors:
             self._mark_prolonged_failures(waiter)
@@ -864,7 +944,8 @@ class DraidArray(HostCentricRaid):
 
     # .. §5.4 full-stripe retry / host fallback ...............................
 
-    def _write_host_fallback(self, ext: StripeExtent, io_data, attempt: int = 0, ctx=None):
+    def _write_host_fallback(self, ext: StripeExtent, io_data, attempt: int = 0,
+                             ctx=None, deadline_ns=None):
         """Degraded-aware full-stripe write executed by the host.
 
         Reads every stripe region the write does not cover (through the
@@ -881,7 +962,9 @@ class DraidArray(HostCentricRaid):
             user_offset = stripe_base + d * chunk + off
             gap_ext, = g.map_extent(user_offset, length)
             buffer = np.zeros(length, dtype=np.uint8) if self.functional else None
-            yield from self._read_extent(gap_ext, buffer, user_offset, ctx=ctx)
+            yield from self._read_extent(
+                gap_ext, buffer, user_offset, ctx=ctx, deadline_ns=deadline_ns
+            )
             gap_buffers.append(buffer)
         yield from self._span_wait(
             self._charge_xor(g.data_per_stripe, chunk), ctx, "xor"
@@ -910,7 +993,8 @@ class DraidArray(HostCentricRaid):
             if drive in failed:
                 continue
             block = stripe_img[d] if stripe_img is not None else None
-            cmd = NvmeOfCommand(cid, Opcode.WRITE, ext.stripe * chunk, chunk, data=block)
+            cmd = NvmeOfCommand(cid, Opcode.WRITE, ext.stripe * chunk, chunk,
+                                data=block, deadline_ns=deadline_ns)
             if ectx is not None:
                 cmd.trace = ectx
             self.host_ends[drive].send(cmd)
@@ -920,14 +1004,17 @@ class DraidArray(HostCentricRaid):
             if p in failed:
                 continue
             block = p_block if idx == 0 else q_block
-            cmd = NvmeOfCommand(cid, Opcode.WRITE, ext.parity_offset, chunk, data=block)
+            cmd = NvmeOfCommand(cid, Opcode.WRITE, ext.parity_offset, chunk,
+                                data=block, deadline_ns=deadline_ns)
             if ectx is not None:
                 cmd.trace = ectx
             self.host_ends[p].send(cmd)
             writes += 1
             writers.add(p)
         waiter = self._register(cid, {"write": writes}, participants=writers)
-        expired = yield from self._await_op(cid, waiter, attempt=attempt)
+        expired = yield from self._await_op(
+            cid, waiter, attempt=attempt, deadline_ns=deadline_ns
+        )
         self._record_envelope(ectx, "draid.write-fallback", sent_ns)
         if waiter.errors:
             self._mark_prolonged_failures(waiter)

@@ -82,6 +82,9 @@ class PartialWriteCmd:
     data: Optional[Any] = None
     #: observability: trace context of the host request (None untraced)
     trace: Optional[Any] = None
+    #: overload control: absolute sim-time deadline in ns — a bdev that
+    #: dequeues the command after this instant fast-fails it (None = none)
+    deadline_ns: Optional[int] = None
 
 
 @dataclass
@@ -103,6 +106,8 @@ class ParityCmd:
     key: int = 0
     #: observability: trace context of the host request (None untraced)
     trace: Optional[Any] = None
+    #: overload control: absolute sim-time deadline in ns (None = none)
+    deadline_ns: Optional[int] = None
 
 
 @dataclass
@@ -156,6 +161,8 @@ class ReconstructionCmd:
     code_km: Optional[Tuple[int, int]] = None
     #: observability: trace context of the host request (None untraced)
     trace: Optional[Any] = None
+    #: overload control: absolute sim-time deadline in ns (None = none)
+    deadline_ns: Optional[int] = None
 
 
 @dataclass
@@ -176,3 +183,7 @@ class DraidCompletion:
     error: Optional[str] = None
     #: observability: trace context of the host request (None untraced)
     trace: Optional[Any] = None
+    #: overload control: typed failure class — "busy" (queue-full
+    #: fast-reject) or "deadline" (command expired at the bdev); None for
+    #: success and ordinary errors.
+    status: Optional[str] = None

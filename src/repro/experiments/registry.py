@@ -228,6 +228,17 @@ def run_availability(fast: bool = True):
     )
 
 
+def run_overload(fast: bool = True):
+    from repro.experiments.overload import overload_rows
+
+    rows = overload_rows(fast=fast)
+    return (
+        "Overload: open-loop goodput collapse vs offered load, raw datapath "
+        "vs admission control + deadlines + retry budget",
+        rows,
+    )
+
+
 def run_obs(fast: bool = True):
     from repro.experiments.obs_figures import obs_rows
 
@@ -267,6 +278,7 @@ EXPERIMENTS: Dict[str, Callable[[bool], Tuple[str, List[Row]]]] = {
     "reliability": run_reliability,
     "integrity": run_integrity,
     "obs": run_obs,
+    "overload": run_overload,
 }
 
 

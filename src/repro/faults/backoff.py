@@ -15,8 +15,12 @@ from typing import Optional
 class BackoffPolicy:
     """Per-array retry/backoff policy.
 
-    ``timeout_for(attempt)`` — deadline for attempt N (0-based); doubles
-    each attempt starting from the array's base timeout.
+    ``timeout_for(attempt)`` — timeout for attempt N (0-based); doubles
+    each attempt starting from the array's base timeout.  When the request
+    carries a deadline, pass its *remaining* budget as ``remaining_ns``:
+    the attempt timeout is clamped to it, so cumulative attempt timeouts
+    are charged against the request deadline instead of every retry
+    getting a fresh full timeout.
 
     ``backoff_ns(attempt, rng)`` — sleep before launching attempt N >= 1:
     ``base * 2**(attempt-1)`` plus up to 50% seeded jitter.
@@ -36,10 +40,18 @@ class BackoffPolicy:
         self.multiplier = float(multiplier)
         self.max_timeout_ns = int(max_timeout_ns)
 
-    def timeout_for(self, attempt: int, base_ns: Optional[int] = None) -> int:
+    def timeout_for(
+        self,
+        attempt: int,
+        base_ns: Optional[int] = None,
+        remaining_ns: Optional[int] = None,
+    ) -> int:
         base = self.base_timeout_ns if base_ns is None else base_ns
         timeout = base * self.multiplier ** attempt
-        return int(min(timeout, self.max_timeout_ns))
+        timeout = int(min(timeout, self.max_timeout_ns))
+        if remaining_ns is not None:
+            timeout = min(timeout, max(0, remaining_ns))
+        return timeout
 
     def backoff_ns(self, attempt: int, rng: random.Random) -> int:
         if attempt <= 0:

@@ -18,7 +18,24 @@ from repro.nvmeof.messages import (
     Opcode,
     next_cid,
 )
+from repro.qos.errors import Busy, DeadlineExceeded
 from repro.sim.core import Environment, Event
+
+
+def completion_error(name: str, completion: NvmeOfCompletion) -> IoError:
+    """Map a failed completion to its typed exception.
+
+    ``status == "busy"`` (queue-full fast-reject) and ``"deadline"``
+    (expired at the target) get their :mod:`repro.qos.errors` subclasses so
+    overload-aware callers can tell shed work from real faults; everything
+    else stays a plain :class:`IoError`.
+    """
+    message = f"{name}: {completion.error}"
+    if completion.status == "busy":
+        return Busy(message)
+    if completion.status == "deadline":
+        return DeadlineExceeded(message)
+    return IoError(message)
 
 
 class RemoteBdev:
@@ -39,6 +56,10 @@ class RemoteBdev:
         #: set — a :class:`repro.verify.ProtocolChecker` watching the
         #: completion stream for duplicate acks.
         self.verifier = None
+        #: Overload control: armed by the controller when the circuit
+        #: breaker is on — called with each completion's ``ok`` so the
+        #: per-member EWMA error rate sees this member's result stream.
+        self.on_result = None
         #: cid -> (reserved envelope context, submit time ns, op name)
         self._inflight_spans: Dict[int, Any] = {}
         self._receiver = self.env.process(self._receive(), name=f"{name}.cq")
@@ -63,18 +84,23 @@ class RemoteBdev:
                         ectx, f"{self.name}.{op}", "rpc",
                         f"host.{self.name}", start_ns, self.env.now,
                     )
+            if self.on_result is not None:
+                self.on_result(completion.ok)
             event = self._pending.pop(completion.cid, None)
             if event is None or event.triggered:
                 continue  # late completion for a timed-out command
             if completion.ok:
                 event.succeed(completion.data)
             else:
-                event.fail(IoError(f"{self.name}: {completion.error}"))
+                event.fail(completion_error(self.name, completion))
 
     def _submit(
-        self, opcode: Opcode, offset: int, length: int, data: Any = None, ctx: Any = None
+        self, opcode: Opcode, offset: int, length: int, data: Any = None,
+        ctx: Any = None, deadline_ns: Any = None,
     ) -> Event:
-        command = NvmeOfCommand(next_cid(), opcode, offset, length, data=data)
+        command = NvmeOfCommand(
+            next_cid(), opcode, offset, length, data=data, deadline_ns=deadline_ns
+        )
         if self.tracer is not None and ctx is not None:
             # Reserve the remote-op envelope span now so the capsule, target
             # and drive spans nest under it; its end is recorded on completion.
@@ -88,12 +114,19 @@ class RemoteBdev:
         self.end.send(command)
         return completion
 
-    def read(self, offset: int, length: int, ctx: Any = None) -> Event:
+    def read(
+        self, offset: int, length: int, ctx: Any = None, deadline_ns: Any = None
+    ) -> Event:
         """Completion event whose value is the data (functional mode)."""
-        return self._submit(Opcode.READ, offset, length, ctx=ctx)
+        return self._submit(Opcode.READ, offset, length, ctx=ctx,
+                            deadline_ns=deadline_ns)
 
-    def write(self, offset: int, length: int, data: Any = None, ctx: Any = None) -> Event:
-        return self._submit(Opcode.WRITE, offset, length, data=data, ctx=ctx)
+    def write(
+        self, offset: int, length: int, data: Any = None, ctx: Any = None,
+        deadline_ns: Any = None,
+    ) -> Event:
+        return self._submit(Opcode.WRITE, offset, length, data=data, ctx=ctx,
+                            deadline_ns=deadline_ns)
 
     def cancel(self, event: Event) -> None:
         """Abandon a pending command (used by timeout handling)."""

@@ -48,6 +48,10 @@ class NvmeOfCommand:
     #: Observability: :class:`repro.obs.TraceContext` of the traced request
     #: this command belongs to (None when tracing is unarmed).
     trace: Optional[Any] = None
+    #: Overload control: absolute sim-time deadline in ns — a target that
+    #: dequeues the command after this instant fast-fails it instead of
+    #: doing work the initiator has already abandoned (None = no deadline).
+    deadline_ns: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.length <= 0:
@@ -68,3 +72,7 @@ class NvmeOfCompletion:
     #: Observability: trace context of the originating command, so the
     #: response capsule's wire time is attributed to the same request.
     trace: Optional[Any] = None
+    #: Overload control: typed failure class — "busy" (queue-full
+    #: fast-reject) or "deadline" (command expired at the target); None for
+    #: success and ordinary errors.
+    status: Optional[str] = None

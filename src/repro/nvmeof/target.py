@@ -11,9 +11,19 @@ Fault injection knobs (used by the failure-handling tests):
 * ``stall_ns`` — freeze command intake for a period (network jitter /
   transient outage); commands arriving meanwhile sit in the inbox.
 * failed drives produce error completions rather than silent hangs.
+
+Overload control (armed via ``queue_depth``): the per-connection
+submission queue is bounded — a command arriving while ``queue_depth``
+commands are in service is fast-rejected with a typed ``"busy"``
+completion instead of growing the queue without bound, and a command
+dequeued past its ``deadline_ns`` is fast-failed with ``"deadline"``
+rather than serviced for an initiator that already gave up.  With the
+knob unset the historic unbounded behavior is preserved exactly.
 """
 
 from __future__ import annotations
+
+from typing import Optional
 
 from repro.cluster.machines import StorageServer
 from repro.net.fabric import ConnectionEnd
@@ -30,7 +40,14 @@ from repro.storage.drive import DriveFailedError
 class NvmeOfTarget:
     """Serves standard NVMe-oF reads/writes for one storage server."""
 
-    def __init__(self, server: StorageServer, host_end: ConnectionEnd) -> None:
+    def __init__(
+        self,
+        server: StorageServer,
+        host_end: ConnectionEnd,
+        queue_depth: Optional[int] = None,
+    ) -> None:
+        if queue_depth is not None and queue_depth <= 0:
+            raise ValueError(f"queue_depth must be positive, got {queue_depth}")
         self.env: Environment = server.env
         self.server = server
         self.host_end = host_end
@@ -38,6 +55,11 @@ class NvmeOfTarget:
         self.down_until = 0
         self.crashes = 0
         self.commands_served = 0
+        #: Overload control: max in-service commands (None = unbounded).
+        self.queue_depth = queue_depth
+        self.inflight = 0
+        self.busy_rejections = 0
+        self.deadline_rejections = 0
         #: Observability: armed by the controller when ``cluster.obs`` is set.
         self.tracer = None
         self._service = self.env.process(self._serve(), name=f"{server.name}.nvmf")
@@ -64,9 +86,50 @@ class NvmeOfTarget:
                 # transient outage: the target freezes, capsules queue up
                 yield self.env.timeout(self.stall_ns)
                 self.stall_ns = 0
-            self.env.process(self._handle(command), name=f"{self.server.name}.cmd")
+            if self.queue_depth is None:
+                self.env.process(self._handle(command), name=f"{self.server.name}.cmd")
+                continue
+            if self.inflight >= self.queue_depth:
+                # bounded submission queue: typed fast-reject, no datapath
+                # work and no CPU charge (the reject path must stay cheap)
+                self.busy_rejections += 1
+                self.host_end.send(
+                    NvmeOfCompletion(
+                        command.cid, ok=False,
+                        error=f"{self.server.name}: submission queue full",
+                        trace=command.trace, status="busy",
+                    ),
+                    payload_bytes=0,
+                    header_bytes=RESPONSE_BYTES,
+                )
+                continue
+            self.inflight += 1
+            self.env.process(
+                self._handle_bounded(command), name=f"{self.server.name}.cmd"
+            )
+
+    def _handle_bounded(self, command: NvmeOfCommand):
+        """Wrap :meth:`_handle` with in-service accounting (armed only)."""
+        try:
+            yield from self._handle(command)
+        finally:
+            self.inflight -= 1
 
     def _handle(self, command: NvmeOfCommand):
+        if command.deadline_ns is not None and self.env.now >= command.deadline_ns:
+            # stale command: the initiator's budget is already spent, so
+            # answer immediately instead of burning drive/CPU time on it
+            self.deadline_rejections += 1
+            self.host_end.send(
+                NvmeOfCompletion(
+                    command.cid, ok=False,
+                    error=f"{self.server.name}: deadline exceeded at target",
+                    trace=command.trace, status="deadline",
+                ),
+                payload_bytes=0,
+                header_bytes=RESPONSE_BYTES,
+            )
+            return
         cpu = self.server.cpu
         profile = self.server.cpu_profile
         tracer = self.tracer

@@ -1,0 +1,40 @@
+"""Overload control: admission bounds, deadlines, retry budgets, breakers.
+
+Grown out of the paper's §5.5 QoS discussion (the token bucket used for
+tenant rate limiting) into the full overload-control layer the ROADMAP's
+rack-scale item needs: bounded admission queues with typed
+:class:`Busy` fast-rejects, deadline propagation with terminal
+:class:`DeadlineExceeded`, SRE-style :class:`RetryBudget` capping retry
+amplification during fault storms, priority-aware shedding of background
+I/O, and a per-member :class:`CircuitBreaker` that routes degraded reads
+through reconstruction instead of a sick member.  Armed per cluster via
+``ClusterConfig(overload=OverloadConfig(...))``; with no knobs set the
+datapath is byte-identical to an unarmed build.
+"""
+
+from repro.qos.admission import (
+    AdmissionQueue,
+    PRIORITY_BACKGROUND,
+    PRIORITY_FOREGROUND,
+)
+from repro.qos.breaker import CircuitBreaker
+from repro.qos.budget import RetryBudget
+from repro.qos.control import OverloadConfig, QosControl, QosStats
+from repro.qos.errors import Busy, DeadlineExceeded
+from repro.qos.tokens import NS_PER_S, RateLimitedDevice, TokenBucket
+
+__all__ = [
+    "AdmissionQueue",
+    "Busy",
+    "CircuitBreaker",
+    "DeadlineExceeded",
+    "NS_PER_S",
+    "OverloadConfig",
+    "PRIORITY_BACKGROUND",
+    "PRIORITY_FOREGROUND",
+    "QosControl",
+    "QosStats",
+    "RateLimitedDevice",
+    "RetryBudget",
+    "TokenBucket",
+]

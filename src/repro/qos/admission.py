@@ -1,0 +1,74 @@
+"""Bounded admission at the host submission boundary.
+
+The paper's testbed (like every real NVMe stack) has finite submission
+queues; an unbounded simulated queue hides overload by silently buffering
+it.  :class:`AdmissionQueue` is the counting gate a controller consults
+*before* doing any datapath work: at capacity, foreground I/O gets a typed
+:class:`~repro.qos.errors.Busy` fast-reject (fail fast beats queueing past
+the client's patience), and background I/O (scrub, rebuild) is shed
+earlier — at the ``background_depth`` watermark — so recovery traffic
+yields to foreground before foreground itself starts bouncing.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+#: Admission priority classes, in shed order (background sheds first).
+PRIORITY_FOREGROUND = "fg"
+PRIORITY_BACKGROUND = "bg"
+
+
+class AdmissionQueue:
+    """A two-watermark counting admission gate.
+
+    ``depth`` bounds concurrently admitted I/Os of any class;
+    ``background_depth`` (default ``depth // 2``, at least 1) is the lower
+    watermark at which background I/O is already turned away.  Purely
+    synchronous bookkeeping — admission never waits, it either claims a
+    slot or reports the queue full, keeping the reject path free of
+    simulated work.
+    """
+
+    def __init__(self, depth: int, background_depth: Optional[int] = None) -> None:
+        if depth <= 0:
+            raise ValueError(f"depth must be positive, got {depth}")
+        if background_depth is None:
+            background_depth = max(1, depth // 2)
+        if not 0 < background_depth <= depth:
+            raise ValueError(
+                f"background_depth must be in 1..{depth}, got {background_depth}"
+            )
+        self.depth = depth
+        self.background_depth = background_depth
+        self.inflight = 0
+        self.admitted = 0
+        self.rejected = 0
+        self.shed_background = 0
+
+    def limit_for(self, priority: str) -> int:
+        """The occupancy bound that applies to ``priority`` ("fg"/"bg")."""
+        return self.depth if priority == PRIORITY_FOREGROUND else self.background_depth
+
+    def try_admit(self, priority: str = PRIORITY_FOREGROUND) -> bool:
+        """Claim a slot; False (and a counter bump) when the class is full."""
+        if self.inflight >= self.limit_for(priority):
+            if priority == PRIORITY_FOREGROUND:
+                self.rejected += 1
+            else:
+                self.shed_background += 1
+            return False
+        self.inflight += 1
+        self.admitted += 1
+        return True
+
+    def release(self) -> None:
+        """Return a slot claimed by a successful :meth:`try_admit`."""
+        if self.inflight <= 0:
+            raise RuntimeError("release() without a matching try_admit()")
+        self.inflight -= 1
+
+    @property
+    def under_pressure(self) -> bool:
+        """True when occupancy is at/above the background watermark."""
+        return self.inflight >= self.background_depth

@@ -1,0 +1,81 @@
+"""Per-member circuit breaker on EWMA error/timeout rate.
+
+The :class:`~repro.faults.detect.FailSlowDetector` catches members that
+are *slow but correct* by comparing latencies; it is blind to a member
+that answers quickly with errors, so retry loops keep hammering it.  The
+breaker closes that gap: every member completion feeds a per-member EWMA
+of the failure indicator (1 for an error or attributed timeout, 0 for
+success), and a member whose rate crosses ``threshold`` is *tripped* —
+the controller ejects it through the same path fail-slow ejection uses,
+so degraded reads route through reconstruction instead of re-asking the
+sick member.  ``cooldown_ns`` (ns of sim time) rate-limits trips so one
+error burst cannot cascade into mass ejection.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+
+class CircuitBreaker:
+    """EWMA failure-rate tracker with a trip threshold, per member.
+
+    ``threshold`` is the EWMA failure rate (0..1) above which a member
+    trips; ``alpha`` the EWMA weight of the newest sample; ``min_samples``
+    the observations required before a member may trip (a cold member's
+    first error is not a pattern); ``cooldown_ns`` the minimum sim-time
+    gap in nanoseconds between any two trips.
+    """
+
+    def __init__(
+        self,
+        threshold: float = 0.5,
+        alpha: float = 0.2,
+        min_samples: int = 8,
+        cooldown_ns: int = 10_000_000,
+    ) -> None:
+        if not 0.0 < threshold <= 1.0:
+            raise ValueError(f"threshold must be in (0, 1], got {threshold}")
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+        if min_samples < 1:
+            raise ValueError(f"min_samples must be >= 1, got {min_samples}")
+        if cooldown_ns < 0:
+            raise ValueError(f"negative cooldown {cooldown_ns}")
+        self.threshold = threshold
+        self.alpha = alpha
+        self.min_samples = min_samples
+        self.cooldown_ns = cooldown_ns
+        self._rate: Dict[int, float] = {}
+        self._samples: Dict[int, int] = {}
+        self._last_trip_ns = -1
+        self.trips = 0
+
+    def record(self, member: int, ok: bool) -> None:
+        """Fold one completion (or attributed timeout) into the member's EWMA."""
+        observation = 0.0 if ok else 1.0
+        previous = self._rate.get(member, 0.0)
+        self._rate[member] = self.alpha * observation + (1.0 - self.alpha) * previous
+        self._samples[member] = self._samples.get(member, 0) + 1
+
+    def failure_rate(self, member: int) -> float:
+        """The member's current EWMA failure rate (0 when never observed)."""
+        return self._rate.get(member, 0.0)
+
+    def should_trip(self, member: int, now_ns: int) -> bool:
+        """Whether the member's failure rate warrants ejection right now."""
+        if self._samples.get(member, 0) < self.min_samples:
+            return False
+        if self._rate.get(member, 0.0) <= self.threshold:
+            return False
+        if self._last_trip_ns >= 0 and now_ns - self._last_trip_ns < self.cooldown_ns:
+            return False
+        return True
+
+    def note_trip(self, member: int, now_ns: int) -> None:
+        """Record that the member was ejected at ``now_ns`` (sim ns)."""
+        self.trips += 1
+        self._last_trip_ns = now_ns
+        # reset so a later re-admission starts from a clean slate
+        self._rate[member] = 0.0
+        self._samples[member] = 0

@@ -1,0 +1,50 @@
+"""Per-controller retry budget (SRE token-bucket semantics).
+
+During a fault storm every timed-out I/O retries, multiplying offered
+load exactly when capacity is lowest — the classic metastable-failure
+amplifier.  :class:`RetryBudget` caps that amplification the way the SRE
+book's adaptive-throttling rule does: each *successful* request deposits a
+fraction of a retry token, each retry spends a whole one, so cluster-wide
+retry traffic is bounded to ``deposit_ratio`` of the success rate (plus a
+fixed ``burst`` to ride out short blips).  When the budget is dry the
+retry loop stops retrying and surfaces a terminal
+:class:`~repro.nvmeof.messages.IoError` — shedding work instead of
+amplifying it.
+"""
+
+from __future__ import annotations
+
+
+class RetryBudget:
+    """Token-style retry budget: retries are a tax on successes.
+
+    ``deposit_ratio`` is the fraction of a retry token earned per
+    successful request (0.1 = at most one retry per ten successes, long
+    run); ``burst`` is the bucket cap in whole tokens, which is also the
+    initial balance.  Purely synchronous and deterministic — no clock, no
+    randomness.
+    """
+
+    def __init__(self, deposit_ratio: float = 0.1, burst: float = 10.0) -> None:
+        if deposit_ratio < 0:
+            raise ValueError(f"deposit_ratio must be >= 0, got {deposit_ratio}")
+        if burst < 1:
+            raise ValueError(f"burst must be >= 1, got {burst}")
+        self.deposit_ratio = float(deposit_ratio)
+        self.burst = float(burst)
+        self.tokens = float(burst)
+        self.granted = 0
+        self.denied = 0
+
+    def note_success(self) -> None:
+        """Deposit ``deposit_ratio`` of a token (saturating at ``burst``)."""
+        self.tokens = min(self.burst, self.tokens + self.deposit_ratio)
+
+    def try_spend(self) -> bool:
+        """Spend one token for a retry; False when the budget is dry."""
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            self.granted += 1
+            return True
+        self.denied += 1
+        return False

@@ -116,6 +116,8 @@ class RecoveryStats:
     probes: int = 0
     pace_increases: int = 0
     pace_decreases: int = 0
+    #: pace slots where rebuild I/O yielded to foreground admission pressure
+    pressure_sheds: int = 0
 
 
 class RecoveryOrchestrator:
@@ -143,6 +145,7 @@ class RecoveryOrchestrator:
         detector=None,
         poll_ns: int = 500_000,
         exposure=None,
+        pressure_pause_ns: int = 500_000,
     ) -> None:
         if num_stripes < 1:
             raise ValueError(f"need >= 1 stripe, got {num_stripes}")
@@ -165,6 +168,9 @@ class RecoveryOrchestrator:
         self.detector = detector if detector is not None else array.failslow_detector
         self.poll_ns = int(poll_ns)
         self.exposure = exposure
+        #: extra back-off per pace slot while foreground admission pressure
+        #: is high (overload control armed only; see :meth:`_pace`)
+        self.pressure_pause_ns = int(pressure_pause_ns)
         self.stats = RecoveryStats()
         #: aggregate chunk/byte counters across all orchestrated rebuilds
         self.rebuild_stats = RebuildStats()
@@ -429,6 +435,16 @@ class RecoveryOrchestrator:
             if self._since_probe >= self.probe_every:
                 self._since_probe = 0
                 yield from self._probe_slo()
+        qos = getattr(self.array, "qos", None)
+        if qos is not None and qos.under_pressure:
+            # the admission queue is at/above its background watermark:
+            # rebuild I/O yields a full pressure pause so foreground drains
+            # first (priority shedding, the recovery-side half of the
+            # admission queue's early background rejection)
+            qos.stats.shed_background += 1
+            self.stats.pressure_sheds += 1
+            yield self.env.timeout(max(self.pace_ns, self.pressure_pause_ns))
+            return
         if self.pace_ns:
             yield self.env.timeout(self.pace_ns)
 

@@ -69,6 +69,7 @@ class ScrubDaemon:
         pace_ns: int = 0,
         repeat: bool = False,
         name: Optional[str] = None,
+        pressure_pause_ns: int = 500_000,
     ) -> None:
         if array.integrity is None:
             raise ValueError(
@@ -83,6 +84,10 @@ class ScrubDaemon:
         self.env = array.env
         self.num_stripes = num_stripes
         self.pace_ns = pace_ns
+        #: extra back-off per stripe while foreground admission pressure is
+        #: high (overload control armed only; zero-cost when disarmed)
+        self.pressure_pause_ns = pressure_pause_ns
+        self.pressure_sheds = 0
         self.repeat = repeat
         self.name = name or f"{array.name}.scrub"
         self.reports: List[ScrubPassReport] = []
@@ -156,7 +161,15 @@ class ScrubDaemon:
                 array.locks.release(stripe)
             scanned += 1
             self.stripes_scanned_total += 1
-            if self.pace_ns:
+            qos = getattr(array, "qos", None)
+            if qos is not None and qos.under_pressure:
+                # foreground is pressing against the admission bound: the
+                # scrub walker backs off a full pressure pause instead of
+                # its normal pace, shedding verify bandwidth to clients
+                qos.stats.shed_background += 1
+                self.pressure_sheds += 1
+                yield self.env.timeout(max(self.pace_ns, self.pressure_pause_ns))
+            elif self.pace_ns:
                 yield self.env.timeout(self.pace_ns)
         return ScrubPassReport(
             stripes_scanned=scanned,

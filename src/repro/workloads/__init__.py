@@ -6,12 +6,15 @@ from repro.workloads.generators import (
     UniformGenerator,
     ZipfianGenerator,
 )
+from repro.workloads.openloop import OpenLoopResult, OpenLoopWorkload
 from repro.workloads.ycsb import YCSB_WORKLOADS, YcsbResult, YcsbWorkload, YcsbSpec
 
 __all__ = [
     "FioResult",
     "FioWorkload",
     "LatestGenerator",
+    "OpenLoopResult",
+    "OpenLoopWorkload",
     "UniformGenerator",
     "YCSB_WORKLOADS",
     "YcsbResult",

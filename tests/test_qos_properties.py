@@ -1,0 +1,218 @@
+"""Property-based tests of the GCRA token bucket (§5.5 QoS).
+
+The token bucket is the rate-limiting primitive under both tenant QoS
+(:class:`~repro.qos.tokens.RateLimitedDevice`) and the overload figure's
+admission math, so these properties pin down the guarantees everything
+above it assumes: the admitted byte rate never exceeds the configured
+budget (beyond the burst allowance), the burst allowance itself is a hard
+cap on how far a tenant runs ahead, admission is FIFO, and a canceled
+``acquire`` + ``refund`` pair can only leave the bucket *more*
+conservative — cancel storms never mint extra credit.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.qos.tokens import NS_PER_S, TokenBucket
+from repro.sim import Environment
+
+#: request sizes in bytes (kept modest so schedules stay fast to simulate)
+SIZES = st.integers(1, 64 * 1024)
+
+
+def _drive(env, bucket, schedule):
+    """Submit (gap_ns, nbytes) pairs; return [(fire_time, nbytes)] in
+    completion order."""
+    completions = []
+
+    def submitter():
+        for gap, nbytes in schedule:
+            if gap:
+                yield env.timeout(gap)
+            event = bucket.acquire(nbytes)
+            env.process(waiter(event, nbytes), name="tb.wait")
+        # keep the submitter a generator even for empty schedules
+        yield env.timeout(0)
+
+    def waiter(event, nbytes):
+        yield event
+        completions.append((env.now, nbytes))
+
+    env.process(submitter(), name="tb.submit")
+    env.run()
+    return completions
+
+
+class TestRateBound:
+    @given(
+        schedule=st.lists(
+            st.tuples(st.integers(0, 50_000), SIZES), min_size=1, max_size=40
+        ),
+        rate_mb=st.integers(1, 2_000),
+        burst=st.integers(4 * 1024, 4 * 1024 * 1024),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_admitted_bytes_bounded_by_budget(self, schedule, rate_mb, burst):
+        """At any completion instant T, bytes conformed by T never exceed
+        burst + rate * T (plus one request of integer-rounding slack)."""
+        env = Environment()
+        rate = rate_mb * 1_000_000
+        bucket = TokenBucket(env, rate_bytes_per_s=rate, burst_bytes=burst)
+        completions = _drive(env, bucket, schedule)
+        assert len(completions) == len(schedule)
+        conformed = 0
+        max_size = max(nbytes for _, nbytes in schedule)
+        for fired_at, nbytes in completions:
+            conformed += nbytes
+            budget = burst + rate * fired_at / NS_PER_S
+            # one request of slack absorbs the int() rounding in _cost_ns
+            assert conformed <= budget + max_size + 1
+
+    @given(
+        sizes=st.lists(SIZES, min_size=1, max_size=40),
+        rate_mb=st.integers(1, 2_000),
+        burst=st.integers(4 * 1024, 4 * 1024 * 1024),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_burst_caps_instant_admission(self, sizes, rate_mb, burst):
+        """Zero-delay admissions at t=0 never exceed the bucket depth
+        (plus the single request that straddles the boundary)."""
+        env = Environment()
+        bucket = TokenBucket(
+            env, rate_bytes_per_s=rate_mb * 1_000_000, burst_bytes=burst
+        )
+        instant = 0
+        for nbytes in sizes:
+            event = bucket.acquire(nbytes)
+            if event.delay == 0:
+                instant += nbytes
+        # the last instant admission may straddle the burst boundary, but
+        # everything after it must be delayed
+        assert instant <= burst + max(sizes)
+
+    def test_sustained_rate_converges(self):
+        """A long back-to-back run admits at the configured rate: the last
+        completion lands at ~ total_bytes / rate, regardless of burst."""
+        env = Environment()
+        rate = 100_000_000  # 100 MB/s
+        bucket = TokenBucket(env, rate_bytes_per_s=rate, burst_bytes=64 * 1024)
+        total = 0
+        schedule = []
+        for _ in range(200):
+            schedule.append((0, 32 * 1024))
+            total += 32 * 1024
+        completions = _drive(env, bucket, schedule)
+        last = max(t for t, _ in completions)
+        ideal = (total - bucket.burst_bytes) * NS_PER_S / rate
+        assert ideal * 0.99 <= last <= ideal * 1.01
+
+
+class TestFifoOrder:
+    @given(
+        schedule=st.lists(
+            st.tuples(st.integers(0, 20_000), SIZES), min_size=2, max_size=30
+        )
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_completion_order_matches_submission_order(self, schedule):
+        """GCRA delays are monotone in submission order and the kernel
+        breaks ties by event id, so admission is FIFO."""
+        env = Environment()
+        bucket = TokenBucket(
+            env, rate_bytes_per_s=50_000_000, burst_bytes=16 * 1024
+        )
+        order = []
+
+        def submitter():
+            for i, (gap, nbytes) in enumerate(schedule):
+                if gap:
+                    yield env.timeout(gap)
+                env.process(waiter(bucket.acquire(nbytes), i), name="tb.wait")
+            yield env.timeout(0)
+
+        def waiter(event, index):
+            yield event
+            order.append(index)
+
+        env.process(submitter(), name="tb.submit")
+        env.run()
+        assert order == sorted(order)
+
+
+class TestRefundConservatism:
+    @given(
+        ops=st.lists(
+            st.tuples(st.booleans(), st.integers(0, 10_000), SIZES),
+            min_size=1,
+            max_size=40,
+        ),
+        rate_mb=st.integers(1, 500),
+        burst=st.integers(4 * 1024, 1 * 1024 * 1024),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_cancel_pairs_never_mint_credit(self, ops, rate_mb, burst):
+        """A bucket that additionally sees acquire+refund (cancel) pairs is
+        never *more* permissive than one that saw only the kept requests:
+        its virtual arrival time stays >= the clean bucket's, so every
+        subsequent request waits at least as long."""
+        env = Environment()
+        rate = rate_mb * 1_000_000
+        noisy = TokenBucket(env, rate_bytes_per_s=rate, burst_bytes=burst)
+        clean = TokenBucket(env, rate_bytes_per_s=rate, burst_bytes=burst)
+
+        def driver():
+            for canceled, gap, nbytes in ops:
+                if gap:
+                    yield env.timeout(gap)
+                noisy.acquire(nbytes)
+                if canceled:
+                    # cancel immediately: hand the bytes back
+                    noisy.refund(nbytes)
+                else:
+                    clean.acquire(nbytes)
+                assert noisy._tat >= clean._tat
+
+        env.process(driver(), name="tb.cancel")
+        env.run()
+        kept = sum(nbytes for canceled, _, nbytes in ops if not canceled)
+        assert clean.admitted_bytes == kept
+
+    @given(gap=st.integers(0, 100_000), nbytes=SIZES)
+    @settings(max_examples=60, deadline=None)
+    def test_refund_never_rolls_behind_now(self, gap, nbytes):
+        """refund() floors the virtual arrival time at the current clock —
+        rolling behind `now` would retroactively grant burst credit."""
+        env = Environment()
+        bucket = TokenBucket(env, rate_bytes_per_s=10_000_000, burst_bytes=8192)
+
+        def driver():
+            bucket.acquire(nbytes)
+            if gap:
+                yield env.timeout(gap)
+            bucket.refund(nbytes)
+            assert bucket._tat >= env.now
+            yield env.timeout(0)
+
+        env.process(driver(), name="tb.refund")
+        env.run()
+
+    def test_refund_restores_full_credit_when_immediate(self):
+        """An immediate cancel of a fully-future reservation restores the
+        exact cost, so the *next* request sees the pre-acquire state."""
+        env = Environment()
+        bucket = TokenBucket(env, rate_bytes_per_s=1_000_000, burst_bytes=4096)
+        # exhaust the burst so _tat is well ahead of now
+        bucket.acquire(4096)
+        before = bucket._tat
+        bucket.acquire(2048)
+        bucket.refund(2048)
+        assert bucket._tat == before
+
+    def test_acquire_rejects_nonpositive(self):
+        env = Environment()
+        bucket = TokenBucket(env, rate_bytes_per_s=1_000_000)
+        with pytest.raises(ValueError):
+            bucket.acquire(0)
+        with pytest.raises(ValueError):
+            bucket.refund(-1)
