@@ -26,16 +26,26 @@ from pathlib import Path
 ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(ROOT / "src"))
 
-#: Documentation files whose python fences must execute (missing files are
-#: skipped so this script works on partial checkouts).
-DOC_FILES = (
+#: Root-level documentation files whose python fences must execute
+#: (missing files are skipped so this script works on partial checkouts).
+#: Root files are an explicit list — the repo root also holds research
+#: notes (PAPERS.md, SNIPPETS.md) whose fences are quotations, not
+#: examples.  Everything under ``docs/`` is discovered automatically so a
+#: new guide cannot be forgotten here.
+ROOT_DOC_FILES = (
     "README.md",
     "DESIGN.md",
     "EXPERIMENTS.md",
-    "docs/ARCHITECTURE.md",
-    "docs/OBSERVABILITY.md",
-    "docs/VERIFICATION.md",
 )
+
+
+def doc_files() -> list:
+    """Return all documentation files to check, repo-relative."""
+    names = [n for n in ROOT_DOC_FILES if (ROOT / n).exists()]
+    names += sorted(
+        str(p.relative_to(ROOT)) for p in (ROOT / "docs").glob("*.md")
+    )
+    return names
 
 FENCE = re.compile(r"```python\n(.*?)```", re.DOTALL)
 COMPILE_ONLY = "# doc-example: compile-only"
@@ -67,10 +77,8 @@ def check_file(path: Path) -> int:
 
 def main() -> int:
     failures = 0
-    for name in DOC_FILES:
-        path = ROOT / name
-        if path.exists():
-            failures += check_file(path)
+    for name in doc_files():
+        failures += check_file(ROOT / name)
     if failures:
         print(f"{failures} documentation example(s) failed", file=sys.stderr)
         return 1

@@ -1,0 +1,111 @@
+#!/usr/bin/env python
+"""CI rack smoke: a seeded mini multi-tenant grid over the rack layer.
+
+Every line is fully determined by the (scenario, arm) pair — placement,
+token-bucket admissions, fair-queue dispatch order, balancer scans and
+migration cutovers all key off seeded RNGs and the sim clock — so two runs
+of this script must be byte-identical, and both must match the committed
+golden (``tests/golden/rack_smoke.golden``).  The script also enforces the
+tenancy figure's headline invariants on the mini grid (dRAID controller):
+
+* **interference** — with rack QoS off, the victim sharing an array with
+  the bursty aggressor must lose more than half of its solo goodput;
+* **isolation** — with rack QoS on, the victim must retain at least 90%
+  of its solo goodput despite the same aggressor;
+* **migration recovery** — with the hot-spot balancer armed, exactly one
+  volume must migrate and the hot tenants' phase-2 goodput must exceed
+  the static arm's phase-2 goodput by at least 20%.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.experiments.tenancy import hotspot_point, noisy_point  # noqa: E402
+
+SMOKE_SYSTEM = "dRAID"
+GOLDEN = (
+    Path(__file__).resolve().parent.parent / "tests" / "golden" / "rack_smoke.golden"
+)
+
+
+def smoke_report() -> str:
+    lines = []
+    noisy = {}
+    for qos in (False, True):
+        r = noisy_point(SMOKE_SYSTEM, qos)
+        noisy[qos] = r
+        arm = "qos-on " if qos else "qos-off"
+        lines.append(
+            f"noisy   {arm} "
+            f"victim_solo={r['victim_solo_mb_s']:.1f} "
+            f"victim={r['victim_goodput_mb_s']:.1f} "
+            f"retention={r['victim_retention']:.3f} "
+            f"victim_p99_us={r['victim_p99_us']:.1f} "
+            f"noisy={r['noisy_goodput_mb_s']:.1f} "
+            f"busy={r['noisy_busy']} "
+            f"fairness={r['fairness']:.3f}"
+        )
+    hotspot = {}
+    for migrate in (False, True):
+        r = hotspot_point(SMOKE_SYSTEM, migrate)
+        hotspot[migrate] = r
+        arm = "migrate" if migrate else "static "
+        for phase in (1, 2):
+            lines.append(
+                f"hotspot {arm} p{phase} "
+                f"hot={r[f'p{phase}_hot_goodput_mb_s']:.1f} "
+                f"hot_p99_us={r[f'p{phase}_hot_p99_us']:.1f} "
+                f"busy={r[f'p{phase}_hot_busy']} "
+                f"steady={r[f'p{phase}_steady_goodput_mb_s']:.1f} "
+                f"migrations={r['migrations']}"
+            )
+
+    if noisy[False]["victim_retention"] > 0.5:
+        raise SystemExit(
+            "noisy neighbor did not interfere with QoS off "
+            f"(retention {noisy[False]['victim_retention']:.3f})"
+        )
+    if noisy[True]["victim_retention"] < 0.9:
+        raise SystemExit(
+            "protected victim fell below 90% goodput retention "
+            f"({noisy[True]['victim_retention']:.3f})"
+        )
+    if hotspot[True]["migrations"] != 1:
+        raise SystemExit(
+            f"balancer migrated {hotspot[True]['migrations']} volumes, expected 1"
+        )
+    static_p2 = hotspot[False]["p2_hot_goodput_mb_s"]
+    migrate_p2 = hotspot[True]["p2_hot_goodput_mb_s"]
+    if migrate_p2 < 1.2 * static_p2:
+        raise SystemExit(
+            "migration did not recover the hot array "
+            f"({migrate_p2:.0f} vs static {static_p2:.0f})"
+        )
+    return "\n".join(lines) + "\n"
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--write-golden",
+        action="store_true",
+        help=f"regenerate {GOLDEN} instead of printing to stdout",
+    )
+    args = parser.parse_args()
+    report = smoke_report()
+    if args.write_golden:
+        GOLDEN.parent.mkdir(parents=True, exist_ok=True)
+        GOLDEN.write_text(report)
+        print(f"wrote {GOLDEN}")
+        return 0
+    sys.stdout.write(report)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

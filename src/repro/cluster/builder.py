@@ -30,6 +30,13 @@ class ClusterConfig:
     """Parameters of a simulated testbed."""
 
     num_servers: int = 8
+    #: Topology name prefixed (as ``"<name>."``) onto every machine, NIC,
+    #: drive and connection name, so several clusters can share one
+    #: :class:`~repro.sim.core.Environment` (rack-scale composition,
+    #: :mod:`repro.rack`) without colliding in traces and process names.
+    #: The default empty string reproduces the historic unprefixed names
+    #: byte-for-byte.
+    name: str = ""
     host_nic_rate: float = GOODPUT_100G
     #: One rate per server; None means every server gets ``server_nic_rate``.
     server_nic_rates: Optional[Sequence[float]] = None
@@ -187,10 +194,12 @@ def build_cluster(env: Environment, config: Optional[ClusterConfig] = None) -> C
     fabric = Fabric(
         env, propagation_ns=config.propagation_ns, rdma_op_ns=config.rdma_op_ns
     )
+    # "" for the historic single-cluster testbed; "<name>." under a rack
+    prefix = f"{config.name}." if config.name else ""
     host = HostMachine(
         env,
-        "host",
-        [Nic(env, config.host_nic_rate, name="host.nic")],
+        f"{prefix}host",
+        [Nic(env, config.host_nic_rate, name=f"{prefix}host.nic")],
         num_cores=config.host_cores,
         cpu_profile=config.cpu_profile,
     )
@@ -200,19 +209,19 @@ def build_cluster(env: Environment, config: Optional[ClusterConfig] = None) -> C
     for i in range(config.num_servers):
         rate = rates[i] if rates is not None else config.server_nic_rate
         nics = [
-            Nic(env, rate, name=f"server{i}.nic{n}")
+            Nic(env, rate, name=f"{prefix}server{i}.nic{n}")
             for n in range(config.nics_per_server)
         ]
         drive = NvmeDrive(
             env,
             config.drive_profile,
-            name=f"server{i}.nvme",
+            name=f"{prefix}server{i}.nvme",
             functional_capacity=config.functional_capacity,
         )
         servers.append(
             StorageServer(
                 env,
-                f"server{i}",
+                f"{prefix}server{i}",
                 nics,
                 [drive],
                 num_cores=config.server_cores,
@@ -231,14 +240,14 @@ def build_cluster(env: Environment, config: Optional[ClusterConfig] = None) -> C
         id(nic): 0 for server in servers for nic in server.nics
     }
     host_connections = [
-        fabric.connect(host.nic, pick_nic(server), name=f"host-s{i}")
+        fabric.connect(host.nic, pick_nic(server), name=f"{prefix}host-s{i}")
         for i, server in enumerate(servers)
     ]
     peer_connections: Dict[Tuple[int, int], RdmaConnection] = {}
     for i in range(config.num_servers):
         for j in range(i + 1, config.num_servers):
             peer_connections[(i, j)] = fabric.connect(
-                pick_nic(servers[i]), pick_nic(servers[j]), name=f"s{i}-s{j}"
+                pick_nic(servers[i]), pick_nic(servers[j]), name=f"{prefix}s{i}-s{j}"
             )
     cluster = Cluster(
         env, fabric, host, servers, host_connections, peer_connections, config

@@ -239,6 +239,17 @@ def run_overload(fast: bool = True):
     )
 
 
+def run_tenancy(fast: bool = True):
+    from repro.experiments.tenancy import tenancy_rows
+
+    rows = tenancy_rows(fast=fast)
+    return (
+        "Tenancy: noisy-neighbor isolation (rack QoS off vs on) and "
+        "hot-spot recovery by live volume migration",
+        rows,
+    )
+
+
 def run_obs(fast: bool = True):
     from repro.experiments.obs_figures import obs_rows
 
@@ -279,6 +290,7 @@ EXPERIMENTS: Dict[str, Callable[[bool], Tuple[str, List[Row]]]] = {
     "integrity": run_integrity,
     "obs": run_obs,
     "overload": run_overload,
+    "tenancy": run_tenancy,
 }
 
 

@@ -4,6 +4,7 @@ from repro.metrics.faults import FaultStats
 from repro.metrics.integrity import IntegrityStats
 from repro.metrics.latency import LatencySummary, LatencyRecorder
 from repro.metrics.report import Row, format_table
+from repro.metrics.tenancy import fairness_index, goodput_retention
 from repro.metrics.timeline import ThroughputTimeline, TimelineSample
 
 __all__ = [
@@ -14,5 +15,7 @@ __all__ = [
     "Row",
     "ThroughputTimeline",
     "TimelineSample",
+    "fairness_index",
     "format_table",
+    "goodput_retention",
 ]

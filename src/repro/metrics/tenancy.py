@@ -1,0 +1,58 @@
+"""Multi-tenant isolation metrics.
+
+Per-tenant goodput and latency come straight from
+:class:`~repro.workloads.openloop.OpenLoopResult`; this module adds the
+two derived quantities the tenancy figure reports:
+
+* **retention** — what fraction of its uncontended (solo) goodput a tenant
+  keeps while sharing the rack with an aggressor.  1.0 means perfect
+  isolation; the noisy-neighbor experiment's QoS-off arm shows how far
+  below 1.0 an unprotected tenant falls.
+* **Jain's fairness index** — how evenly a set of per-tenant allocations
+  matches their entitlements.  1.0 when every tenant gets goodput exactly
+  proportional to its fair-share weight, approaching ``1/n`` when one
+  tenant takes everything.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def goodput_retention(contended_mb_s: float, solo_mb_s: float) -> float:
+    """Fraction of solo goodput retained under contention (capped at 1.0).
+
+    ``solo_mb_s`` is the tenant's goodput measured alone on an otherwise
+    idle rack with the same seeds and windows; values above 1.0 (sampling
+    jitter) clamp to 1.0 so the isolation figure never reports >100%.
+    """
+    if solo_mb_s <= 0.0:
+        return 0.0
+    return min(1.0, contended_mb_s / solo_mb_s)
+
+
+def fairness_index(allocations: Sequence[float], weights: Sequence[float] = ()) -> float:
+    """Jain's fairness index over (optionally weight-normalized) allocations.
+
+    With ``weights`` given, each allocation is divided by its tenant's
+    weight first, so the index measures *weighted* fairness: 1.0 when
+    goodput is exactly proportional to weight.  An all-zero allocation
+    vector returns 0.0.
+    """
+    if not allocations:
+        raise ValueError("need at least one allocation")
+    if weights:
+        if len(weights) != len(allocations):
+            raise ValueError(
+                f"{len(allocations)} allocations but {len(weights)} weights"
+            )
+        if any(w <= 0 for w in weights):
+            raise ValueError("weights must be positive")
+        values = [a / w for a, w in zip(allocations, weights)]
+    else:
+        values = list(allocations)
+    total = sum(values)
+    if total <= 0.0:
+        return 0.0
+    squares = sum(v * v for v in values)
+    return (total * total) / (len(values) * squares)

@@ -21,6 +21,7 @@ from repro.qos.breaker import CircuitBreaker
 from repro.qos.budget import RetryBudget
 from repro.qos.control import OverloadConfig, QosControl, QosStats
 from repro.qos.errors import Busy, DeadlineExceeded
+from repro.qos.fair import FairFlow, WeightedFairQueue
 from repro.qos.tokens import NS_PER_S, RateLimitedDevice, TokenBucket
 
 __all__ = [
@@ -28,6 +29,7 @@ __all__ = [
     "Busy",
     "CircuitBreaker",
     "DeadlineExceeded",
+    "FairFlow",
     "NS_PER_S",
     "OverloadConfig",
     "PRIORITY_BACKGROUND",
@@ -37,4 +39,5 @@ __all__ = [
     "RateLimitedDevice",
     "RetryBudget",
     "TokenBucket",
+    "WeightedFairQueue",
 ]

@@ -67,6 +67,34 @@ class TokenBucket:
         self.throttle_events += 1
         return self.env.timeout(delay)
 
+    def acquire_within(self, nbytes: int, max_delay_ns: int) -> Optional[Event]:
+        """Shape-or-police: admit ``nbytes`` only if conformance is near.
+
+        Like :meth:`acquire`, but when the bucket would delay the request
+        by more than ``max_delay_ns`` (e.g. the request's remaining latency
+        budget) it returns ``None`` *without consuming any budget* — the
+        caller should fast-reject instead of queueing work that cannot
+        possibly complete in time.  This is the per-tenant rate *limit* of
+        the rack layer: short overshoots are shaped, sustained overshoots
+        are policed.
+        """
+        if nbytes <= 0:
+            raise ValueError(f"nbytes must be positive, got {nbytes}")
+        if max_delay_ns < 0:
+            raise ValueError(f"max_delay_ns must be >= 0, got {max_delay_ns}")
+        now = self.env.now
+        tat = max(now, self._tat) + self._cost_ns(nbytes)
+        delay = tat - self._limit_ns - now
+        if delay > max_delay_ns:
+            self.throttle_events += 1
+            return None
+        self._tat = tat
+        self.admitted_bytes += nbytes
+        if delay <= 0:
+            return self.env.timeout(0)
+        self.throttle_events += 1
+        return self.env.timeout(delay)
+
     def refund(self, nbytes: int) -> None:
         """Return ``nbytes`` of budget after a canceled ``acquire``.
 

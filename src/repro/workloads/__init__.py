@@ -7,14 +7,17 @@ from repro.workloads.generators import (
     ZipfianGenerator,
 )
 from repro.workloads.openloop import OpenLoopResult, OpenLoopWorkload
+from repro.workloads.tenants import MultiTenantWorkload, TenantSpec
 from repro.workloads.ycsb import YCSB_WORKLOADS, YcsbResult, YcsbWorkload, YcsbSpec
 
 __all__ = [
     "FioResult",
     "FioWorkload",
     "LatestGenerator",
+    "MultiTenantWorkload",
     "OpenLoopResult",
     "OpenLoopWorkload",
+    "TenantSpec",
     "UniformGenerator",
     "YCSB_WORKLOADS",
     "YcsbResult",

@@ -24,6 +24,7 @@ never perturbs a disarmed run.
 
 from __future__ import annotations
 
+import math
 import random
 from dataclasses import dataclass
 from typing import Optional
@@ -71,10 +72,13 @@ class OpenLoopWorkload:
     """Fire-and-forget arrival generator with per-I/O latency budgets.
 
     ``rate_iops`` is the *offered* arrival rate; ``arrival`` selects the
-    clock: ``"poisson"`` (memoryless) or ``"bursty"`` (an on/off Poisson
+    clock: ``"poisson"`` (memoryless), ``"bursty"`` (an on/off Poisson
     whose on-phase runs at ``burst_factor`` times the mean rate for
     ``burst_duty`` of every ``burst_period_ns``, with the off-phase scaled
-    to preserve the mean).
+    to preserve the mean), or ``"diurnal"`` (a sinusoidal modulation of the
+    Poisson rate — period ``diurnal_period_ns``, peak-to-mean ratio
+    ``1 + diurnal_amplitude`` — the shape of a frontend's day/night cycle
+    compressed onto the sim clock).
     """
 
     def __init__(
@@ -90,6 +94,8 @@ class OpenLoopWorkload:
         burst_factor: float = 4.0,
         burst_period_ns: int = 2_000_000,
         burst_duty: float = 0.25,
+        diurnal_period_ns: int = 20_000_000,
+        diurnal_amplitude: float = 0.5,
     ) -> None:
         if io_size <= 0:
             raise ValueError(f"io_size must be positive, got {io_size}")
@@ -97,7 +103,7 @@ class OpenLoopWorkload:
             raise ValueError(f"rate_iops must be positive, got {rate_iops}")
         if not 0.0 <= read_fraction <= 1.0:
             raise ValueError(f"read_fraction out of range: {read_fraction}")
-        if arrival not in ("poisson", "bursty"):
+        if arrival not in ("poisson", "bursty", "diurnal"):
             raise ValueError(f"unknown arrival process: {arrival!r}")
         if arrival == "bursty":
             if burst_factor < 1.0:
@@ -106,6 +112,13 @@ class OpenLoopWorkload:
                 raise ValueError(f"burst_duty out of range: {burst_duty}")
             if burst_period_ns <= 0:
                 raise ValueError("burst_period_ns must be positive")
+        if arrival == "diurnal":
+            if not 0.0 <= diurnal_amplitude < 1.0:
+                raise ValueError(
+                    f"diurnal_amplitude out of range: {diurnal_amplitude}"
+                )
+            if diurnal_period_ns <= 0:
+                raise ValueError("diurnal_period_ns must be positive")
         self.array = array
         self.env: Environment = array.env
         self.io_size = io_size
@@ -116,6 +129,8 @@ class OpenLoopWorkload:
         self.burst_factor = burst_factor
         self.burst_period_ns = burst_period_ns
         self.burst_duty = burst_duty
+        self.diurnal_period_ns = diurnal_period_ns
+        self.diurnal_amplitude = diurnal_amplitude
         geometry = array.geometry
         default_cap = geometry.stripe_data_bytes * 4096
         self.capacity = capacity if capacity is not None else default_cap
@@ -146,6 +161,11 @@ class OpenLoopWorkload:
         """Instantaneous arrival rate (IOPS) at the current sim time."""
         if self.arrival == "poisson":
             return self.rate_iops
+        if self.arrival == "diurnal":
+            phase = 2.0 * math.pi * (self.env.now % self.diurnal_period_ns)
+            return self.rate_iops * (
+                1.0 + self.diurnal_amplitude * math.sin(phase / self.diurnal_period_ns)
+            )
         pos = self.env.now % self.burst_period_ns
         if pos < self.burst_duty * self.burst_period_ns:
             return self.rate_iops * self.burst_factor
@@ -219,22 +239,21 @@ class OpenLoopWorkload:
             self.late_completions += 1
 
     # -- measurement window ------------------------------------------------
+    #
+    # The window machinery is split into ``start`` / ``open_window`` /
+    # ``close_window`` / ``snapshot`` so an external orchestrator (the
+    # rack layer's multi-tenant workload) can run several streams against
+    # one shared clock and cut every tenant's window at the same instants.
+    # ``run`` composes them for the historic single-stream case.
 
-    def run(
-        self,
-        warmup_ns: int = 2_000_000,
-        measure_ns: int = 20_000_000,
-        drain_ns: Optional[int] = None,
-    ) -> OpenLoopResult:
-        """Warm up, measure for ``measure_ns``, drain, return results.
-
-        Arrivals admitted during the window are attributed to it even when
-        they complete during the drain — an open-loop window cuts on
-        arrival time, not completion time.
-        """
+    def start(self) -> "Event":
+        """Spawn the arrival clock; returns the stop event ending it."""
         stop = self.env.event()
         self.env.process(self._arrivals(stop), name="openloop.clock")
-        self.env.run(until=self.env.now + warmup_ns)
+        return stop
+
+    def open_window(self) -> None:
+        """Zero every counter and begin attributing arrivals to a window."""
         self._measuring = True
         self.ops_offered = self.ops_completed = self.ops_good = 0
         self.busy_rejections = self.deadline_failures = 0
@@ -242,15 +261,14 @@ class OpenLoopWorkload:
         self._offered_bytes = self._throughput_bytes = self._good_bytes = 0
         self.reads = LatencyRecorder()
         self.writes = LatencyRecorder()
-        start = self.env.now
-        self.env.run(until=start + measure_ns)
+
+    def close_window(self) -> None:
+        """Stop attributing new arrivals (in-flight measured I/Os still
+        settle into the window's counters when they complete)."""
         self._measuring = False
-        if drain_ns is None:
-            budget = self.deadline_ns if self.deadline_ns is not None else 0
-            drain_ns = max(measure_ns // 2, 4 * budget)
-        self.env.run(until=self.env.now + drain_ns)
-        stop.succeed()
-        self.env.run(until=self.env.now + 1)
+
+    def snapshot(self, measure_ns: int) -> OpenLoopResult:
+        """Freeze the current counters into an :class:`OpenLoopResult`."""
         summary = LatencyRecorder.merged(self.reads, self.writes).summarize()
         return OpenLoopResult(
             offered_mb_s=self._offered_bytes * 1e9 / measure_ns / MB,
@@ -266,3 +284,29 @@ class OpenLoopWorkload:
             latency=summary,
             measured_ns=measure_ns,
         )
+
+    def run(
+        self,
+        warmup_ns: int = 2_000_000,
+        measure_ns: int = 20_000_000,
+        drain_ns: Optional[int] = None,
+    ) -> OpenLoopResult:
+        """Warm up, measure for ``measure_ns``, drain, return results.
+
+        Arrivals admitted during the window are attributed to it even when
+        they complete during the drain — an open-loop window cuts on
+        arrival time, not completion time.
+        """
+        stop = self.start()
+        self.env.run(until=self.env.now + warmup_ns)
+        self.open_window()
+        start = self.env.now
+        self.env.run(until=start + measure_ns)
+        self.close_window()
+        if drain_ns is None:
+            budget = self.deadline_ns if self.deadline_ns is not None else 0
+            drain_ns = max(measure_ns // 2, 4 * budget)
+        self.env.run(until=self.env.now + drain_ns)
+        stop.succeed()
+        self.env.run(until=self.env.now + 1)
+        return self.snapshot(measure_ns)

@@ -67,7 +67,15 @@ class TestHarness:
 
     def test_registry_covers_every_table_and_figure(self):
         expected = (
-            {"table1", "availability", "reliability", "integrity", "obs", "overload"}
+            {
+                "table1",
+                "availability",
+                "reliability",
+                "integrity",
+                "obs",
+                "overload",
+                "tenancy",
+            }
             | {f"fig{i:02d}" for i in range(9, 31)}
         )
         assert set(EXPERIMENTS) == expected
