@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""CI geometries smoke: the full layout x code x controller grid, printed
+as deterministic per-cell lines.
+
+Every cell is fully determined by its axes — prefill payload, FIO offsets,
+chaos storm and rebuild sweep all key off fixed seeds and the sim clock —
+so two runs of this script must be byte-identical, and both must match the
+committed golden (``tests/golden/geometries_smoke.golden``).  The script
+additionally asserts the figure's headline claim: for every (code,
+controller) pair the declustered distributed-spare rebuild completes
+strictly faster than the stock rotating layout's replacement sweep.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.experiments.geometries import geometries_rows  # noqa: E402
+
+GOLDEN = (
+    Path(__file__).resolve().parent.parent
+    / "tests"
+    / "golden"
+    / "geometries_smoke.golden"
+)
+
+
+def smoke_report() -> str:
+    rows = geometries_rows(fast=True, jobs=1)
+    lines = []
+    rebuild_ms = {}
+    for row in rows:
+        layout, code = row.x.split("/")
+        rebuild_ms[(layout, code, row.system)] = row.metrics["rebuild_ms"]
+        lines.append(
+            f"{row.x:>15s} {row.system:>8s} "
+            f"rebuild_ms={row.metrics['rebuild_ms']:.3f} "
+            f"degraded_mb_s={row.metrics['degraded_mb_s']:.1f} "
+            f"p99_ms={row.metrics['degraded_p99_ms']:.3f} "
+            f"chaos_ok={row.metrics['chaos_ok']:.0f}"
+        )
+        if row.metrics["chaos_ok"] != 1.0:
+            raise SystemExit(f"chaos verification failed for {row.x} {row.system}")
+    for (layout, code, system), ms in sorted(rebuild_ms.items()):
+        if layout != "declustered":
+            continue
+        rotating = rebuild_ms[("rotating", code, system)]
+        if not ms < rotating:
+            raise SystemExit(
+                f"declustered rebuild not faster: {code}/{system} "
+                f"declustered={ms:.3f}ms rotating={rotating:.3f}ms"
+            )
+    return "\n".join(lines) + "\n"
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--write-golden",
+        action="store_true",
+        help=f"regenerate {GOLDEN} instead of printing to stdout",
+    )
+    args = parser.parse_args()
+    report = smoke_report()
+    if args.write_golden:
+        GOLDEN.parent.mkdir(parents=True, exist_ok=True)
+        GOLDEN.write_text(report)
+        print(f"wrote {GOLDEN}")
+        return 0
+    sys.stdout.write(report)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -100,6 +100,11 @@ class HostCentricRaid:
         self.env: Environment = cluster.env
         self.cluster = cluster
         self.geometry = geometry
+        #: guaranteed simultaneous-failure tolerance used by every fencing
+        #: and tolerance guard.  Defaults to the geometry's parity count
+        #: (MDS codes); non-MDS arrays (LRC) narrow it to their global-
+        #: parity reach.
+        self.fault_tolerance = geometry.num_parity
         self.name = name
         self.locks = StripeLockManager(self.env)
         #: §5.4 host-failure recovery: stripes with in-flight writes
@@ -188,10 +193,10 @@ class HostCentricRaid:
         self.rebuild_watermark.pop(index, None)
         self.rebuilt_stripes.pop(index, None)
         self.cluster.servers[index].drive.fail()
-        if len(self.failed) > self.geometry.num_parity:
+        if len(self.failed) > self.fault_tolerance:
             raise ArrayFailureError(
                 f"{self.name}: {len(self.failed)} failures exceed "
-                f"{self.geometry.level.name} tolerance"
+                f"{self._tolerance_name()} tolerance"
             )
 
     def repair_drive(self, index: int) -> None:
@@ -257,8 +262,34 @@ class HostCentricRaid:
         return True
 
     def failed_in_stripe(self, stripe: int) -> set:
-        """The member drives to treat as failed for ``stripe``."""
-        return {d for d in self.failed if self.drive_failed(d, stripe)}
+        """The member drives to treat as failed for ``stripe``.
+
+        Declustered layouts narrow this to the stripe's member set: a
+        failed drive that holds no chunk of ``stripe`` does not degrade
+        it (the fan-out property rebuild exploits).
+        """
+        failed = {d for d in self.failed if self.drive_failed(d, stripe)}
+        if failed and not getattr(self.geometry, "full_width", True):
+            failed &= set(self.geometry.stripe_drives(stripe))
+        return failed
+
+    def _tolerance_name(self) -> str:
+        """Redundancy-scheme name for error messages (level-safe)."""
+        level = self.geometry.level
+        if level is not None:
+            return level.name
+        return f"{self.fault_tolerance}-failure"
+
+    def _stripe_members(self, stripe: int):
+        """Member drives of ``stripe`` in ascending order.
+
+        Every drive for full-width (rotating) layouts — the historical
+        iteration order — and the stripe's member subset for declustered
+        layouts.
+        """
+        if getattr(self.geometry, "full_width", True):
+            return range(self.geometry.num_drives)
+        return sorted(self.geometry.stripe_drives(stripe))
 
     # -- observability helpers (repro.obs) --------------------------------------
 
@@ -392,7 +423,7 @@ class HostCentricRaid:
         breaker.record(member, ok)
         if ok or member in self.failed:
             return
-        if len(self.failed) >= self.geometry.num_parity:
+        if len(self.failed) >= self.fault_tolerance:
             return
         if not breaker.should_trip(member, self.env.now):
             return
@@ -440,11 +471,11 @@ class HostCentricRaid:
         return gathered
 
     def _check_tolerance(self, stripe: int) -> None:
-        if len(self.failed_in_stripe(stripe)) > self.geometry.num_parity:
+        if len(self.failed_in_stripe(stripe)) > self.fault_tolerance:
             self.fault_stats.io_errors += 1
             raise IoError(
                 f"{self.name}: stripe {stripe} has more failures than "
-                f"{self.geometry.level.name} tolerates"
+                f"{self._tolerance_name()} tolerates"
             )
 
     def _run_attempt(self, body, timeout_ns: int, drain: bool):
@@ -499,7 +530,7 @@ class HostCentricRaid:
             if self.qos is not None and self.qos.breaker is not None:
                 # timeouts count against the member's EWMA error rate too
                 self.qos.breaker.record(i, False)
-            if len(self.failed) >= self.geometry.num_parity:
+            if len(self.failed) >= self.fault_tolerance:
                 # fencing past redundancy converts a stall into data loss;
                 # leave the member in and let the retry budget bound the op
                 break
@@ -579,7 +610,7 @@ class HostCentricRaid:
                     # a segment was reconstructed: its bytes were derived
                     # from every surviving member, so verify the whole
                     # stripe (a corrupt survivor poisons the result)
-                    check = set(range(self.geometry.num_drives))
+                    check = set(self._stripe_members(ext.stripe))
                 else:
                     check = seg_drives
                 bad = []
@@ -618,7 +649,7 @@ class HostCentricRaid:
         for _ in range(3):
             failed = self.failed_in_stripe(ext.stripe)
             bad = []
-            for d in range(self.geometry.num_drives):
+            for d in self._stripe_members(ext.stripe):
                 if d in failed:
                     continue
                 self.integrity_stats.chunks_verified += 1
@@ -680,7 +711,7 @@ class HostCentricRaid:
             failed = self.failed_in_stripe(stripe)
             bad = sorted(
                 d
-                for d in range(g.num_drives)
+                for d in self._stripe_members(stripe)
                 if d not in failed and not store.chunk_ok(drives[d], stripe)
             )
             if not bad:
@@ -693,15 +724,17 @@ class HostCentricRaid:
                     first = store.first_poison_ns(drives[d], stripe)
                     latency = None if first is None else self.env.now - first
                     self.integrity_stats.record_detected(kinds_of[d], latency)
-            if len(set(bad) | failed) > g.num_parity:
+            if len(set(bad) | failed) > self.fault_tolerance:
                 for d in bad:
                     self.integrity_stats.record_unrecoverable(kinds_of[d])
                 return False
             for _ in range(3):
                 erasures = set(bad) | self.failed_in_stripe(stripe)
-                if len(erasures) > g.num_parity:
+                if len(erasures) > self.fault_tolerance:
                     break
-                sources = [d for d in range(g.num_drives) if d not in erasures]
+                sources = [
+                    d for d in self._stripe_members(stripe) if d not in erasures
+                ]
                 reads = [
                     self.env.process(self._member_read(d, stripe * chunk, chunk))
                     for d in sources

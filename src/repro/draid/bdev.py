@@ -58,6 +58,20 @@ def _rs_code_cache_get(k: int, m: int):
     return code
 
 
+_LRC_CODES = {}
+
+
+def _lrc_code_cache_get(k: int, l: int, g: int):
+    """Memoized local-reconstruction codes (same reason as RS)."""
+    code = _LRC_CODES.get((k, l, g))
+    if code is None:
+        from repro.ec.lrc import LocalReconstructionCode
+
+        code = LocalReconstructionCode(k, l, g)
+        _LRC_CODES[(k, l, g)] = code
+    return code
+
+
 @dataclass
 class _ParityReduceState:
     """Algorithm 2 state for one in-flight parity reduction.
@@ -669,9 +683,16 @@ class DraidBdevServer:
         parity_blocks = {i: b for (k, i), b in state.blocks.items() if k == "parity"}
         data_blocks = {i: b for (k, i), b in state.blocks.items() if k == "data"}
         if cmd.code_km is not None:
+            if cmd.code_km[0] == "lrc":
+                # local-reconstruction code: single in-group losses repair
+                # with the group's XOR, anything wider runs the GF decode
+                _, k_data, l_local, g_global = cmd.code_km
+                code = _lrc_code_cache_get(k_data, l_local, g_global)
+                shards = dict(data_blocks)
+                for j, block in parity_blocks.items():
+                    shards[k_data + j] = block
+                return code.decode_one(index, shards, length=cmd.region_length)
             # generic Reed-Solomon decode (§7)
-            from repro.ec.rs import ReedSolomon
-
             k_data, m_parity = cmd.code_km
             code = _rs_code_cache_get(k_data, m_parity)
             shards = dict(data_blocks)

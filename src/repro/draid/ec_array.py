@@ -15,7 +15,7 @@ math is computed or destinations chosen.
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import List, Optional
 
 import numpy as np
 
@@ -23,15 +23,29 @@ from repro.cluster.builder import Cluster
 from repro.draid.host import DraidArray
 from repro.draid.protocol import ParityCmd, PartialWriteCmd, ReconstructionCmd, Subtype
 from repro.ec.gf import GF
-from repro.ec.rs import ReedSolomon
+from repro.ec.lrc import LocalReconstructionCode
+from repro.ec.rs import ReedSolomon, UnrecoverableErasureError
 from repro.nvmeof.messages import NvmeOfCommand, Opcode, next_cid
 from repro.raid.geometry import RaidGeometry, StripeExtent
+from repro.raid.layout import Layout, RotatingLayout
 
 
 class EcGeometry(RaidGeometry):
-    """Striped layout with ``num_parity`` rotating parity chunks."""
+    """Striped layout with ``num_parity`` rotating parity chunks.
 
-    def __init__(self, num_drives: int, chunk_bytes: int, num_parity: int) -> None:
+    ``layout`` plugs in an alternative placement (e.g. a
+    :class:`~repro.raid.layout.DeclusteredLayout`); the default
+    :class:`~repro.raid.layout.RotatingLayout` reproduces the historical
+    m-parity rotation byte-for-byte.
+    """
+
+    def __init__(
+        self,
+        num_drives: int,
+        chunk_bytes: int,
+        num_parity: int,
+        layout: Optional[Layout] = None,
+    ) -> None:
         if num_parity < 1:
             raise ValueError(f"need at least one parity, got {num_parity}")
         if num_drives <= num_parity + 1:
@@ -40,23 +54,27 @@ class EcGeometry(RaidGeometry):
             )
         if chunk_bytes <= 0 or chunk_bytes % 4096:
             raise ValueError(f"chunk size must be a positive multiple of 4096, got {chunk_bytes}")
+        if layout is None:
+            layout = RotatingLayout(num_drives, num_parity)
+        if layout.num_drives != num_drives or layout.num_parity != num_parity:
+            raise ValueError(
+                f"layout {layout.describe()} does not match "
+                f"{num_drives} drives / {num_parity} parity"
+            )
         self.level = None  #: not a standard RAID level
         self.num_drives = num_drives
         self.chunk_bytes = chunk_bytes
         self.num_parity = num_parity
-        self.data_per_stripe = num_drives - num_parity
+        self.layout = layout
+        self.data_per_stripe = layout.data_per_stripe
         self.stripe_data_bytes = self.data_per_stripe * chunk_bytes
+        self.full_width = layout.stripe_width == num_drives
 
     def __repr__(self) -> str:
         return (
             f"<EcGeometry RS({self.data_per_stripe}+{self.num_parity}) "
             f"drives={self.num_drives} chunk={self.chunk_bytes // 1024}KiB>"
         )
-
-    def parity_drives(self, stripe: int) -> Tuple[int, ...]:
-        n = self.num_drives
-        first = (n - 1) - (stripe % n)
-        return tuple((first + j) % n for j in range(self.num_parity))
 
 
 class EcDraidArray(DraidArray):
@@ -68,6 +86,9 @@ class EcDraidArray(DraidArray):
     arithmetic and destination wiring differ.
     """
 
+    #: code family name used in failure messages (subclasses override)
+    code_name = "RS"
+
     def __init__(
         self,
         cluster: Cluster,
@@ -77,20 +98,25 @@ class EcDraidArray(DraidArray):
     ) -> None:
         if not isinstance(geometry, EcGeometry):
             raise TypeError("EcDraidArray requires an EcGeometry")
-        self.code = ReedSolomon(geometry.data_per_stripe, geometry.num_parity)
+        if getattr(self, "code", None) is None:
+            self.code = ReedSolomon(geometry.data_per_stripe, geometry.num_parity)
         super().__init__(cluster, geometry, name=name, **kwargs)
+        # non-MDS codes (LRC) tolerate fewer than num_parity arbitrary losses
+        self.fault_tolerance = getattr(
+            self.code, "fault_tolerance", geometry.num_parity
+        )
 
     # -- failure tolerance -------------------------------------------------
 
     def fail_drive(self, index: int) -> None:
         self.failed.add(index)
         self.cluster.servers[index].drive.fail()
-        if len(self.failed) > self.geometry.num_parity:
+        if len(self.failed) > self.fault_tolerance:
             from repro.baselines.base import ArrayFailureError
 
             raise ArrayFailureError(
-                f"{self.name}: {len(self.failed)} failures exceed RS tolerance "
-                f"of {self.geometry.num_parity}"
+                f"{self.name}: {len(self.failed)} failures exceed "
+                f"{self.code_name} tolerance of {self.fault_tolerance}"
             )
 
     # -- parity computation overrides ------------------------------------------
@@ -214,7 +240,7 @@ class EcDraidArray(DraidArray):
 
     # -- reconstruction overrides -------------------------------------------------
 
-    def _recon_participants(self, ext: StripeExtent):
+    def _recon_participants(self, ext: StripeExtent, lost_index=None):
         g = self.geometry
         failed = self.failed_in_stripe(ext.stripe)
         participants = []
@@ -365,3 +391,91 @@ class EcDraidArray(DraidArray):
         if waiter.errors:
             self._mark_prolonged_failures(waiter)
         return not (waiter.errors or expired)
+
+
+class LrcDraidArray(EcDraidArray):
+    """dRAID over a local-reconstruction code (LRC(k, l, g)).
+
+    The geometry's ``num_parity`` chunks are split into ``local_groups``
+    local XOR parities plus ``num_parity - local_groups`` global RS
+    parities.  Full-stripe writes and partial-parity forwarding reuse the
+    generic §7 machinery unchanged (out-of-group local parities receive
+    zero-coefficient partials, which fold to no-ops); degraded reads
+    narrow the reconstruction broadcast to the lost chunk's *local group*
+    whenever the decode planner picks local repair, so single-failure
+    rebuild reads touch ``k/l + 1`` members instead of ``k``.
+
+    Tolerance is the code's: ``g`` arbitrary failures (non-MDS — fewer
+    than the ``l + g`` parities the stripe carries).
+    """
+
+    code_name = "LRC"
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        geometry: EcGeometry,
+        local_groups: int = 2,
+        name: str = "lrc-draid",
+        **kwargs,
+    ) -> None:
+        if not isinstance(geometry, EcGeometry):
+            raise TypeError("LrcDraidArray requires an EcGeometry")
+        global_parities = geometry.num_parity - local_groups
+        if local_groups < 1 or global_parities < 1:
+            raise ValueError(
+                f"{geometry.num_parity} parities cannot split into "
+                f"{local_groups} local groups + >=1 global parity"
+            )
+        self.code = LocalReconstructionCode(
+            geometry.data_per_stripe, local_groups, global_parities
+        )
+        super().__init__(cluster, geometry, name=name, **kwargs)
+
+    def _recon_cmd(self, *args, **kwargs):
+        # stamp the LRC descriptor so reducers prefer local repair
+        code = self.code
+        kwargs["code_km"] = ("lrc", code.k, code.l, code.g)
+        return ReconstructionCmd(*args, **kwargs)
+
+    def _recon_participants(self, ext: StripeExtent, lost_index=None):
+        g = self.geometry
+        code = self.code
+        failed = self.failed_in_stripe(ext.stripe)
+        erased = [
+            d for d in range(g.data_per_stripe)
+            if g.data_drive(ext.stripe, d) in failed
+        ] + [
+            code.k + j for j, p in enumerate(ext.parity_drives) if p in failed
+        ]
+        if lost_index is None or not erased:
+            return super()._recon_participants(ext, lost_index)
+        try:
+            plan = self.code.plan_decode(erased)
+        except UnrecoverableErasureError:
+            return super()._recon_participants(ext, lost_index)
+        target_step = next(
+            (s for s in plan.steps if s.target == lost_index), None
+        )
+        if target_step is not None and target_step.method == "local":
+            sources = sorted(target_step.sources)
+        else:
+            # global repair: the planner's independent row set decodes
+            # every erased shard, so ship exactly those sources
+            sources = sorted(
+                {s for step in plan.steps if step.method == "global"
+                 for s in step.sources}
+            )
+        if not sources:
+            return super()._recon_participants(ext, lost_index)
+        participants = []
+        for shard in sources:
+            if shard < code.k:
+                participants.append(
+                    (g.data_drive(ext.stripe, shard), ("data", shard))
+                )
+            else:
+                participants.append(
+                    (ext.parity_drives[shard - code.k], ("parity", shard - code.k))
+                )
+        return participants

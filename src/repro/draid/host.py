@@ -157,7 +157,7 @@ class DraidArray(HostCentricRaid):
         """EWMA fail-slow detection (§5.4): a member whose completion
         latency dwarfs its peers' is proactively transitioned to degraded
         so reads reconstruct around it instead of waiting on it."""
-        if member in self.failed or len(self.failed) >= self.geometry.num_parity:
+        if member in self.failed or len(self.failed) >= self.fault_tolerance:
             return
         if self.failslow_detector.suspect(
             member, exclude=self.failed, now_ns=self.env.now
@@ -230,7 +230,7 @@ class DraidArray(HostCentricRaid):
         for member in sorted(waiter.participants - waiter.responded):
             if member in self.failed:
                 continue
-            if len(self.failed) >= self.geometry.num_parity:
+            if len(self.failed) >= self.fault_tolerance:
                 # never fence past redundancy: that converts a stall into
                 # data loss; the retry budget bounds the op instead
                 break
@@ -344,7 +344,7 @@ class DraidArray(HostCentricRaid):
                         and not waiter.errors
                         and attempts >= 2
                         and seg.drive not in self.failed
-                        and len(self.failed) < self.geometry.num_parity
+                        and len(self.failed) < self.fault_tolerance
                     ):
                         # silent across escalating deadlines: prolonged
                         # failure — fence the member so the degraded path
@@ -396,7 +396,7 @@ class DraidArray(HostCentricRaid):
             self.stats.degraded_reads += 1
             self.stats.remote_reconstructions += 1
             lost_index = g.data_index_of_drive(ext.stripe, seg.drive)
-            participants = self._recon_participants(ext)
+            participants = self._recon_participants(ext, lost_index)
             region = (seg.chunk_offset, seg.length)
             reducer_member = self.selector.pick(
                 [d for d, _ in participants], seg.length
@@ -465,7 +465,7 @@ class DraidArray(HostCentricRaid):
                 if self.resilient:
                     self.fault_stats.retries += 1
                 cid2 = next_cid()
-                participants = self._recon_participants(ext)
+                participants = self._recon_participants(ext, lost_index)
                 reducer_member = self.selector.pick(
                     [d for d, _ in participants], seg.length
                 )
@@ -514,8 +514,14 @@ class DraidArray(HostCentricRaid):
                 ext, leftovers, buffer, ctx, deadline_ns=deadline_ns
             )
 
-    def _recon_participants(self, ext: StripeExtent) -> List[Tuple[int, Tuple[str, int]]]:
-        """(server, source-role) pairs contributing to a reconstruction."""
+    def _recon_participants(
+        self, ext: StripeExtent, lost_index: Optional[int] = None
+    ) -> List[Tuple[int, Tuple[str, int]]]:
+        """(server, source-role) pairs contributing to a reconstruction.
+
+        ``lost_index`` (the data index being rebuilt) lets locality-aware
+        codes narrow the read set; the RAID-5/6 path ignores it.
+        """
         g = self.geometry
         participants: List[Tuple[int, Tuple[str, int]]] = []
         failed = self.failed_in_stripe(ext.stripe)

@@ -1,0 +1,182 @@
+"""Stateless-target dRAID: host-owned stripe state, data-plane bdevs.
+
+A design-space controller variant: all stripe metadata and write-hole
+state stays on the *host* and the storage servers degenerate to pure
+data-plane NVMe-oF targets — they only ever see plain READ/WRITE
+commands, never the PartialWrite/Parity/Reconstruction opcodes that
+carry distributed reduce state.  Concretely:
+
+* partial-stripe writes run the host-side full-stripe path (read the
+  gaps, compute parity locally, rewrite the stripe) instead of the §5
+  distributed partial-parity protocol;
+* degraded reads pull the surviving chunks' regions to the host and
+  decode there instead of the §6.1 peer-to-peer reconstruction;
+* full-stripe writes are already host-computed plain writes and are
+  inherited unchanged — on a healthy array a stateless-target
+  controller is operation-for-operation identical to stock dRAID for
+  full-stripe traffic (the cross-variant equivalence test pins this).
+
+The trade is the paper's central one, run in reverse: no target ever
+holds volatile parity state (a crashed server loses nothing but
+in-flight plain I/O), but partial writes pay full-stripe read-modify
+cost and degraded reads pull ``k`` regions through the host NIC.  The
+``geometries`` figure prices that against stock dRAID.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.builder import Cluster
+from repro.draid.ec_array import EcDraidArray, EcGeometry, LrcDraidArray
+from repro.draid.host import DraidArray
+from repro.ec import raid6_reconstruct, xor_blocks
+from repro.nvmeof.messages import IoError, NvmeOfCommand, Opcode, next_cid
+from repro.raid.geometry import RaidGeometry, StripeExtent
+
+
+class StatelessTargetMixin:
+    """Overrides routing every stateful protocol onto host-side paths.
+
+    Mixed in *before* a dRAID controller class so its methods win the
+    MRO; the underlying controller supplies transport, retry and parity
+    math (``_write_host_fallback`` already computes parity with the
+    array's own code, so the RAID-5/6, RS and LRC variants all reuse
+    this one mixin).
+    """
+
+    # -- writes: everything partial or degraded becomes a host-side
+    # full-stripe write (plain NVMe-oF WRITEs, no target reduce state) --
+
+    def _write_distributed(self, ext: StripeExtent, io_data, rcw: bool, ctx=None,
+                           deadline_ns=None):
+        return (yield from self._write_host_fallback(
+            ext, io_data, ctx=ctx, deadline_ns=deadline_ns
+        ))
+
+    def _write_degraded(self, ext: StripeExtent, io_data, failed_touched, ctx=None,
+                        deadline_ns=None):
+        return (yield from self._write_host_fallback(
+            ext, io_data, ctx=ctx, deadline_ns=deadline_ns
+        ))
+
+    # -- degraded reads: host-side gather + decode ------------------------
+
+    def _degraded_read(self, ext: StripeExtent, healthy, lost, buffer, ctx=None,
+                       deadline_ns=None):
+        if healthy:
+            yield from self._plain_reads(
+                ext, healthy, buffer, ctx, deadline_ns=deadline_ns
+            )
+        g = self.geometry
+        for seg in lost:
+            self.stats.degraded_reads += 1
+            lost_index = g.data_index_of_drive(ext.stripe, seg.drive)
+            region_offset, region_len = seg.chunk_offset, seg.length
+            block = None
+            for attempt in range(self.max_retries + 1):
+                sources = self._recon_participants(ext, lost_index)
+                blocks, errors = yield from self._gather_regions(
+                    ext, sources, region_offset, region_len, attempt,
+                    ctx, deadline_ns,
+                )
+                if not errors:
+                    yield from self._span_wait(
+                        self._charge_xor(max(1, len(blocks) - 1), region_len),
+                        ctx, "xor",
+                    )
+                    if self.functional:
+                        block = self._host_decode(lost_index, blocks, region_len)
+                    break
+                self._charge_retry("read", ext.stripe)
+                if self.resilient:
+                    self.fault_stats.retries += 1
+            else:
+                if self.resilient:
+                    self.fault_stats.io_errors += 1
+                raise IoError(
+                    f"{self.name}: degraded read failed on stripe {ext.stripe}"
+                )
+            if buffer is not None and block is not None:
+                buffer[seg.io_offset : seg.io_offset + region_len] = block
+
+    def _gather_regions(self, ext: StripeExtent, sources, region_offset,
+                        region_len, attempt, ctx, deadline_ns):
+        """Concurrently read one chunk region per source member.
+
+        Returns ``({(role, index): block}, had_errors)``; every command
+        is a plain NVMe-oF READ — the whole point of this variant.
+        """
+        chunk = self.geometry.chunk_bytes
+        base = ext.stripe * chunk + region_offset
+        submitted = []
+        for drive, source in sources:
+            cid = next_cid()
+            waiter = self._register(cid, {"read": 1}, participants={drive})
+            cmd = NvmeOfCommand(cid, Opcode.READ, base, region_len,
+                                deadline_ns=deadline_ns)
+            ectx = self._derive(ctx)
+            if ectx is not None:
+                cmd.trace = ectx
+            self.host_ends[drive].send(cmd)
+            submitted.append((cid, source, waiter, ectx, self.env.now))
+        blocks = {}
+        errors = False
+        for cid, source, waiter, ectx, sent_ns in submitted:
+            expired = yield from self._await_op(
+                cid, waiter, attempt=attempt, drain=False, deadline_ns=deadline_ns
+            )
+            self._record_envelope(ectx, "draid.read", sent_ns)
+            if waiter.errors or expired:
+                self._mark_prolonged_failures(waiter)
+                errors = True
+                continue
+            comp = next(c for c in waiter.completions if c.kind == "read")
+            blocks[source] = comp.data
+        return blocks, errors
+
+    def _host_decode(self, lost_index: int, blocks, region_len: int):
+        """Decode one lost data region from labeled survivor regions."""
+        data_blocks = {i: b for (k, i), b in blocks.items() if k == "data"}
+        parity_blocks = {i: b for (k, i), b in blocks.items() if k == "parity"}
+        code = getattr(self, "code", None)
+        if code is not None:
+            shards = dict(data_blocks)
+            for j, b in parity_blocks.items():
+                shards[code.k + j] = b
+            if hasattr(code, "decode_one"):
+                return code.decode_one(lost_index, shards, length=region_len)
+            return code.decode(shards, length=region_len)[lost_index]
+        if set(parity_blocks) == {0} and len(data_blocks) == self.geometry.data_per_stripe - 1:
+            return xor_blocks(list(data_blocks.values()) + [parity_blocks[0]])
+        recovered = raid6_reconstruct(
+            dict(data_blocks),
+            self.geometry.data_per_stripe,
+            parity_blocks.get(0),
+            parity_blocks.get(1),
+        )
+        return recovered[lost_index]
+
+
+class StatelessTargetDraid(StatelessTargetMixin, DraidArray):
+    """Stateless-target controller over the RAID-5/6 dRAID geometry."""
+
+    def __init__(self, cluster: Cluster, geometry: RaidGeometry,
+                 name: str = "draid-st", **kwargs) -> None:
+        super().__init__(cluster, geometry, name=name, **kwargs)
+
+
+class StatelessTargetEcDraid(StatelessTargetMixin, EcDraidArray):
+    """Stateless-target controller over RS(k+m)."""
+
+    def __init__(self, cluster: Cluster, geometry: EcGeometry,
+                 name: str = "ec-draid-st", **kwargs) -> None:
+        super().__init__(cluster, geometry, name=name, **kwargs)
+
+
+class StatelessTargetLrcDraid(StatelessTargetMixin, LrcDraidArray):
+    """Stateless-target controller over LRC(k, l, g)."""
+
+    def __init__(self, cluster: Cluster, geometry: EcGeometry,
+                 local_groups: int = 2, name: str = "lrc-draid-st",
+                 **kwargs) -> None:
+        super().__init__(cluster, geometry, local_groups=local_groups,
+                         name=name, **kwargs)

@@ -9,6 +9,7 @@ generalizes to other erasure-coding schemes.
 """
 
 from repro.ec.gf import GF256
+from repro.ec.lrc import DecodePlan, DecodeStep, LocalReconstructionCode
 from repro.ec.parity import (
     raid5_parity,
     raid5_reconstruct,
@@ -16,11 +17,15 @@ from repro.ec.parity import (
     raid6_reconstruct,
     xor_blocks,
 )
-from repro.ec.rs import ReedSolomon
+from repro.ec.rs import ReedSolomon, UnrecoverableErasureError
 
 __all__ = [
     "GF256",
+    "DecodePlan",
+    "DecodeStep",
+    "LocalReconstructionCode",
     "ReedSolomon",
+    "UnrecoverableErasureError",
     "raid5_parity",
     "raid5_reconstruct",
     "raid6_pq",

@@ -1,0 +1,279 @@
+"""Local-reconstruction codes (LRC) over GF(2^8).
+
+An Azure-style LRC splits the ``k`` data shards into ``l`` local groups,
+each protected by one XOR *local parity*, and adds ``g`` Reed-Solomon
+*global parities* over all ``k`` shards.  A single erasure inside a
+group is repaired from the group's surviving members plus its local
+parity — ``k/l`` reads instead of ``k`` — while any ``g`` arbitrary
+erasures remain decodable from the global parities (surviving identity
+rows plus rows of the MDS :class:`~repro.ec.rs.ReedSolomon` matrix are
+always independent).  The decode planner makes the local-first choice
+explicit so callers (and the property suite) can introspect it.
+
+Like :mod:`repro.ec.rs`, the code is linear: every parity is a
+coefficient-weighted sum of the data shards, so the dRAID partial-parity
+reduce phase applies unchanged (out-of-group contributors simply carry
+coefficient zero for a local parity).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.ec.gf import GF
+from repro.ec.rs import ReedSolomon, UnrecoverableErasureError
+
+
+@dataclass(frozen=True)
+class DecodeStep:
+    """One repair action of a decode plan.
+
+    ``target`` is the global shard index being regenerated (data shards
+    ``0..k-1``, local parities ``k..k+l-1``, global parities
+    ``k+l..k+l+g-1``); ``method`` is ``"local"`` (XOR of the group's
+    survivors) or ``"global"`` (full Gaussian decode); ``sources`` lists
+    the global shard indices read to perform it.
+    """
+
+    target: int
+    method: str
+    sources: Tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class DecodePlan:
+    """Ordered repair actions chosen for one erasure pattern."""
+
+    steps: Tuple[DecodeStep, ...]
+
+    @property
+    def local_only(self) -> bool:
+        """True when every erased shard is repaired by local XOR."""
+        return all(step.method == "local" for step in self.steps)
+
+    @property
+    def read_count(self) -> int:
+        """Distinct surviving shards the plan touches."""
+        return len({s for step in self.steps for s in step.sources})
+
+
+class LocalReconstructionCode:
+    """A systematic (k + l + g, k) local-reconstruction code.
+
+    ``k`` data shards in ``l`` local groups (sizes differing by at most
+    one), one XOR parity per group, plus ``g`` global Reed-Solomon
+    parities.  Any ``g`` arbitrary erasures are guaranteed decodable;
+    single in-group erasures repair locally from ``ceil(k/l)`` shards.
+    The API mirrors :class:`~repro.ec.rs.ReedSolomon` (``encode`` /
+    ``partial_parity`` / ``decode`` plus ``parity_matrix``) so the dRAID
+    write paths work unchanged.
+    """
+
+    def __init__(self, k: int, l: int, g: int) -> None:
+        if k < 2 or l < 1 or g < 1:
+            raise ValueError(f"invalid LRC parameters k={k}, l={l}, g={g}")
+        if l > k:
+            raise ValueError(f"more local groups ({l}) than data shards ({k})")
+        if k + l + g > 255:
+            raise ValueError(f"k+l+g={k + l + g} exceeds GF(2^8) limit of 255 shards")
+        self.k = k
+        self.l = l
+        self.g = g
+        self.m = l + g  #: total parity shards, ReedSolomon-compatible
+        #: guaranteed arbitrary-erasure tolerance (conservative: the
+        #: global-parity reach; some wider in-group patterns also decode)
+        self.fault_tolerance = g
+        base = k // l
+        extra = k % l
+        sizes = [base + (1 if j < extra else 0) for j in range(l)]
+        groups: List[Tuple[int, ...]] = []
+        start = 0
+        for size in sizes:
+            groups.append(tuple(range(start, start + size)))
+            start += size
+        self.groups: Tuple[Tuple[int, ...], ...] = tuple(groups)
+        self._rs = ReedSolomon(k, g)
+        parity = np.zeros((self.m, k), dtype=np.uint8)
+        for j, group in enumerate(self.groups):
+            for i in group:
+                parity[j, i] = 1
+        parity[l:, :] = self._rs.parity_matrix
+        #: (l + g) x k parity-generation coefficients: local rows first
+        self.parity_matrix = parity
+        self.encode_matrix = np.vstack([np.eye(k, dtype=np.uint8), parity])
+
+    def __repr__(self) -> str:
+        return f"<LRC k={self.k} l={self.l} g={self.g}>"
+
+    def group_of(self, data_index: int) -> int:
+        """Local-group number of data shard ``data_index``."""
+        if not 0 <= data_index < self.k:
+            raise ValueError(f"data index {data_index} out of range")
+        for j, group in enumerate(self.groups):
+            if data_index in group:
+                return j
+        raise AssertionError("unreachable")
+
+    # -- encoding -----------------------------------------------------------
+
+    def encode(self, data_shards: Sequence) -> List[np.ndarray]:
+        """Compute the l local + g global parity shards, in that order."""
+        shards = [
+            np.asarray(
+                np.frombuffer(s, dtype=np.uint8)
+                if isinstance(s, (bytes, bytearray))
+                else s,
+                dtype=np.uint8,
+            )
+            for s in data_shards
+        ]
+        if len(shards) != self.k:
+            raise ValueError(f"expected {self.k} data shards, got {len(shards)}")
+        length = len(shards[0])
+        for s in shards:
+            if len(s) != length:
+                raise ValueError("data shards must have equal length")
+        parities = []
+        for row in range(self.m):
+            acc = np.zeros(length, dtype=np.uint8)
+            for col in range(self.k):
+                GF.mul_bytes_inplace_xor(
+                    acc, int(self.parity_matrix[row, col]), shards[col]
+                )
+            parities.append(acc)
+        return parities
+
+    def partial_parity(self, shard_index: int, block) -> List[np.ndarray]:
+        """Per-device partial contribution of one data shard to every parity.
+
+        Out-of-group local parities receive an all-zero partial (their
+        coefficient is zero), keeping the dRAID reduce phase
+        order-independent and code-agnostic.
+        """
+        if not 0 <= shard_index < self.k:
+            raise ValueError(f"shard index {shard_index} out of range")
+        arr = np.asarray(
+            np.frombuffer(block, dtype=np.uint8)
+            if isinstance(block, (bytes, bytearray))
+            else block,
+            dtype=np.uint8,
+        )
+        return [
+            GF.mul_bytes(int(self.parity_matrix[row, shard_index]), arr)
+            for row in range(self.m)
+        ]
+
+    # -- decode planning ----------------------------------------------------
+
+    def plan_decode(self, erased: Sequence[int]) -> DecodePlan:
+        """Choose a repair strategy for the erased global shard indices.
+
+        Every erased shard that is the *only* erasure within its local
+        group (group members plus the group's local parity) gets a
+        ``"local"`` XOR step; everything else falls back to one
+        ``"global"`` Gaussian step over the surviving shards.  Raises
+        :class:`~repro.ec.rs.UnrecoverableErasureError` when the
+        surviving equations cannot determine the data (same typed error
+        as Reed-Solomon's beyond-reach path).
+        """
+        erased_set = set(erased)
+        for e in erased_set:
+            if not 0 <= e < self.k + self.m:
+                raise ValueError(f"shard index {e} out of range")
+        available = [i for i in range(self.k + self.m) if i not in erased_set]
+        steps: List[DecodeStep] = []
+        globals_needed: List[int] = []
+        for e in sorted(erased_set):
+            scope = self._group_scope(e)
+            if scope is not None and not (erased_set & scope - {e}):
+                steps.append(
+                    DecodeStep(
+                        target=e, method="local", sources=tuple(sorted(scope - {e}))
+                    )
+                )
+            else:
+                globals_needed.append(e)
+        if globals_needed:
+            chosen = self._independent_rows(available)  # raises beyond reach
+            steps.extend(
+                DecodeStep(target=e, method="global", sources=tuple(chosen))
+                for e in globals_needed
+            )
+        return DecodePlan(steps=tuple(sorted(steps, key=lambda s: s.target)))
+
+    def _group_scope(self, shard: int) -> "set | None":
+        """The local repair scope of ``shard``: its group's data shards
+        plus the group's local parity (None for global parities)."""
+        if shard < self.k:
+            j = self.group_of(shard)
+        elif shard < self.k + self.l:
+            j = shard - self.k
+        else:
+            return None
+        return set(self.groups[j]) | {self.k + j}
+
+    def _independent_rows(self, available: Sequence[int]) -> List[int]:
+        """Pick k available shard indices whose encode rows are linearly
+        independent; raises :class:`UnrecoverableErasureError` when the
+        available rows do not span the data space."""
+        basis: List[Tuple[int, np.ndarray]] = []  # (pivot column, reduced row)
+        chosen: List[int] = []
+        for i in available:
+            row = self.encode_matrix[i].copy()
+            for pivot, brow in basis:
+                coeff = int(row[pivot])
+                if coeff:
+                    row ^= GF.mul_bytes(coeff, brow)
+            nonzero = np.nonzero(row)[0]
+            if len(nonzero) == 0:
+                continue
+            pivot = int(nonzero[0])
+            row = GF.mul_bytes(GF.inv(int(row[pivot])), row)
+            basis.append((pivot, row))
+            chosen.append(i)
+            if len(chosen) == self.k:
+                return chosen
+        raise UnrecoverableErasureError(
+            f"erasure pattern beyond reach: {len(available)} surviving shards "
+            f"span rank {len(chosen)} < {self.k}"
+        )
+
+    # -- decoding -----------------------------------------------------------
+
+    def decode(self, shards: Dict[int, np.ndarray], length: int) -> List[np.ndarray]:
+        """Recover the k data shards from any decodable surviving subset.
+
+        ``shards`` maps global shard index (local parities at ``k``,
+        global parities at ``k+l``) to the surviving block.  Raises
+        :class:`~repro.ec.rs.UnrecoverableErasureError` when the pattern
+        is beyond reach.
+        """
+        if len(shards) < self.k:
+            raise UnrecoverableErasureError(
+                f"need at least {self.k} shards, got {len(shards)}"
+            )
+        chosen = self._independent_rows(sorted(shards))
+        sub = self.encode_matrix[chosen, :]
+        inv = GF.mat_inv(sub)
+        stacked = np.stack([np.asarray(shards[i], dtype=np.uint8) for i in chosen])
+        recovered = GF.mat_mul(inv, stacked)
+        return [recovered[i, :length].copy() for i in range(self.k)]
+
+    def decode_one(self, data_index: int, shards: Dict[int, np.ndarray], length: int) -> np.ndarray:
+        """Recover a single lost data shard, preferring local XOR repair.
+
+        When the shard's whole group scope survives in ``shards``, the
+        repair is the XOR of ``len(group)`` blocks; otherwise a full
+        :meth:`decode` runs and the shard is extracted.
+        """
+        scope = self._group_scope(data_index)
+        sources = sorted(scope - {data_index})
+        if all(s in shards for s in sources):
+            acc = np.zeros(length, dtype=np.uint8)
+            for s in sources:
+                acc ^= np.asarray(shards[s], dtype=np.uint8)[:length]
+            return acc
+        return self.decode(shards, length)[data_index]

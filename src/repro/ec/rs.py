@@ -17,6 +17,17 @@ import numpy as np
 from repro.ec.gf import GF
 
 
+class UnrecoverableErasureError(ValueError):
+    """Raised when an erasure pattern exceeds what the code can decode.
+
+    A :class:`ValueError` subclass so pre-existing handlers of the
+    historical ``need at least k shards`` error keep working; shared by
+    :class:`ReedSolomon` and
+    :class:`~repro.ec.lrc.LocalReconstructionCode` so callers can treat
+    beyond-reach patterns uniformly across codes.
+    """
+
+
 class ReedSolomon:
     """A systematic (k+m, k) Reed-Solomon erasure code.
 
@@ -88,7 +99,9 @@ class ReedSolomon:
         to the surviving block.  Returns the k data shards in order.
         """
         if len(shards) < self.k:
-            raise ValueError(f"need at least {self.k} shards, got {len(shards)}")
+            raise UnrecoverableErasureError(
+                f"need at least {self.k} shards, got {len(shards)}"
+            )
         indices = sorted(shards)[: self.k]
         sub = self.encode_matrix[indices, :]
         inv = GF.mat_inv(sub)

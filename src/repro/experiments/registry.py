@@ -250,6 +250,17 @@ def run_tenancy(fast: bool = True):
     )
 
 
+def run_geometries(fast: bool = True):
+    from repro.experiments.geometries import geometries_rows
+
+    rows = geometries_rows(fast=fast)
+    return (
+        "Geometries: design-space grid of stripe layout x erasure code x "
+        "controller — rebuild time, degraded throughput/p99, chaos verify",
+        rows,
+    )
+
+
 def run_obs(fast: bool = True):
     from repro.experiments.obs_figures import obs_rows
 
@@ -291,6 +302,7 @@ EXPERIMENTS: Dict[str, Callable[[bool], Tuple[str, List[Row]]]] = {
     "obs": run_obs,
     "overload": run_overload,
     "tenancy": run_tenancy,
+    "geometries": run_geometries,
 }
 
 

@@ -40,8 +40,38 @@ MS = 1_000_000
 CHAOS_TIMEOUT_NS = 2 * MS
 
 
-def _make_controller(system: str, cluster, geometry):
-    """Lazy controller factory (keeps repro.faults free of heavy imports)."""
+def _make_controller(system: str, cluster, geometry, code: Optional[str] = None,
+                     local_groups: int = 1):
+    """Lazy controller factory (keeps repro.faults free of heavy imports).
+
+    ``code`` selects the erasure-code axis: ``None`` is the historic
+    RAID-5/6 path, ``"rs"``/``"lrc"`` run the §7 generalized arrays over
+    an :class:`~repro.draid.ec_array.EcGeometry` (dRAID controllers
+    only).  ``system`` additionally accepts ``"draid-st"``, the
+    stateless-target controller variant.
+    """
+    if code is not None:
+        if code == "rs":
+            if system == "draid":
+                from repro.draid.ec_array import EcDraidArray
+
+                return EcDraidArray(cluster, geometry)
+            if system == "draid-st":
+                from repro.draid.stateless import StatelessTargetEcDraid
+
+                return StatelessTargetEcDraid(cluster, geometry)
+        elif code == "lrc":
+            if system == "draid":
+                from repro.draid.ec_array import LrcDraidArray
+
+                return LrcDraidArray(cluster, geometry, local_groups=local_groups)
+            if system == "draid-st":
+                from repro.draid.stateless import StatelessTargetLrcDraid
+
+                return StatelessTargetLrcDraid(
+                    cluster, geometry, local_groups=local_groups
+                )
+        raise ValueError(f"code {code!r} does not run on system {system!r}")
     if system == "md":
         from repro.baselines.mdraid import MdRaid
 
@@ -54,6 +84,10 @@ def _make_controller(system: str, cluster, geometry):
         from repro.draid.host import DraidArray
 
         return DraidArray(cluster, geometry)
+    if system == "draid-st":
+        from repro.draid.stateless import StatelessTargetDraid
+
+        return StatelessTargetDraid(cluster, geometry)
     raise ValueError(f"unknown chaos system {system!r}")
 
 
@@ -131,6 +165,11 @@ def run_chaos_schedule(
     raid6: bool = False,
     correlated_events: int = 0,
     gray_events: int = 0,
+    layout: Optional[str] = None,
+    layout_seed: int = 0,
+    code: Optional[str] = None,
+    ec_parity: int = 2,
+    local_groups: int = 1,
 ) -> ChaosOutcome:
     """Run one seeded fault storm against ``system`` and verify recovery.
 
@@ -151,7 +190,17 @@ def run_chaos_schedule(
     the injector resolves domains exactly as the plan budgeted them.
     ``raid6=True`` runs the schedule on a RAID-6 geometry (required for
     multi-member correlated storms — RAID-5 has no budget for them).
-    All defaults keep existing ``(system, seed)`` outcomes byte-identical.
+
+    The design-space axes: ``layout`` picks a registered stripe layout
+    (``None``/``"rotating"`` is the stock rotation, ``"declustered"``
+    the seeded distributed-spare organization keyed by ``layout_seed``),
+    ``code`` swaps the RAID-5/6 parity math for a generalized erasure
+    code (``"rs"``/``"lrc"`` with ``ec_parity`` parities, LRC splitting
+    them into ``local_groups`` local + rest global), and ``system``
+    additionally accepts ``"draid-st"``, the stateless-target controller.
+    The fault budget follows the *code's* tolerance (``g`` for LRC, not
+    the parity count).  All defaults keep existing ``(system, seed)``
+    outcomes byte-identical.
     """
     import random
 
@@ -178,13 +227,30 @@ def run_chaos_schedule(
         config.domains = default_topology(drives)
     cluster = build_cluster(env, config)
     level = RaidLevel.RAID6 if raid6 else RaidLevel.RAID5
-    geometry = RaidGeometry(level, drives, chunk)
+    if code is not None and raid6:
+        raise ValueError("raid6 and an explicit erasure code are exclusive")
+    parity_count = ec_parity if code is not None else level.num_parity
+    layout_obj = None
+    if layout is not None and layout != "rotating":
+        from repro.raid.layout import make_layout
+
+        layout_obj = make_layout(layout, drives, parity_count, seed=layout_seed)
+    if code is not None:
+        from repro.draid.ec_array import EcGeometry
+
+        geometry = EcGeometry(drives, chunk, parity_count, layout=layout_obj)
+    else:
+        geometry = RaidGeometry(level, drives, chunk, layout=layout_obj)
+    # the hard-fault budget follows the code's tolerance, not parity count
+    tolerance = (
+        parity_count - local_groups if code == "lrc" else geometry.num_parity
+    )
     if plan is None:
         plan = chaos_plan(
             seed,
             horizon_ns,
             drives,
-            geometry.num_parity,
+            tolerance,
             corruption_events=corruption_events,
             chunk_bytes=chunk,
             num_stripes=stripes,
@@ -199,7 +265,9 @@ def run_chaos_schedule(
     )
     if n_corrupt or scrub_pace_ns is not None:
         IntegrityStore(chunk, eager=integrity_eager).attach(cluster)
-    array = _make_controller(system, cluster, geometry)
+    array = _make_controller(
+        system, cluster, geometry, code=code, local_groups=local_groups
+    )
     injector = FaultInjector(array, plan, num_stripes=stripes)
     daemon = (
         ScrubDaemon(array, stripes, pace_ns=scrub_pace_ns, repeat=True)
@@ -277,7 +345,7 @@ def run_chaos_schedule(
     #    scrub-repair passes below re-verify everything.
     still_failed = [m for m in fail_order if m in array.failed]
     while still_failed and (
-        array.integrity is not None or len(still_failed) > geometry.num_parity
+        array.integrity is not None or len(still_failed) > tolerance
     ):
         member = still_failed.pop()
         cluster.servers[member].drive.heal()
@@ -337,7 +405,9 @@ def run_chaos_schedule(
         final = env.run(until=array.read(0, capacity))
         cluster.integrity = saved
         verified = False
-    report = scrub_array(cluster.drives(), geometry, stripes)
+    report = scrub_array(
+        cluster.drives(), geometry, stripes, code=getattr(array, "code", None)
+    )
     istats = array.integrity_stats
     store = array.integrity
     residual_bad = (

@@ -16,7 +16,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from enum import Enum
-from typing import List, Tuple
+from typing import List, Optional, Tuple
+
+from repro.raid.layout import Layout, RotatingLayout
 
 
 class RaidLevel(Enum):
@@ -79,21 +81,41 @@ class RaidGeometry:
 
     ``num_drives`` counts every member (data + parity); ``chunk_bytes`` is
     the striping unit (the paper's default is 512 KiB, the Linux MD
-    default).
+    default).  ``layout`` selects the placement policy; the default
+    :class:`~repro.raid.layout.RotatingLayout` reproduces the historical
+    left-symmetric rotation byte-identically, while a
+    :class:`~repro.raid.layout.DeclusteredLayout` narrows each stripe to
+    a ``stripe_width``-drive member set with distributed spares.
     """
 
-    def __init__(self, level: RaidLevel, num_drives: int, chunk_bytes: int) -> None:
+    def __init__(
+        self,
+        level: RaidLevel,
+        num_drives: int,
+        chunk_bytes: int,
+        layout: Optional[Layout] = None,
+    ) -> None:
         min_drives = 3 if level is RaidLevel.RAID5 else 4
         if num_drives < min_drives:
             raise ValueError(f"{level.name} needs >= {min_drives} drives, got {num_drives}")
         if chunk_bytes <= 0 or chunk_bytes % 4096:
             raise ValueError(f"chunk size must be a positive multiple of 4096, got {chunk_bytes}")
+        if layout is None:
+            layout = RotatingLayout(num_drives, level.num_parity)
+        elif layout.num_drives != num_drives or layout.num_parity != level.num_parity:
+            raise ValueError(
+                f"layout {layout.describe()} does not match "
+                f"{level.name} over {num_drives} drives"
+            )
         self.level = level
+        self.layout = layout
         self.num_drives = num_drives
         self.chunk_bytes = chunk_bytes
         self.num_parity = level.num_parity
-        self.data_per_stripe = num_drives - self.num_parity
+        self.data_per_stripe = layout.data_per_stripe
         self.stripe_data_bytes = self.data_per_stripe * chunk_bytes
+        #: True when every drive is a member of every stripe (rotating)
+        self.full_width = layout.stripe_width == num_drives
 
     def __repr__(self) -> str:
         return (
@@ -105,26 +127,25 @@ class RaidGeometry:
 
     def parity_drives(self, stripe: int) -> Tuple[int, ...]:
         """Physical drives holding P (and Q) for ``stripe``."""
-        n = self.num_drives
-        p = (n - 1) - (stripe % n)
-        if self.level is RaidLevel.RAID5:
-            return (p,)
-        return (p, (p + 1) % n)
+        return self.layout.parity_drives(stripe)
 
     def data_drive(self, stripe: int, data_index: int) -> int:
         """Physical drive of logical data chunk ``data_index`` in ``stripe``."""
         if not 0 <= data_index < self.data_per_stripe:
             raise ValueError(f"data index {data_index} out of range")
-        parity = self.parity_drives(stripe)
-        anchor = parity[-1]  # data follows the last parity drive cyclically
-        return (anchor + 1 + data_index) % self.num_drives
+        return self.layout.data_drive(stripe, data_index)
 
     def data_index_of_drive(self, stripe: int, drive: int) -> int:
         """Inverse of :meth:`data_drive`; raises if ``drive`` holds parity."""
-        if drive in self.parity_drives(stripe):
-            raise ValueError(f"drive {drive} holds parity for stripe {stripe}")
-        anchor = self.parity_drives(stripe)[-1]
-        return (drive - anchor - 1) % self.num_drives
+        return self.layout.data_index_of_drive(stripe, drive)
+
+    def stripe_drives(self, stripe: int) -> Tuple[int, ...]:
+        """All member drives of ``stripe`` (parity first, then data)."""
+        return self.layout.stripe_drives(stripe)
+
+    def spare_drives(self, stripe: int) -> Tuple[int, ...]:
+        """Distributed-spare drives of ``stripe`` (empty when rotating)."""
+        return self.layout.spare_drives(stripe)
 
     def chunk_offset_on_drive(self, stripe: int) -> int:
         """Every member stores one chunk per stripe at the same drive offset."""

@@ -38,8 +38,18 @@ class ScrubReport:
         return not self.bad_stripes
 
 
-def scrub_stripe(drives: Sequence[NvmeDrive], geometry: RaidGeometry, stripe: int) -> bool:
-    """True iff ``stripe``'s parity is consistent with its data."""
+def scrub_stripe(
+    drives: Sequence[NvmeDrive],
+    geometry: RaidGeometry,
+    stripe: int,
+    code=None,
+) -> bool:
+    """True iff ``stripe``'s parity is consistent with its data.
+
+    ``code`` supplies the erasure code (``encode(data) -> parities``) for
+    generic geometries (``level is None``); RAID-5/6 stripes verify with
+    the dedicated XOR/P+Q math as before.
+    """
     chunk = geometry.chunk_bytes
     offset = stripe * chunk
     data = [
@@ -47,6 +57,14 @@ def scrub_stripe(drives: Sequence[NvmeDrive], geometry: RaidGeometry, stripe: in
         for d in range(geometry.data_per_stripe)
     ]
     parity_drives = geometry.parity_drives(stripe)
+    if geometry.level is None:
+        if code is None:
+            raise ValueError("generic geometry needs an erasure code to scrub")
+        expected = code.encode(data)
+        return all(
+            bool(np.array_equal(exp, drives[p].peek(offset, chunk)))
+            for exp, p in zip(expected, parity_drives)
+        )
     if geometry.level is RaidLevel.RAID5:
         expected = xor_blocks(data)
         actual = drives[parity_drives[0]].peek(offset, chunk)
@@ -63,6 +81,7 @@ def scrub_array(
     num_stripes: int,
     batch_stripes: int = 64,
     progress: Optional[Callable[[int, int], None]] = None,
+    code=None,
 ) -> ScrubReport:
     """Scrub ``num_stripes`` stripes; returns a :class:`ScrubReport`.
 
@@ -80,10 +99,23 @@ def scrub_array(
       the whole batch).
     """
     g = geometry
-    if g.level not in (RaidLevel.RAID5, RaidLevel.RAID6):
+    if g.level not in (RaidLevel.RAID5, RaidLevel.RAID6) and code is None:
         raise ValueError(f"scrub_array supports RAID5/RAID6, not {g.level!r}")
     if batch_stripes <= 0:
         raise ValueError(f"batch_stripes must be positive, got {batch_stripes}")
+    if g.level is None or not getattr(g, "full_width", True):
+        # generic code or declustered members: the whole-row XOR trick
+        # below assumes every drive holds a chunk of every stripe, so
+        # fall back to per-stripe verification
+        bad_list: List[int] = []
+        done = 0
+        for stripe in range(num_stripes):
+            if not scrub_stripe(drives, g, stripe, code=code):
+                bad_list.append(stripe)
+            done += 1
+            if progress is not None and (done % batch_stripes == 0 or done == num_stripes):
+                progress(done, num_stripes)
+        return ScrubReport(stripes_checked=done, bad_stripes=bad_list)
     chunk = g.chunk_bytes
     n = g.num_drives
     bad: List[int] = []

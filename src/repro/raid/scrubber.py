@@ -126,7 +126,7 @@ class ScrubDaemon:
             yield array.locks.acquire(stripe)
             try:
                 failed = array.failed_in_stripe(stripe)
-                members = [d for d in range(g.num_drives) if d not in failed]
+                members = [d for d in array._stripe_members(stripe) if d not in failed]
                 reads = [
                     self.env.process(array._member_read(d, stripe * chunk, chunk))
                     for d in members

@@ -75,7 +75,15 @@ class FuzzOp:
 @dataclass(frozen=True)
 class FuzzSchedule:
     """A complete, self-contained fuzz input: replaying it needs nothing
-    but this object (see :func:`replay_schedule`)."""
+    but this object (see :func:`replay_schedule`).
+
+    The design-space axes (``layout``, ``code`` and friends) default to
+    the historic configuration — rotating RAID-5 — so every schedule
+    generated or pinned before the axes existed replays byte-identically.
+    ``system`` additionally accepts ``"draid-st"`` (stateless-target
+    controller); ``code`` is ``""`` for RAID-5, or ``"rs"``/``"lrc"``
+    for the generalized dRAID arrays.
+    """
 
     system: str
     seed: int
@@ -83,11 +91,19 @@ class FuzzSchedule:
     stripes: int = 8
     chunk: int = 4 * KB
     ops: Tuple[FuzzOp, ...] = ()
+    layout: str = "rotating"
+    layout_seed: int = 0
+    code: str = ""
+    ec_parity: int = 2
+    local_groups: int = 1
 
     def describe(self) -> str:
+        axes = ""
+        if self.layout != "rotating" or self.code:
+            axes = f" layout={self.layout} code={self.code or 'raid5'}"
         return (
             f"{self.system} seed={self.seed} "
-            f"{self.drives}x{self.stripes}x{self.chunk} ops={len(self.ops)}"
+            f"{self.drives}x{self.stripes}x{self.chunk} ops={len(self.ops)}{axes}"
         )
 
 
@@ -136,13 +152,38 @@ def make_schedule(
     chunk: int = 4 * KB,
     num_ops: int = 10,
     corruption: bool = True,
+    axes: bool = False,
 ) -> FuzzSchedule:
-    """Generate one seeded schedule.  Deterministic in its arguments."""
-    rng = random.Random(f"repro.fuzz:{system}:{seed}")
-    from repro.raid.geometry import RaidGeometry, RaidLevel
+    """Generate one seeded schedule.  Deterministic in its arguments.
 
-    geometry = RaidGeometry(RaidLevel.RAID5, drives, chunk)
-    stripe_bytes = geometry.stripe_data_bytes
+    ``axes=True`` additionally draws the design-space axes (layout, and —
+    on dRAID controllers — erasure code) from a *child* RNG
+    (``repro.fuzz.axes:<system>:<seed>``), so axis sampling never
+    perturbs the op stream of the default configuration and every
+    pre-axes ``(system, seed)`` schedule stays byte-identical.
+    """
+    rng = random.Random(f"repro.fuzz:{system}:{seed}")
+    layout, layout_seed, code, ec_parity, local_groups = "rotating", 0, "", 2, 1
+    if axes:
+        axes_rng = random.Random(f"repro.fuzz.axes:{system}:{seed}")
+        layout = axes_rng.choice(("rotating", "declustered"))
+        layout_seed = axes_rng.randrange(1 << 16)
+        if system in ("draid", "draid-st"):
+            code = axes_rng.choice(("", "rs", "lrc"))
+        if code:
+            # EC variants need k >= 2 even on the narrower declustered width
+            drives = max(drives, 6)
+    if code:
+        width = drives - 1 if layout == "declustered" else drives
+        data_per_stripe = width - ec_parity
+    elif layout == "declustered":
+        data_per_stripe = (drives - 1) - 1
+    else:
+        from repro.raid.geometry import RaidGeometry, RaidLevel
+
+        geometry = RaidGeometry(RaidLevel.RAID5, drives, chunk)
+        data_per_stripe = geometry.data_per_stripe
+    stripe_bytes = data_per_stripe * chunk
     capacity = stripes * stripe_bytes
     member_bytes = stripes * chunk
     kinds = ["write", "write", "write", "write", "read", "read", "fail", "heal"]
@@ -179,7 +220,8 @@ def make_schedule(
             )
     return FuzzSchedule(
         system=system, seed=seed, drives=drives, stripes=stripes, chunk=chunk,
-        ops=tuple(ops),
+        ops=tuple(ops), layout=layout, layout_seed=layout_seed, code=code,
+        ec_parity=ec_parity, local_groups=local_groups,
     )
 
 
@@ -217,11 +259,32 @@ def run_schedule(schedule: FuzzSchedule, verify: bool = True) -> FuzzOutcome:
         verify=VerifyConfig() if verify else None,
     )
     cluster = build_cluster(env, config)
-    geometry = RaidGeometry(RaidLevel.RAID5, schedule.drives, schedule.chunk)
+    parity_count = schedule.ec_parity if schedule.code else 1
+    layout_obj = None
+    if schedule.layout and schedule.layout != "rotating":
+        from repro.raid.layout import make_layout
+
+        layout_obj = make_layout(
+            schedule.layout, schedule.drives, parity_count,
+            seed=schedule.layout_seed,
+        )
+    if schedule.code:
+        from repro.draid.ec_array import EcGeometry
+
+        geometry = EcGeometry(
+            schedule.drives, schedule.chunk, parity_count, layout=layout_obj
+        )
+    else:
+        geometry = RaidGeometry(
+            RaidLevel.RAID5, schedule.drives, schedule.chunk, layout=layout_obj
+        )
     has_rot = any(op.kind == "rot" for op in schedule.ops)
     if has_rot:
         IntegrityStore(schedule.chunk).attach(cluster)
-    array = _make_controller(schedule.system, cluster, geometry)
+    array = _make_controller(
+        schedule.system, cluster, geometry,
+        code=schedule.code or None, local_groups=schedule.local_groups,
+    )
     # arm the timeout/retry datapath without a FaultInjector: the fuzzer
     # drives faults itself, op by op
     array._force_resilient = True
@@ -281,7 +344,7 @@ def run_schedule(schedule: FuzzSchedule, verify: bool = True) -> FuzzOutcome:
                 elif op.kind == "fail":
                     if (
                         op.drive not in array.failed
-                        and len(array.failed) < geometry.num_parity
+                        and len(array.failed) < array.fault_tolerance
                     ):
                         array.fail_drive(op.drive)
                 elif op.kind == "heal":
@@ -363,7 +426,10 @@ def run_schedule(schedule: FuzzSchedule, verify: bool = True) -> FuzzOutcome:
     except Exception as exc:  # noqa: BLE001 — any escape fails the schedule
         return fault_failure(exc)
 
-    report = scrub_array(cluster.drives(), geometry, schedule.stripes)
+    report = scrub_array(
+        cluster.drives(), geometry, schedule.stripes,
+        code=getattr(array, "code", None),
+    )
     failure = ""
     detail = ""
     if not verified:
@@ -459,7 +525,17 @@ def emit_reproducer(schedule: FuzzSchedule, outcome: FuzzOutcome) -> str:
     """
     op_lines = ",\n".join(f"        {op!r}" for op in schedule.ops)
     ops_literal = f"(\n{op_lines},\n    )" if schedule.ops else "()"
-    return f'''def test_fuzz_{schedule.system}_seed{schedule.seed}():
+    # design-space axes are emitted only when non-default, so pre-axes
+    # reproducers (and their pinned goldens) stay byte-identical
+    axis_lines = ""
+    if schedule.layout != "rotating":
+        axis_lines += f"\n        layout={schedule.layout!r},"
+        axis_lines += f"\n        layout_seed={schedule.layout_seed},"
+    if schedule.code:
+        axis_lines += f"\n        code={schedule.code!r},"
+        axis_lines += f"\n        ec_parity={schedule.ec_parity},"
+        axis_lines += f"\n        local_groups={schedule.local_groups},"
+    return f'''def test_fuzz_{_ident(schedule.system)}_seed{schedule.seed}():
     """Shrunk reproducer ({len(schedule.ops)} ops): {outcome.failure or "clean"}.
 
     {outcome.detail or "Replays clean; pins the schedule against regression."}
@@ -472,11 +548,16 @@ def emit_reproducer(schedule: FuzzSchedule, outcome: FuzzOutcome) -> str:
         drives={schedule.drives},
         stripes={schedule.stripes},
         chunk={schedule.chunk},
-        ops={ops_literal},
+        ops={ops_literal},{axis_lines}
     )
     outcome = replay_schedule(schedule)
     assert outcome.ok, f"{{outcome.failure}}: {{outcome.detail}}"
 '''
+
+
+def _ident(system: str) -> str:
+    """``system`` as a test-name fragment (``draid-st`` -> ``draid_st``)."""
+    return system.replace("-", "_")
 
 
 # -- CLI --------------------------------------------------------------------
@@ -495,6 +576,7 @@ def fuzz_many(
     systems: Tuple[str, ...] = FUZZ_SYSTEMS,
     num_ops: int = 10,
     on_row: Optional[Callable[[str], None]] = None,
+    axes: bool = False,
 ) -> List[Tuple[FuzzSchedule, FuzzOutcome]]:
     """Run ``seeds`` schedules round-robin over ``systems``; returns the
     failures (schedule, outcome).  Stops early when ``budget_s`` wall
@@ -509,7 +591,9 @@ def fuzz_many(
                 on_row(f"# budget exhausted after {i} seeds")
             break
         system = systems[i % len(systems)]
-        schedule = make_schedule(system, derive_seed(base_seed, i), num_ops=num_ops)
+        schedule = make_schedule(
+            system, derive_seed(base_seed, i), num_ops=num_ops, axes=axes
+        )
         outcome = run_schedule(schedule)
         if on_row is not None:
             on_row(outcome.row())
@@ -540,14 +624,19 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     parser.add_argument("--ops", type=int, default=10, help="ops per schedule")
     parser.add_argument(
+        "--axes", action="store_true",
+        help="draw design-space axes (layout/code) from seeded child RNGs",
+    )
+    parser.add_argument(
         "--out", default="fuzz_failures",
         help="directory for shrunk reproducers of failing schedules",
     )
     args = parser.parse_args(argv)
     systems = tuple(s.strip() for s in args.systems.split(",") if s.strip())
+    known = FUZZ_SYSTEMS + ("draid-st",)
     for system in systems:
-        if system not in FUZZ_SYSTEMS:
-            parser.error(f"unknown system {system!r} (choose from {FUZZ_SYSTEMS})")
+        if system not in known:
+            parser.error(f"unknown system {system!r} (choose from {known})")
 
     failures = fuzz_many(
         args.seeds,
@@ -556,6 +645,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         systems=systems,
         num_ops=args.ops,
         on_row=print,
+        axes=args.axes,
     )
     if not failures:
         print(f"# {args.seeds} schedules clean")

@@ -1,0 +1,159 @@
+"""Property suite for the local-reconstruction code (design-space axis 2).
+
+Hypothesis drives LRC(k, l, g) across parameters and payloads and pins:
+
+* **byte-exact round trips** — encode, erase any pattern up to the
+  global-parity reach ``g`` (data, local parity and global parity shards
+  alike), decode, compare byte-for-byte;
+* **local-first planning** — whenever an erased shard is the only
+  erasure inside its group scope, the decode plan repairs it with a
+  ``"local"`` XOR step reading only the group (``decode_one`` takes the
+  same shortcut), and the plan says so introspectably;
+* **typed failure** — patterns beyond reach raise the same
+  :class:`~repro.ec.rs.UnrecoverableErasureError` Reed-Solomon raises,
+  so callers handle both codes with one except clause.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ec.lrc import LocalReconstructionCode
+from repro.ec.rs import ReedSolomon, UnrecoverableErasureError
+
+
+@st.composite
+def lrc_cases(draw):
+    k = draw(st.integers(min_value=2, max_value=10))
+    l = draw(st.integers(min_value=1, max_value=min(3, k)))
+    g = draw(st.integers(min_value=1, max_value=3))
+    length = draw(st.integers(min_value=1, max_value=64))
+    payload_seed = draw(st.integers(min_value=0, max_value=1 << 32))
+    return k, l, g, length, payload_seed
+
+
+def _encode_all(code: LocalReconstructionCode, length: int, payload_seed: int):
+    rng = np.random.default_rng(payload_seed)
+    data = [
+        rng.integers(0, 256, size=length, dtype=np.uint8) for _ in range(code.k)
+    ]
+    parities = code.encode(data)
+    shards = {i: s for i, s in enumerate(data)}
+    shards.update({code.k + j: p for j, p in enumerate(parities)})
+    return data, shards
+
+
+@given(case=lrc_cases(), pattern_seed=st.integers(min_value=0, max_value=1 << 32))
+@settings(max_examples=200, deadline=None)
+def test_encode_erase_decode_roundtrip(case, pattern_seed):
+    """Any erasure pattern up to size g decodes byte-exact."""
+    k, l, g, length, payload_seed = case
+    code = LocalReconstructionCode(k, l, g)
+    assert code.fault_tolerance == g
+    data, shards = _encode_all(code, length, payload_seed)
+    rng = np.random.default_rng(pattern_seed)
+    count = int(rng.integers(1, g + 1))
+    erased = rng.choice(k + l + g, size=count, replace=False)
+    survivors = {i: s for i, s in shards.items() if i not in set(int(e) for e in erased)}
+    recovered = code.decode(survivors, length)
+    for i in range(k):
+        assert np.array_equal(recovered[i], data[i]), f"shard {i} mismatch"
+
+
+@given(case=lrc_cases())
+@settings(max_examples=200, deadline=None)
+def test_single_in_group_erasure_plans_local(case):
+    """One erasure per group -> the planner picks local repair everywhere."""
+    k, l, g, length, payload_seed = case
+    code = LocalReconstructionCode(k, l, g)
+    data, shards = _encode_all(code, length, payload_seed)
+    for lost in range(k):
+        plan = code.plan_decode([lost])
+        assert plan.local_only
+        (step,) = plan.steps
+        assert step.target == lost
+        assert step.method == "local"
+        group = code.group_of(lost)
+        scope = set(code.groups[group]) | {code.k + group}
+        assert set(step.sources) == scope - {lost}
+        assert plan.read_count == len(scope) - 1 <= (k + l - 1) // l + 1
+        survivors = {i: s for i, s in shards.items() if i != lost}
+        assert np.array_equal(code.decode_one(lost, survivors, length), data[lost])
+    # a lost *local parity* also repairs locally from its own group
+    for j in range(l):
+        plan = code.plan_decode([k + j])
+        assert plan.local_only
+        assert set(plan.steps[0].sources) == set(code.groups[j])
+
+
+@given(case=lrc_cases(), pattern_seed=st.integers(min_value=0, max_value=1 << 32))
+@settings(max_examples=200, deadline=None)
+def test_plan_is_local_iff_sole_in_scope(case, pattern_seed):
+    """Introspection: a step is local exactly when the erased shard is the
+    sole erasure in its group scope; global steps read a decodable basis."""
+    k, l, g, length, payload_seed = case
+    code = LocalReconstructionCode(k, l, g)
+    rng = np.random.default_rng(pattern_seed)
+    count = int(rng.integers(1, g + 1))
+    erased = sorted(int(e) for e in rng.choice(k + l + g, size=count, replace=False))
+    plan = code.plan_decode(erased)
+    assert [s.target for s in plan.steps] == erased
+    for step in plan.steps:
+        scope = code._group_scope(step.target)
+        sole = scope is not None and not (set(erased) & scope - {step.target})
+        assert (step.method == "local") == sole
+        assert not set(step.sources) & set(erased)
+        if step.method == "global":
+            assert len(step.sources) == k
+
+
+@given(case=lrc_cases(), pattern_seed=st.integers(min_value=0, max_value=1 << 32))
+@settings(max_examples=200, deadline=None)
+def test_beyond_reach_raises_same_typed_error_as_rs(case, pattern_seed):
+    """Erasing a whole group scope plus all global parities is beyond any
+    guarantee: both planner and decoder raise the RS-shared typed error."""
+    k, l, g, length, payload_seed = case
+    code = LocalReconstructionCode(k, l, g)
+    data, shards = _encode_all(code, length, payload_seed)
+    group = int(np.random.default_rng(pattern_seed).integers(0, l))
+    erased = set(code.groups[group]) | {code.k + group}
+    erased |= {k + l + j for j in range(g)}
+    if len(erased - {code.k + group}) <= g:
+        return  # tiny group: still within the global reach, decodable
+    survivors = {i: s for i, s in shards.items() if i not in erased}
+    with pytest.raises(UnrecoverableErasureError):
+        code.plan_decode(sorted(erased))
+    with pytest.raises(UnrecoverableErasureError):
+        code.decode(survivors, length)
+    # and Reed-Solomon raises the very same type beyond its reach
+    rs = ReedSolomon(k, g)
+    rs_shards = {i: s for i, s in enumerate(data)}
+    rs_shards.update({k + j: p for j, p in enumerate(rs.encode(data))})
+    rs_survivors = dict(sorted(rs_shards.items())[: k - 1])
+    with pytest.raises(UnrecoverableErasureError):
+        rs.decode(rs_survivors, length)
+
+
+def test_parameter_validation():
+    with pytest.raises(ValueError):
+        LocalReconstructionCode(1, 1, 1)
+    with pytest.raises(ValueError):
+        LocalReconstructionCode(4, 5, 1)
+    with pytest.raises(ValueError):
+        LocalReconstructionCode(4, 2, 0)
+
+
+def test_decode_one_prefers_local_sources():
+    """decode_one touches only the group when the group scope survives."""
+    code = LocalReconstructionCode(6, 2, 2)
+    rng = np.random.default_rng(7)
+    data = [rng.integers(0, 256, size=32, dtype=np.uint8) for _ in range(6)]
+    parities = code.encode(data)
+    lost = 1
+    scope = set(code.groups[0]) | {code.k}
+    survivors = {i: data[i] for i in code.groups[0] if i != lost}
+    survivors[code.k] = parities[0]
+    assert set(survivors) == scope - {lost}
+    assert np.array_equal(code.decode_one(lost, survivors, 32), data[lost])

@@ -75,6 +75,7 @@ class TestHarness:
                 "obs",
                 "overload",
                 "tenancy",
+                "geometries",
             }
             | {f"fig{i:02d}" for i in range(9, 31)}
         )

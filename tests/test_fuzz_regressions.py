@@ -77,6 +77,37 @@ def test_fuzz_draid_seed421840():
     assert outcome.ok, f"{outcome.failure}: {outcome.detail}"
 
 
+def test_fuzz_draid_st_seed1016():
+    """Shrunk reproducer (2 ops): clean.
+
+    Replays clean; pins the schedule against regression.  This is the
+    first pinned reproducer carrying the design-space axes (declustered
+    layout + LRC on the stateless-target controller): the axis lines in
+    the ``FuzzSchedule`` literal below are ``emit_reproducer``'s verbatim
+    output format, so a change to either side fails here first.
+    """
+    from repro.verify.fuzz import FuzzOp, FuzzSchedule, replay_schedule
+
+    schedule = FuzzSchedule(
+        system='draid-st',
+        seed=1016,
+        drives=6,
+        stripes=8,
+        chunk=4096,
+        ops=(
+        FuzzOp(kind='fail', offset=0, nbytes=0, drive=1, gap_ns=402211, payload_seed=0),
+        FuzzOp(kind='write', offset=4096, nbytes=6000, drive=0, gap_ns=118306, payload_seed=424242),
+    ),
+        layout='declustered',
+        layout_seed=4448,
+        code='lrc',
+        ec_parity=2,
+        local_groups=1,
+    )
+    outcome = replay_schedule(schedule)
+    assert outcome.ok, f"{outcome.failure}: {outcome.detail}"
+
+
 def test_emitted_reproducers_stay_executable():
     """``emit_reproducer`` output is pinned: it must compile and pass
     when exec'd (the contract the committed tests above rely on)."""
@@ -96,3 +127,42 @@ def test_emitted_reproducers_stay_executable():
     namespace = {}
     exec(compile(source, "<reproducer>", "exec"), namespace)
     namespace["test_fuzz_md_seed7"]()
+
+
+def test_emitted_axes_reproducers_stay_executable():
+    """Same contract for schedules carrying the design-space axes: the
+    emitted source must replay the axes verbatim (and only emit axis
+    lines for non-default values, keeping historical reproducers
+    byte-identical)."""
+    from repro.verify.fuzz import (
+        FuzzOp,
+        FuzzSchedule,
+        emit_reproducer,
+        run_schedule,
+    )
+
+    schedule = FuzzSchedule(
+        system="draid",
+        seed=31,
+        drives=6,
+        ops=(FuzzOp(kind="write", offset=0, nbytes=2048, payload_seed=9),),
+        layout="declustered",
+        layout_seed=12,
+        code="rs",
+        ec_parity=2,
+    )
+    source = emit_reproducer(schedule, run_schedule(schedule))
+    for line in ("layout='declustered'", "layout_seed=12", "code='rs'",
+                 "ec_parity=2", "local_groups=1"):
+        assert line in source, f"missing axis line {line!r}"
+    namespace = {}
+    exec(compile(source, "<reproducer>", "exec"), namespace)
+    namespace["test_fuzz_draid_seed31"]()
+    # default axes stay invisible: historical format byte-unchanged
+    legacy = FuzzSchedule(
+        system="md",
+        seed=7,
+        ops=(FuzzOp(kind="write", offset=0, nbytes=512, payload_seed=1),),
+    )
+    legacy_source = emit_reproducer(legacy, run_schedule(legacy))
+    assert "layout" not in legacy_source and "code" not in legacy_source
